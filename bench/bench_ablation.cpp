@@ -1,0 +1,75 @@
+// Fig. 13 — ablation of SPD-KFAC's two optimizations (Table IV notation):
+//   -Pipe-LBP : bulk factor aggregation + local inverses (the D-KFAC base)
+//   +Pipe-LBP : pipelined optimal-fusion factor aggregation only
+//   -Pipe+LBP : load-balancing inverse placement only
+//   +Pipe+LBP : both (SPD-KFAC)
+// Also sweeps an LBP internal choice the paper leaves ambiguous: Algorithm 1
+// line 13 accumulates d_i while Eq. (25) balances d_i^2; we add the Eq.-(21)
+// estimated-time metric as the default and compare all three.
+#include "bench_util.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+int main() {
+  using namespace spdkfac;
+  bench::print_header("Fig. 13", "Ablation of pipelining and LBP (64 GPUs)");
+
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  struct Variant {
+    const char* name;
+    sim::FactorCommMode fc;
+    sim::InverseMode inv;
+  };
+  const std::vector<Variant> variants{
+      {"-Pipe-LBP", sim::FactorCommMode::kBulk, sim::InverseMode::kLocalAll},
+      {"+Pipe-LBP", sim::FactorCommMode::kOptimalFuse,
+       sim::InverseMode::kLocalAll},
+      {"-Pipe+LBP", sim::FactorCommMode::kBulk, sim::InverseMode::kLBP},
+      {"+Pipe+LBP", sim::FactorCommMode::kOptimalFuse,
+       sim::InverseMode::kLBP},
+  };
+
+  bench::Table table({"Model", "-Pipe-LBP", "+Pipe-LBP", "-Pipe+LBP",
+                      "+Pipe+LBP", "both vs base"});
+  for (const auto& spec : models::paper_models()) {
+    std::vector<double> times;
+    for (const auto& v : variants) {
+      sim::AlgorithmConfig cfg = sim::AlgorithmConfig::dkfac();
+      cfg.factor_comm = v.fc;
+      cfg.inverse = v.inv;
+      cfg.name = v.name;
+      times.push_back(
+          iteration_time(spec, spec.default_batch, cal, cfg));
+    }
+    table.add_row({spec.name, bench::seconds(times[0]),
+                   bench::seconds(times[1]), bench::seconds(times[2]),
+                   bench::seconds(times[3]),
+                   bench::fmt("%.2fx", times[0] / times[3])});
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: +Pipe-LBP alone ~10%%, -Pipe+LBP alone 3-18%%, both\n"
+      "together 10-35%% over the -Pipe-LBP baseline.\n");
+
+  bench::print_header("Ablation (extra)",
+                      "Algorithm 1 balance metric (LBP internal)");
+  bench::Table metric_table(
+      {"Model", "balance by d", "balance by d^2", "balance by est. time"});
+  for (const auto& spec : models::paper_models()) {
+    std::vector<double> times;
+    for (auto metric :
+         {core::BalanceMetric::kDim, core::BalanceMetric::kDimSquared,
+          core::BalanceMetric::kEstimatedTime}) {
+      sim::AlgorithmConfig cfg = sim::AlgorithmConfig::spd_kfac();
+      cfg.balance = metric;
+      times.push_back(
+          iteration_time(spec, spec.default_batch, cal, cfg));
+    }
+    metric_table.add_row({spec.name, bench::seconds(times[0]),
+                          bench::seconds(times[1]),
+                          bench::seconds(times[2])});
+  }
+  metric_table.print();
+  return 0;
+}

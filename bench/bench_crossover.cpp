@@ -1,0 +1,44 @@
+// Fig. 11 — comparison of the inverse computation model and the symmetric-
+// matrix broadcast model: the crossover dimension below which a tensor
+// should be an NCT (inverted redundantly on every GPU) rather than a CT
+// (inverted once and broadcast).
+//
+// Two curve pairs are reported:
+//   * the paper's published fits (Eq. 26 exponential vs Eq. 27 broadcast) —
+//     crossover in the low thousands of dimensions, as in Fig. 11;
+//   * the simulator's task-pricing pair (cubic inverse law vs fabric
+//     broadcast cost) — what Algorithm 1 consumes in this reproduction.
+#include "bench_util.hpp"
+#include "perf/models.hpp"
+
+int main() {
+  using namespace spdkfac;
+  bench::print_header("Fig. 11",
+                      "Inverse compute vs broadcast cost crossover");
+
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto paper_inv = perf::ClusterCalibration::fig8_inverse_model();
+
+  bench::Table table({"dim", "exp inv (ms)", "Fig7b bcast (ms)",
+                      "cubic inv (ms)", "fabric bcast (ms)"});
+  for (std::size_t d = 256; d <= 8192; d *= 2) {
+    table.add_row({std::to_string(d), bench::millis(paper_inv.time(d)),
+                   bench::millis(cal.broadcast.time_dim(d)),
+                   bench::millis(cal.inverse.time(d)),
+                   bench::millis(cal.bcast_fabric.time_dim(d))});
+  }
+  table.print();
+
+  const std::size_t paper_cross =
+      perf::ct_nct_crossover_dim(paper_inv, cal.broadcast);
+  const std::size_t sim_cross =
+      perf::ct_nct_crossover_dim(cal.inverse, cal.bcast_fabric);
+  std::printf(
+      "\nCrossover (largest NCT dimension):\n"
+      "  paper-model pair   : d = %zu\n"
+      "  simulator pair     : d = %zu\n"
+      "Below the crossover a tensor is cheaper to invert everywhere than to\n"
+      "broadcast (NCT); above it, distribute-and-broadcast wins (CT).\n",
+      paper_cross, sim_cross);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table III — average iteration wall-clock time of D-KFAC / MPD-KFAC /
+// SPD-KFAC on the simulated 64-GPU cluster, with the paper's speedup
+// columns SP1 = D-KFAC/SPD-KFAC and SP2 = MPD-KFAC/SPD-KFAC.
+//
+// Paper reference (seconds): ResNet-50 0.8525/0.7635/0.6755 (1.26, 1.13);
+// ResNet-152 1.5807/1.3933/1.1689 (1.35, 1.19); DenseNet-201
+// 1.4964/1.5340/1.3615 (1.10, 1.13); Inception-v4 1.1857/1.1473/0.9907
+// (1.20, 1.16).  Absolute values differ (their testbed, our simulator);
+// the shape — SPD-KFAC fastest everywhere, 10-35% over D-KFAC and
+// 13-19%-scale over MPD-KFAC, MPD-KFAC losing to D-KFAC on DenseNet-201 —
+// is the reproduction target.
+#include "bench_util.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+int main() {
+  using namespace spdkfac;
+  bench::print_header("Table III",
+                      "Average iteration time (s) and speedups, 64 GPUs");
+
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  bench::Table table(
+      {"Model", "D-KFAC", "MPD-KFAC", "SPD-KFAC", "SP1", "SP2"});
+  for (const auto& spec : models::paper_models()) {
+    const std::size_t batch = spec.default_batch;
+    const double dkfac =
+        iteration_time(spec, batch, cal, sim::AlgorithmConfig::dkfac());
+    const double mpd =
+        iteration_time(spec, batch, cal, sim::AlgorithmConfig::mpd_kfac());
+    const double spd =
+        iteration_time(spec, batch, cal, sim::AlgorithmConfig::spd_kfac());
+    table.add_row({spec.name, bench::seconds(dkfac), bench::seconds(mpd),
+                   bench::seconds(spd), bench::fmt("%.2f", dkfac / spd),
+                   bench::fmt("%.2f", mpd / spd)});
+  }
+  table.print();
+  std::printf(
+      "\nPaper Table III: SP1 in 1.10-1.35 (\"10%%-35%% over D-KFAC\"),\n"
+      "SP2 in 1.13-1.19; MPD-KFAC slower than D-KFAC on DenseNet-201.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Substrate micro-benchmarks (google-benchmark): the dense linear algebra,
+// collectives, and planning primitives everything else is built on.
+#include <benchmark/benchmark.h>
+
+#include "comm/cluster.hpp"
+#include "core/fusion.hpp"
+#include "core/placement.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/random.hpp"
+#include "tensor/symmetric.hpp"
+
+namespace {
+
+using namespace spdkfac;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(1);
+  const tensor::Matrix a = tensor::random_normal(n, n, rng);
+  const tensor::Matrix b = tensor::random_normal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CholeskyInverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(2);
+  const tensor::Matrix spd = tensor::random_spd(n, rng, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::damped_inverse(spd, 1e-3));
+  }
+}
+BENCHMARK(BM_CholeskyInverse)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(3);
+  tensor::Matrix m = tensor::random_spd(n, rng);
+  std::vector<double> packed(tensor::packed_size(n));
+  for (auto _ : state) {
+    tensor::pack_upper(m, packed);
+    tensor::unpack_upper(packed, m);
+    benchmark::DoNotOptimize(packed.data());
+  }
+}
+BENCHMARK(BM_PackUnpack)->Arg(64)->Arg(512);
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const std::size_t elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::Cluster::launch(world, [&](comm::Communicator& comm) {
+      std::vector<double> data(elements, comm.rank() + 1.0);
+      comm.all_reduce(data, comm::ReduceOp::kSum);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * elements);
+}
+BENCHMARK(BM_RingAllReduce)
+    ->Args({2, 1 << 14})
+    ->Args({4, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void BM_FusionPlanning(benchmark::State& state) {
+  const auto spec = models::resnet152();
+  core::FusionPlanInput input;
+  double clock = 0.0;
+  for (const auto& layer : spec.layers) {
+    clock += 1e-3;
+    input.ready_times.push_back(clock);
+    input.sizes.push_back(layer.a_elements());
+  }
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_fusion(input, cal.allreduce,
+                                               core::FusionPolicy::kOptimal));
+  }
+}
+BENCHMARK(BM_FusionPlanning);
+
+void BM_LbpPlacement(benchmark::State& state) {
+  const auto dims = models::densenet201().factor_dims();
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::lbp_place(dims, 64, cal.inverse, cal.bcast_fabric));
+  }
+}
+BENCHMARK(BM_LbpPlacement);
+
+void BM_SimulateIteration(benchmark::State& state) {
+  const auto spec = models::resnet50();
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto cfg = sim::AlgorithmConfig::spd_kfac();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_iteration(spec, 32, cal, cfg));
+  }
+}
+BENCHMARK(BM_SimulateIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Fig. 10 — benefits of pipelining the computation and communication of
+// Kronecker factors.  For each model, reports FactorComp plus the
+// *non-overlapped* FactorComm of four schemes:
+//   Naive      — all A factors in one op overlapped with the backward pass,
+//                G factors in one op after it;
+//   LW w/o TF  — one all-reduce per factor, no fusion;
+//   LW w/ TTF  — layer-wise with Horovod's 64 MiB threshold fusion;
+//   SP w/ OTF  — SPD-KFAC's optimal tensor fusion (Eq. 15 objective).
+#include "bench_util.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+int main() {
+  using namespace spdkfac;
+  bench::print_header(
+      "Fig. 10",
+      "Factor computation + non-overlapped factor communication (s)");
+
+  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const std::vector<std::pair<const char*, sim::FactorCommMode>> variants{
+      {"Naive", sim::FactorCommMode::kNaive},
+      {"LW w/o TF", sim::FactorCommMode::kLayerWise},
+      {"LW w/ TTF", sim::FactorCommMode::kThresholdFuse},
+      {"SP w/ OTF", sim::FactorCommMode::kOptimalFuse},
+  };
+
+  bench::Table table({"Model", "Scheme", "FactorComp", "FactorComm (exposed)",
+                      "Sum", "Hidden frac"});
+  for (const auto& spec : models::paper_models()) {
+    for (const auto& [name, mode] : variants) {
+      sim::AlgorithmConfig cfg = sim::AlgorithmConfig::dkfac();
+      cfg.factor_comm = mode;
+      cfg.name = name;
+      const auto res =
+          simulate_iteration(spec, spec.default_batch, cal, cfg);
+      table.add_row({spec.name, name, bench::seconds(res.breakdown.factor_comp),
+                     bench::seconds(res.breakdown.factor_comm),
+                     bench::seconds(res.breakdown.factor_comp +
+                                    res.breakdown.factor_comm),
+                     bench::fmt("%.2f", res.factor_comm_hidden_fraction())});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: LW w/o TF is *worse* than Naive (per-factor startup\n"
+      "latency dominates); threshold fusion improves on Naive; SP w/ OTF is\n"
+      "best, hiding 50-84%% of the factor-aggregation communication.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Real-runtime counterpart of the overlap figures: trains a small CNN on the
+// in-process cluster under each strategy (hook mode) and reports wall-clock
+// per step plus the background engine's operation records — submit-to-start
+// latency shows queuing, and ops submitted long before step() proves the
+// communication really ran during the passes.
+//
+// This is a mechanism demonstration, not a performance claim: the
+// in-process transport is memcpy-fast, so absolute gains are small; the
+// cluster-scale numbers live in bench_iteration_time (simulator).
+#include <chrono>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "comm/cluster.hpp"
+#include "core/dist_kfac.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+
+using namespace spdkfac;
+
+namespace {
+
+constexpr int kWorld = 4;
+constexpr int kSteps = 5;
+
+struct Stats {
+  double wall_s = 0.0;
+  std::size_t ops = 0;
+  double comm_busy_s = 0.0;
+  double mean_queue_delay_s = 0.0;  // start - submit
+};
+
+Stats run(core::DistStrategy strategy, bool hooked) {
+  Stats stats;
+  std::mutex mu;
+  comm::Cluster::launch(kWorld, [&](comm::Communicator& comm) {
+    tensor::Rng init(99);
+    nn::Sequential model = nn::make_small_cnn(1, 12, 8, 16, 5, init);
+    auto layers = model.preconditioned_layers();
+    core::DistKfacOptions opts;
+    opts.strategy = strategy;
+    core::DistKfacOptimizer optimizer(layers, comm, opts);
+    nn::SyntheticClassification data(5, 1, 12, 3);
+    tensor::Rng shard(17 + comm.rank());
+    nn::SoftmaxCrossEntropy loss;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < kSteps; ++s) {
+      nn::Batch batch = data.sample(8, shard);
+      if (hooked) {
+        const nn::PassHooks hooks = optimizer.pass_hooks();
+        loss.forward(model.forward(batch.inputs, hooks), batch.labels);
+        model.backward(loss.backward(), hooks);
+      } else {
+        loss.forward(model.forward(batch.inputs), batch.labels);
+        model.backward(loss.backward());
+      }
+      optimizer.step();
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      stats.wall_s = wall / kSteps;
+      const auto records = optimizer.comm_records();
+      stats.ops = records.size();
+      double delay = 0.0;
+      for (const auto& r : records) {
+        stats.comm_busy_s += r.end_s - r.start_s;
+        delay += r.start_s - r.submit_s;
+      }
+      if (!records.empty()) {
+        stats.mean_queue_delay_s = delay / static_cast<double>(records.size());
+      }
+    }
+  });
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Runtime", "Real in-process training: per-step wall time and overlap");
+
+  bench::Table table({"Strategy", "Mode", "wall/step (ms)", "comm ops",
+                      "comm busy (ms)", "mean queue delay (ms)"});
+  for (auto strategy :
+       {core::DistStrategy::kDKfac, core::DistStrategy::kMpdKfac,
+        core::DistStrategy::kSpdKfac}) {
+    for (bool hooked : {false, true}) {
+      const Stats s = run(strategy, hooked);
+      table.add_row({to_string(strategy), hooked ? "hooked" : "post-hoc",
+                     bench::fmt("%.2f", s.wall_s * 1e3),
+                     std::to_string(s.ops),
+                     bench::fmt("%.2f", s.comm_busy_s * 1e3),
+                     bench::fmt("%.3f", s.mean_queue_delay_s * 1e3)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nHooked SPD-KFAC submits its factor all-reduces during the passes\n"
+      "(the Fig. 6 architecture); post-hoc bulk strategies submit after.\n"
+      "All strategies end in numerically identical models (see tests).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 3 — Kronecker-factor tensor size distribution: number of factors per
+// decade of communicated elements (packed upper triangle) for each of the
+// four CNNs.  The paper's scatter plot spans ~1e3 to ~1e7 elements; the
+// histogram below reports the same distribution in text form, plus the
+// extremes quoted in Section IV-A for ResNet-50 (2,080 and 10,619,136).
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bench_util.hpp"
+#include "models/model_spec.hpp"
+
+int main() {
+  using namespace spdkfac;
+  bench::print_header("Fig. 3", "Tensor size distribution (packed elements)");
+
+  const std::vector<std::pair<std::size_t, std::size_t>> buckets{
+      {0, 1000},          {1000, 10'000},        {10'000, 100'000},
+      {100'000, 1000'000}, {1000'000, 10'000'000}, {10'000'000, 100'000'000},
+  };
+  bench::Table table({"Model", "<1e3", "1e3-1e4", "1e4-1e5", "1e5-1e6",
+                      "1e6-1e7", ">=1e7", "min", "max", "total"});
+  for (const auto& spec : models::paper_models()) {
+    const auto sizes = spec.factor_packed_sizes();
+    std::vector<std::size_t> counts(buckets.size(), 0);
+    for (std::size_t s : sizes) {
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (s >= buckets[b].first && s < buckets[b].second) {
+          ++counts[b];
+          break;
+        }
+      }
+    }
+    table.add_row({spec.name, std::to_string(counts[0]),
+                   std::to_string(counts[1]), std::to_string(counts[2]),
+                   std::to_string(counts[3]), std::to_string(counts[4]),
+                   std::to_string(counts[5]),
+                   std::to_string(*std::min_element(sizes.begin(), sizes.end())),
+                   std::to_string(*std::max_element(sizes.begin(), sizes.end())),
+                   std::to_string(sizes.size())});
+  }
+  table.print();
+  std::printf(
+      "\nPaper Section IV-A: ResNet-50's smallest factor carries 2,080\n"
+      "elements, the largest 10,619,136; small tensors underutilize the\n"
+      "network (motivating dynamic tensor fusion).\n");
+  return 0;
+}

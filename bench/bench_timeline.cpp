@@ -1,0 +1,38 @@
+// Fig. 1 — the task structure of one iteration, rendered as an ASCII
+// timeline of the simulated streams on a small cluster (2 GPUs, a truncated
+// ResNet-50 head) so the schedule is readable: S-SGD's WFBP gradient
+// overlap, D-KFAC's bulk factor aggregation, and SPD-KFAC's pipelined
+// factor communication plus distributed inverses.
+#include "bench_util.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+int main() {
+  using namespace spdkfac;
+  bench::print_header("Fig. 1", "Simulated iteration timelines (2 GPUs)");
+
+  // A small model keeps the rendering legible: the first 8 preconditioned
+  // layers of ResNet-50.
+  models::ModelSpec spec = models::resnet50();
+  spec.layers.resize(8);
+  spec.name = "ResNet-50[0:8]";
+  const auto cal = perf::ClusterCalibration::paper_fabric(2);
+
+  for (const sim::AlgorithmConfig& cfg :
+       {sim::AlgorithmConfig::sgd(), sim::AlgorithmConfig::dkfac(),
+        sim::AlgorithmConfig::spd_kfac()}) {
+    const auto res = simulate_iteration(spec, 32, cal, cfg);
+    std::printf("\n-- %s (iteration %.4f s) --\n", cfg.name.c_str(),
+                res.total);
+    std::printf("%s", render_timeline(res.schedule, res.stream_names, 96)
+                          .c_str());
+  }
+  std::printf(
+      "\nCompare with Fig. 1: in S-SGD, gradient aggregation (g) overlaps\n"
+      "the backward pass; in D-KFAC, factor aggregation (c) is exposed\n"
+      "after the backward pass; in SPD-KFAC, factor aggregation rides\n"
+      "along both passes and the inverse broadcasts (b) interleave with\n"
+      "distributed inverse computation (I).\n");
+  return 0;
+}

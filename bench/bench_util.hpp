@@ -1,0 +1,68 @@
+// Shared console-table helpers for the per-figure benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spdkfac::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row_divider(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_cells = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::putchar('\n');
+    };
+    print_cells(columns_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    print_row_divider(static_cast<int>(total));
+    for (const auto& row : rows_) print_cells(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string seconds(double s) { return fmt("%.4f", s); }
+inline std::string millis(double s) { return fmt("%.1f", s * 1e3); }
+inline std::string mega(double x) { return fmt("%.1f", x / 1e6); }
+
+}  // namespace spdkfac::bench

@@ -1,0 +1,71 @@
+// Placement planner: run Algorithm 1 (LBP) for a chosen model and cluster
+// size and compare against Seq-Dist / Non-Dist under the Eq. (21) objective.
+//
+//   $ ./examples/placement_planner [model] [world]
+//   $ ./examples/placement_planner resnet152 64
+//
+// Mirrors the paper's one-time planning step (Section V-B): take fitted
+// computation/communication models, traverse the 2L Kronecker-factor
+// dimensions, type each tensor CT/NCT, and assign CTs to the least-loaded
+// GPU.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/placement.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spdkfac;
+
+  const std::string model_name = argc > 1 ? argv[1] : "resnet50";
+  const int world = argc > 2 ? std::atoi(argv[2]) : 64;
+  const models::ModelSpec spec = models::model_by_name(model_name);
+  const auto cal = perf::ClusterCalibration::paper_fabric(world);
+  const auto dims = spec.factor_dims();
+
+  std::printf("Planning inverse placement for %s (2L = %zu tensors) on %d "
+              "GPUs\n\n",
+              spec.name.c_str(), dims.size(), world);
+
+  const core::Placement lbp =
+      core::lbp_place(dims, world, cal.inverse, cal.bcast_fabric);
+  const core::Placement seq = core::seq_place(dims, world);
+  const core::Placement nondist = core::nondist_place(dims, world);
+
+  std::printf("policy     #NCT  #CT   Eq.(21) predicted max (ms)\n");
+  for (const auto* p : {&nondist, &seq, &lbp}) {
+    const auto cost =
+        core::predict_cost(*p, dims, cal.inverse, cal.bcast_fabric);
+    std::printf("%-9s  %4zu  %4zu  %8.1f\n", p->policy.c_str(), p->num_ncts(),
+                p->num_cts(), cost.max_seconds * 1e3);
+  }
+
+  // CT dimension histogram: which tensors Algorithm 1 decided to distribute.
+  std::map<std::size_t, int> ct_dims;
+  for (const auto& a : lbp.assignments) {
+    if (!a.nct) ++ct_dims[a.dim];
+  }
+  std::printf("\nCT tensors by dimension (inverted once, broadcast):\n");
+  for (const auto& [d, n] : ct_dims) {
+    std::printf("  d = %5zu  x%d   t_inv = %6.2f ms   t_bcast = %6.2f ms\n",
+                d, n, cal.inverse.time(d) * 1e3,
+                cal.bcast_fabric.time_dim(d) * 1e3);
+  }
+  const std::size_t crossover =
+      perf::ct_nct_crossover_dim(cal.inverse, cal.bcast_fabric);
+  std::printf(
+      "\nCT/NCT crossover at d = %zu (Fig. 11): tensors below it are cheaper\n"
+      "to invert on every GPU than to broadcast.\n",
+      crossover);
+
+  // Per-GPU loads of the first few GPUs.
+  std::printf("\nPer-GPU CT worklists (first 8 GPUs):\n");
+  for (int p = 0; p < std::min(world, 8); ++p) {
+    std::printf("  gpu%-2d:", p);
+    for (std::size_t t : lbp.per_gpu[p]) std::printf(" T%zu(d=%zu)", t, dims[t]);
+    std::printf("\n");
+  }
+  return 0;
+}

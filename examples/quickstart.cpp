@@ -1,0 +1,66 @@
+// Quickstart: train a small MLP on synthetic data with the K-FAC optimizer
+// (Eq. 12) and compare against plain SGD on the same stream.
+//
+//   $ ./examples/quickstart
+//
+// Demonstrates the core single-process API: build a model, run
+// forward/backward (which captures the K-FAC statistics), call
+// KfacOptimizer::step().
+#include <cstdio>
+
+#include "core/kfac_optimizer.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+
+int main() {
+  using namespace spdkfac;
+
+  constexpr std::size_t kFeatures = 16;
+  constexpr std::size_t kClasses = 4;
+  constexpr std::size_t kBatch = 32;
+  constexpr int kSteps = 40;
+
+  // Two identical models (same init seed) so the comparison is fair.
+  tensor::Rng rng_kfac(7), rng_sgd(7);
+  const std::size_t widths[] = {kFeatures, 32, kClasses};
+  nn::Sequential kfac_model = nn::make_mlp(widths, rng_kfac);
+  nn::Sequential sgd_model = nn::make_mlp(widths, rng_sgd);
+
+  core::KfacOptions options;
+  options.lr = 0.2;
+  options.damping = 0.1;
+  options.stat_decay = 0.9;
+  core::KfacOptimizer kfac(kfac_model.preconditioned_layers(), options);
+  core::SgdOptimizer sgd(sgd_model.preconditioned_layers(), /*lr=*/0.2);
+
+  nn::SyntheticClassification data(kClasses, kFeatures, 1, /*seed=*/42,
+                                   /*noise=*/0.3);
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Rng stream_kfac(1), stream_sgd(1);
+
+  std::printf("step   kfac_loss  kfac_acc   sgd_loss   sgd_acc\n");
+  for (int step = 0; step < kSteps; ++step) {
+    auto run = [&](nn::Sequential& model, tensor::Rng& stream, auto& optim,
+                   double& out_loss, double& out_acc) {
+      nn::Batch batch = data.sample(kBatch, stream);
+      nn::Tensor4D flat(batch.inputs.n, kFeatures, 1, 1);
+      flat.data = batch.inputs.data;
+      out_loss = loss.forward(model.forward(flat), batch.labels);
+      out_acc = loss.accuracy();
+      model.backward(loss.backward());
+      optim.step();
+    };
+    double kl, ka, sl, sa;
+    run(kfac_model, stream_kfac, kfac, kl, ka);
+    run(sgd_model, stream_sgd, sgd, sl, sa);
+    if (step % 5 == 0 || step == kSteps - 1) {
+      std::printf("%4d   %8.4f   %6.2f%%   %8.4f   %6.2f%%\n", step, kl,
+                  100 * ka, sl, 100 * sa);
+    }
+  }
+  std::printf(
+      "\nK-FAC preconditions each layer's gradient with the damped inverses\n"
+      "of its Kronecker factors A and G, typically reaching a given loss in\n"
+      "fewer iterations than SGD (the paper's Section I motivation).\n");
+  return 0;
+}

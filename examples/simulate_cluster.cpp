@@ -1,0 +1,79 @@
+// Cluster simulator CLI: one iteration of a chosen training algorithm on a
+// simulated GPU cluster, with the paper's six-way time breakdown.
+//
+//   $ ./examples/simulate_cluster [model] [world] [algorithm] [trace.json]
+//   $ ./examples/simulate_cluster densenet201 64 spd-kfac
+//   $ ./examples/simulate_cluster resnet50 8 spd-kfac /tmp/trace.json
+//
+// Algorithms: sgd | kfac | d-kfac | mpd-kfac | spd-kfac.  When a fourth
+// argument is given, the full schedule is exported as Chrome trace-event
+// JSON (open in chrome://tracing or https://ui.perfetto.dev).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+#include "sim/trace.hpp"
+
+using namespace spdkfac;
+
+namespace {
+
+sim::AlgorithmConfig config_by_name(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "sgd" || name == "s-sgd") return sim::AlgorithmConfig::sgd();
+  if (name == "kfac") return sim::AlgorithmConfig::kfac();
+  if (name == "d-kfac" || name == "dkfac") return sim::AlgorithmConfig::dkfac();
+  if (name == "mpd-kfac" || name == "mpdkfac") {
+    return sim::AlgorithmConfig::mpd_kfac();
+  }
+  if (name == "spd-kfac" || name == "spdkfac") {
+    return sim::AlgorithmConfig::spd_kfac();
+  }
+  std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "resnet50";
+  const int world = argc > 2 ? std::atoi(argv[2]) : 64;
+  const std::string algo = argc > 3 ? argv[3] : "spd-kfac";
+
+  const models::ModelSpec spec = models::model_by_name(model_name);
+  const auto cal = perf::ClusterCalibration::paper_fabric(world);
+  const auto cfg = config_by_name(algo);
+  const auto res =
+      simulate_iteration(spec, spec.default_batch, cal, cfg);
+
+  std::printf("%s on %d simulated GPUs (%s, batch %zu/GPU)\n\n",
+              cfg.name.c_str(), world, spec.name.c_str(), spec.default_batch);
+  std::printf("iteration time : %.4f s\n", res.total);
+  std::printf("  FF&BP        : %.4f s\n", res.breakdown.ff_bp);
+  std::printf("  GradComm     : %.4f s\n", res.breakdown.grad_comm);
+  std::printf("  FactorComp   : %.4f s\n", res.breakdown.factor_comp);
+  std::printf("  FactorComm   : %.4f s (%.0f%% hidden)\n",
+              res.breakdown.factor_comm,
+              100.0 * res.factor_comm_hidden_fraction());
+  std::printf("  InverseComp  : %.4f s\n", res.breakdown.inverse_comp);
+  std::printf("  InverseComm  : %.4f s\n", res.breakdown.inverse_comm);
+  if (!res.placement.assignments.empty()) {
+    std::printf("placement      : %s (%zu NCT / %zu CT)\n",
+                res.placement.policy.c_str(), res.placement.num_ncts(),
+                res.placement.num_cts());
+  }
+  std::printf("throughput     : %.1f images/s (cluster)\n",
+              world * static_cast<double>(spec.default_batch) / res.total);
+
+  if (argc > 4) {
+    const std::string trace_path = argv[4];
+    sim::write_chrome_trace(trace_path, res.schedule, res.stream_names,
+                            cfg.name + "/" + spec.name);
+    std::printf("trace          : wrote %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "comm/async_engine.hpp"
+
+namespace spdkfac::comm {
+
+AsyncCommEngine::AsyncCommEngine(Communicator& comm)
+    : comm_(comm), epoch_(std::chrono::steady_clock::now()) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncCommEngine::~AsyncCommEngine() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+double AsyncCommEngine::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+CommHandle AsyncCommEngine::all_reduce_async(std::span<double> data,
+                                             ReduceOp op, std::string name) {
+  return submit(
+      [data, op](Communicator& comm) {
+        comm.all_reduce(data, op);
+      },
+      std::move(name), data.size());
+}
+
+CommHandle AsyncCommEngine::broadcast_async(std::span<double> data, int root,
+                                            std::string name) {
+  return submit(
+      [data, root](Communicator& comm) { comm.broadcast(data, root); },
+      std::move(name), data.size());
+}
+
+CommHandle AsyncCommEngine::submit(std::function<void(Communicator&)> fn,
+                                   std::string name, std::size_t elements) {
+  CommHandle handle;
+  handle.state_ = std::make_shared<CommHandle::State>();
+  Op op{std::move(fn), handle.state_, std::move(name), elements, now_s()};
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(op));
+    submitted_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_one();
+  return handle;
+}
+
+void AsyncCommEngine::wait_all() {
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [this] {
+    return queue_.empty() && completed_.load() == submitted_.load();
+  });
+}
+
+std::vector<OpRecord> AsyncCommEngine::records() const {
+  std::lock_guard lock(records_mutex_);
+  return records_;
+}
+
+void AsyncCommEngine::worker_loop() {
+  for (;;) {
+    Op op;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    OpRecord record;
+    record.name = op.name;
+    record.submit_s = op.submit_s;
+    record.elements = op.elements;
+    record.start_s = now_s();
+    op.fn(comm_);
+    record.end_s = now_s();
+
+    {
+      std::lock_guard lock(records_mutex_);
+      records_.push_back(std::move(record));
+    }
+    {
+      std::lock_guard lock(op.state->mutex);
+      op.state->done.store(true, std::memory_order_release);
+    }
+    op.state->cv.notify_all();
+    completed_.fetch_add(1, std::memory_order_release);
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,87 @@
+// Point-to-point message channels between in-process workers.
+//
+// The paper runs on 64 GPUs over NCCL/Horovod.  This reproduction replaces
+// the network with an in-process cluster: each worker is a thread and each
+// directed (src, dst) pair owns a Channel — an unbounded FIFO mailbox of
+// double vectors protected by a mutex/condvar.  All collectives in
+// collectives.cpp are built from these sends/recvs, so data really moves
+// between workers and aggregation-order determinism can be tested.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace spdkfac::comm {
+
+/// Unbounded SPSC/MPSC mailbox carrying vectors of doubles.
+///
+/// send() copies the payload; recv() blocks until a message is available and
+/// moves it out.  Messages from a single sender are delivered in order.
+class Channel {
+ public:
+  void send(std::span<const double> payload) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back(payload.begin(), payload.end());
+    }
+    cv_.notify_one();
+  }
+
+  std::vector<double> recv() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    std::vector<double> msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Receives directly into `out`; the message length must match out.size().
+  /// Returns false (leaving `out` untouched) on length mismatch.
+  bool recv_into(std::span<double> out) {
+    std::vector<double> msg = recv();
+    if (msg.size() != out.size()) return false;
+    std::copy(msg.begin(), msg.end(), out.begin());
+    return true;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::vector<double>> queue_;
+};
+
+/// Reusable N-party barrier (sense-reversing via generation counter).
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::size_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace spdkfac::comm

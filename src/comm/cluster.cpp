@@ -1,0 +1,220 @@
+#include "comm/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace spdkfac::comm {
+
+namespace {
+
+/// Splits n elements into `parts` contiguous segments as evenly as possible
+/// (first n % parts segments get one extra element).  Returns segment sizes.
+std::vector<std::size_t> even_partition(std::size_t n, std::size_t parts) {
+  std::vector<std::size_t> counts(parts, n / parts);
+  for (std::size_t i = 0; i < n % parts; ++i) ++counts[i];
+  return counts;
+}
+
+std::vector<std::size_t> offsets_of(std::span<const std::size_t> counts) {
+  std::vector<std::size_t> offsets(counts.size() + 1, 0);
+  std::partial_sum(counts.begin(), counts.end(), offsets.begin() + 1);
+  return offsets;
+}
+
+void accumulate(std::span<double> dst, std::span<const double> src,
+                ReduceOp op) {
+  if (op == ReduceOp::kMax) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = std::max(dst[i], src[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(int size) : size_(size), barrier_(static_cast<size_t>(size)) {
+  if (size <= 0) throw std::invalid_argument("Cluster size must be positive");
+  channels_.resize(static_cast<std::size_t>(size) * size);
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(size_);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &error_mutex, &first_error] {
+      Communicator comm(this, r, size_);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Cluster::launch(int size, const std::function<void(Communicator&)>& fn) {
+  Cluster cluster(size);
+  cluster.run(fn);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+Channel& Communicator::channel_to(int dst) {
+  return *cluster_->channels_[static_cast<std::size_t>(rank_) * size_ + dst];
+}
+
+Channel& Communicator::channel_from(int src) {
+  return *cluster_->channels_[static_cast<std::size_t>(src) * size_ + rank_];
+}
+
+void Communicator::barrier() { cluster_->barrier_.arrive_and_wait(); }
+
+void Communicator::send(int dst, std::span<const double> payload) {
+  if (dst < 0 || dst >= size_) throw std::invalid_argument("send: bad rank");
+  channel_to(dst).send(payload);
+}
+
+void Communicator::recv(int src, std::span<double> out) {
+  if (src < 0 || src >= size_) throw std::invalid_argument("recv: bad rank");
+  if (!channel_from(src).recv_into(out)) {
+    throw std::runtime_error("recv: message length mismatch");
+  }
+}
+
+void Communicator::all_reduce(std::span<double> data, ReduceOp op) {
+  const auto counts = even_partition(data.size(), size_);
+  reduce_scatter_v(data, counts, op);
+  all_gather_v(data, counts);
+}
+
+void Communicator::reduce_scatter_v(std::span<double> data,
+                                    std::span<const std::size_t> counts,
+                                    ReduceOp op) {
+  if (static_cast<int>(counts.size()) != size_) {
+    throw std::invalid_argument("reduce_scatter_v: counts size != world size");
+  }
+  const auto offsets = offsets_of(counts);
+  if (offsets.back() != data.size()) {
+    throw std::invalid_argument("reduce_scatter_v: counts do not sum to size");
+  }
+  if (size_ == 1) {
+    if (op == ReduceOp::kAverage) { /* sum of one, nothing to do */ }
+    return;
+  }
+
+  const int right = (rank_ + 1) % size_;
+  const int left = (rank_ + size_ - 1) % size_;
+  std::vector<double> recv_buf;
+
+  // Ring reduce-scatter.  At step s, rank r forwards segment (r - s - 1) and
+  // accumulates segment (r - s - 2); after P-1 steps, rank r owns the fully
+  // reduced segment r.  Additions for a given segment happen in ring order
+  // regardless of which rank observes them, so every rank's final segments
+  // are bitwise identical — the determinism the synchronous-training
+  // consistency tests rely on.
+  for (int step = 0; step < size_ - 1; ++step) {
+    const int send_seg = ((rank_ - step - 1) % size_ + size_) % size_;
+    const int recv_seg = ((rank_ - step - 2) % size_ + size_) % size_;
+    std::span<double> send_view =
+        data.subspan(offsets[send_seg], counts[send_seg]);
+    std::span<double> recv_view =
+        data.subspan(offsets[recv_seg], counts[recv_seg]);
+    channel_to(right).send(send_view);
+    recv_buf.resize(recv_view.size());
+    if (!channel_from(left).recv_into(recv_buf)) {
+      throw std::runtime_error("reduce_scatter_v: segment size mismatch");
+    }
+    accumulate(recv_view, recv_buf, op);
+  }
+
+  if (op == ReduceOp::kAverage) {
+    std::span<double> own = data.subspan(offsets[rank_], counts[rank_]);
+    const double inv = 1.0 / size_;
+    for (double& v : own) v *= inv;
+  }
+}
+
+void Communicator::all_gather_v(std::span<double> data,
+                                std::span<const std::size_t> counts) {
+  if (static_cast<int>(counts.size()) != size_) {
+    throw std::invalid_argument("all_gather_v: counts size != world size");
+  }
+  const auto offsets = offsets_of(counts);
+  if (offsets.back() != data.size()) {
+    throw std::invalid_argument("all_gather_v: counts do not sum to size");
+  }
+  if (size_ == 1) return;
+
+  const int right = (rank_ + 1) % size_;
+  const int left = (rank_ + size_ - 1) % size_;
+
+  // Ring all-gather: at step s, forward segment (r - s) and receive segment
+  // (r - s - 1) from the left neighbour.
+  for (int step = 0; step < size_ - 1; ++step) {
+    const int send_seg = ((rank_ - step) % size_ + size_) % size_;
+    const int recv_seg = ((rank_ - step - 1) % size_ + size_) % size_;
+    channel_to(right).send(data.subspan(offsets[send_seg], counts[send_seg]));
+    std::span<double> recv_view =
+        data.subspan(offsets[recv_seg], counts[recv_seg]);
+    if (!channel_from(left).recv_into(recv_view)) {
+      throw std::runtime_error("all_gather_v: segment size mismatch");
+    }
+  }
+}
+
+void Communicator::broadcast(std::span<double> data, int root) {
+  if (root < 0 || root >= size_) {
+    throw std::invalid_argument("broadcast: bad root");
+  }
+  if (size_ == 1) return;
+
+  // Binomial tree rooted at `root`, expressed in root-relative ranks.
+  const int relative = (rank_ - root + size_) % size_;
+  int mask = 1;
+  while (mask < size_) {
+    if (relative & mask) {
+      const int src = (relative - mask + root) % size_;
+      recv(src, data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size_) {
+      const int dst = (relative + mask + root) % size_;
+      send(dst, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::all_gather_scalar(double value, std::span<double> out) {
+  if (static_cast<int>(out.size()) != size_) {
+    throw std::invalid_argument("all_gather_scalar: out size != world size");
+  }
+  out[rank_] = value;
+  std::vector<std::size_t> counts(size_, 1);
+  all_gather_v(out, counts);
+}
+
+}  // namespace spdkfac::comm

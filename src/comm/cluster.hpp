@@ -1,0 +1,109 @@
+// In-process worker cluster and rank-scoped communicator.
+//
+// Cluster::run(P, fn) spawns P threads, each receiving a Communicator bound
+// to its rank.  The Communicator offers MPI/NCCL-style collectives (ring
+// all-reduce, binomial-tree broadcast, reduce-scatter, all-gather) that move
+// real data through the Channel mailboxes, substituting for the paper's
+// 64-GPU InfiniBand fabric while preserving collective semantics:
+//   * all ranks must call collectives in the same order with matching sizes;
+//   * results are bitwise identical on every rank (ring reduction applies
+//     additions in a rank-independent order per segment).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/channel.hpp"
+
+namespace spdkfac::comm {
+
+enum class ReduceOp {
+  kSum,
+  kAverage,  // sum / world size, applied once after reduction
+  kMax,
+};
+
+class Cluster;
+
+/// Rank-local view of the cluster; all collective calls are blocking and
+/// must be invoked by every rank (in the same order) to make progress.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return size_; }
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// Point-to-point: copies `payload` into the (rank -> dst) mailbox.
+  void send(int dst, std::span<const double> payload);
+
+  /// Blocking receive of the next message from `src`; the message length
+  /// must equal out.size() (throws std::runtime_error otherwise).
+  void recv(int src, std::span<double> out);
+
+  /// Ring all-reduce (reduce-scatter + all-gather, 2*(P-1) steps).  In-place;
+  /// every rank ends with the identical reduced vector.
+  void all_reduce(std::span<double> data, ReduceOp op = ReduceOp::kSum);
+
+  /// Binomial-tree broadcast from `root`; in-place on non-root ranks.
+  void broadcast(std::span<double> data, int root);
+
+  /// Reduce-scatter with per-rank segment sizes `counts` (counts.size() ==
+  /// world size, sum == data.size()).  On return, the caller's own segment
+  /// inside `data` holds the reduced values; other segments are unspecified.
+  void reduce_scatter_v(std::span<double> data,
+                        std::span<const std::size_t> counts,
+                        ReduceOp op = ReduceOp::kSum);
+
+  /// All-gather with per-rank segment sizes.  Rank p contributes the segment
+  /// of `data` at offset sum(counts[0..p)) and on return every rank holds
+  /// every segment.
+  void all_gather_v(std::span<double> data,
+                    std::span<const std::size_t> counts);
+
+  /// Gathers a scalar from every rank into `out` (out.size() == world size).
+  void all_gather_scalar(double value, std::span<double> out);
+
+ private:
+  friend class Cluster;
+  Communicator(Cluster* cluster, int rank, int size)
+      : cluster_(cluster), rank_(rank), size_(size) {}
+
+  Channel& channel_to(int dst);
+  Channel& channel_from(int src);
+
+  Cluster* cluster_;
+  int rank_;
+  int size_;
+};
+
+/// Owns the channels/barrier shared by all ranks and drives worker threads.
+class Cluster {
+ public:
+  explicit Cluster(int size);
+
+  int size() const noexcept { return size_; }
+
+  /// Runs `fn(comm)` on one thread per rank and joins them all.  If any
+  /// worker throws, the first exception is rethrown on the caller's thread
+  /// after all workers finish (workers must not deadlock on a peer that
+  /// died: by construction collectives are only entered by all ranks).
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Convenience: builds a cluster of `size` ranks and runs `fn`.
+  static void launch(int size, const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class Communicator;
+
+  int size_;
+  Barrier barrier_;
+  // channels_[src * size_ + dst]
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,559 @@
+#include "core/dist_kfac.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/symmetric.hpp"
+
+namespace spdkfac::core {
+
+using tensor::Matrix;
+
+const char* to_string(DistStrategy strategy) noexcept {
+  switch (strategy) {
+    case DistStrategy::kDKfac:
+      return "D-KFAC";
+    case DistStrategy::kMpdKfac:
+      return "MPD-KFAC";
+    case DistStrategy::kSpdKfac:
+      return "SPD-KFAC";
+  }
+  return "?";
+}
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+DistKfacOptimizer::DistKfacOptimizer(
+    std::vector<nn::PreconditionedLayer*> layers, comm::Communicator& comm,
+    DistKfacOptions options)
+    : layers_(std::move(layers)),
+      comm_(comm),
+      engine_(comm),
+      options_(options) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("DistKfacOptimizer: no preconditioned layers");
+  }
+  const std::size_t L = layers_.size();
+  state_.resize(L);
+  fresh_a_.resize(L);
+  fresh_g_.resize(L);
+  agg_grads_.resize(L);
+  a_comp_seconds_.assign(L, 0.0);
+  g_comp_seconds_.assign(L, 0.0);
+  a_sizes_.resize(L);
+  g_sizes_.resize(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    a_sizes_[l] = tensor::packed_size(layers_[l]->dim_a());
+    // G pass runs deepest layer first; g_sizes_ is indexed in pass order.
+    g_sizes_[l] = tensor::packed_size(layers_[L - 1 - l]->dim_g());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+void DistKfacOptimizer::sync_measured_times() {
+  if (comm_.size() == 1) return;
+  const std::size_t L = layers_.size();
+  std::vector<double> buffer(2 * L);
+  std::copy(a_comp_seconds_.begin(), a_comp_seconds_.end(), buffer.begin());
+  std::copy(g_comp_seconds_.begin(), g_comp_seconds_.end(),
+            buffer.begin() + L);
+  engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, "factor-times")
+      .wait();
+  std::copy(buffer.begin(), buffer.begin() + L, a_comp_seconds_.begin());
+  std::copy(buffer.begin() + L, buffer.end(), g_comp_seconds_.begin());
+}
+
+void DistKfacOptimizer::plan_factor_groups() {
+  const std::size_t L = layers_.size();
+  // Step 0 has no measurements yet: communicate layer-wise.  Later steps
+  // plan with the optimal-fusion DP over the *rank-averaged* measured
+  // factor computation times (the paper profiles the layer-wise factor
+  // times over a few iterations, Section IV-A); averaging keeps every
+  // rank's plan identical, which the collective ordering contract needs.
+  const FusionPolicy policy =
+      step_count_ == 0 ? FusionPolicy::kNoFusion : FusionPolicy::kOptimal;
+  sync_measured_times();
+
+  FusionPlanInput a_input;
+  a_input.sizes = a_sizes_;
+  a_input.ready_times.resize(L);
+  double clock = 0.0;
+  for (std::size_t l = 0; l < L; ++l) {
+    clock += a_comp_seconds_[l];
+    a_input.ready_times[l] = clock;
+  }
+  a_groups_ = plan_fusion(a_input, options_.allreduce_model, policy);
+
+  FusionPlanInput g_input;
+  g_input.sizes = g_sizes_;
+  g_input.ready_times.resize(L);
+  g_input.stream_free_at = a_groups_.empty() ? 0.0 : a_groups_.back().comm_end;
+  clock = 0.0;
+  for (std::size_t i = 0; i < L; ++i) {
+    clock += g_comp_seconds_[L - 1 - i];
+    g_input.ready_times[i] = clock;
+  }
+  g_groups_ = plan_fusion(g_input, options_.allreduce_model, policy);
+}
+
+void DistKfacOptimizer::plan_grad_groups() {
+  // WFBP gradient fusion: accumulate consecutive layers (backward order,
+  // deepest first) until the element threshold, then flush — Horovod's
+  // scheme, used identically by every strategy in the paper.
+  const std::size_t L = layers_.size();
+  grad_group_layers_.clear();
+  std::vector<std::size_t> group;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t l = L - 1 - i;
+    group.push_back(l);
+    acc += layers_[l]->weight_grad().size();
+    if (acc >= core::kHorovodThresholdElements || l == 0) {
+      grad_group_layers_.push_back(group);
+      group.clear();
+      acc = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Post-hoc aggregation paths (no hooks)
+// ---------------------------------------------------------------------------
+
+void DistKfacOptimizer::aggregate_factors_bulk(bool compute_factors) {
+  const std::size_t L = layers_.size();
+  // Compute all local factors first (no overlap — this is the D-KFAC /
+  // MPD-KFAC behaviour the paper improves on), then one fused all-reduce.
+  if (compute_factors) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fresh_a_[l] = compute_factor_a(*layers_[l]);
+      a_comp_seconds_[l] = seconds_since(t0);
+      const auto t1 = std::chrono::steady_clock::now();
+      fresh_g_[l] = compute_factor_g(*layers_[l]);
+      g_comp_seconds_[l] = seconds_since(t1);
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    total += tensor::packed_size(fresh_a_[l].rows()) +
+             tensor::packed_size(fresh_g_[l].rows());
+  }
+  std::vector<double> buffer(total);
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    const std::size_t na = tensor::packed_size(fresh_a_[l].rows());
+    tensor::pack_upper(fresh_a_[l],
+                       std::span<double>(buffer).subspan(offset, na));
+    offset += na;
+    const std::size_t ng = tensor::packed_size(fresh_g_[l].rows());
+    tensor::pack_upper(fresh_g_[l],
+                       std::span<double>(buffer).subspan(offset, ng));
+    offset += ng;
+  }
+
+  engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, "factors-bulk")
+      .wait();
+
+  offset = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    const std::size_t na = tensor::packed_size(fresh_a_[l].rows());
+    tensor::unpack_upper(std::span<const double>(buffer).subspan(offset, na),
+                         fresh_a_[l]);
+    offset += na;
+    const std::size_t ng = tensor::packed_size(fresh_g_[l].rows());
+    tensor::unpack_upper(std::span<const double>(buffer).subspan(offset, ng),
+                         fresh_g_[l]);
+    offset += ng;
+  }
+
+  a_groups_.assign(1, FusionGroup{0, L - 1, 0, 0, 0, 0});
+  g_groups_.assign(1, FusionGroup{0, L - 1, 0, 0, 0, 0});
+}
+
+void DistKfacOptimizer::aggregate_factors_pipelined() {
+  const std::size_t L = layers_.size();
+  plan_factor_groups();
+  hooked_a_.reset(a_groups_.size());
+  hooked_g_.reset(g_groups_.size());
+
+  // A pass: compute the factor, pack it into the group buffer, and fire the
+  // group's async all-reduce as soon as its last member is packed; the
+  // engine overlaps it with the next factor computation.
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fresh_a_[l] = compute_factor_a(*layers_[l]);
+    a_comp_seconds_[l] = seconds_since(t0);
+    on_after_forward(l);  // pack + submit (hook-mode shares this path)
+  }
+  // G pass (reverse layer order), overlapping with the tail of the A
+  // communications still in flight.
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t l = L - 1 - i;
+    const auto t0 = std::chrono::steady_clock::now();
+    fresh_g_[l] = compute_factor_g(*layers_[l]);
+    g_comp_seconds_[l] = seconds_since(t0);
+    on_after_backward(l);
+  }
+  finish_hooked_comm();
+}
+
+void DistKfacOptimizer::aggregate_gradients() {
+  // Uses the exact WFBP grouping of the hooked path (same buffers, same
+  // boundaries) so post-hoc and hooked steps are bitwise identical.
+  plan_grad_groups();
+  for (const auto& group : grad_group_layers_) {
+    std::size_t total = 0;
+    for (std::size_t l : group) total += layers_[l]->weight_grad().size();
+    std::vector<double> buffer(total);
+    std::size_t offset = 0;
+    for (std::size_t l : group) {
+      auto grad = layers_[l]->weight_grad().data();
+      std::copy(grad.begin(), grad.end(), buffer.begin() + offset);
+      offset += grad.size();
+    }
+    engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, "gradients")
+        .wait();
+    offset = 0;
+    for (std::size_t l : group) {
+      const Matrix& grad = layers_[l]->weight_grad();
+      agg_grads_[l] = Matrix(grad.rows(), grad.cols());
+      auto dst = agg_grads_[l].data();
+      std::copy(buffer.begin() + offset,
+                buffer.begin() + offset + dst.size(), dst.begin());
+      offset += dst.size();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hook mode (Fig. 6): factor/gradient communication inline with the passes
+// ---------------------------------------------------------------------------
+
+nn::PassHooks DistKfacOptimizer::pass_hooks() {
+  nn::PassHooks hooks;
+  hooks.after_forward = [this](std::size_t l, nn::PreconditionedLayer&) {
+    if (l == 0) {
+      // Step begins: plan this step's communication schedule.
+      hooked_active_ = true;
+      plan_grad_groups();
+      grad_buffers_.assign(grad_group_layers_.size(), {});
+      grad_handles_.assign(grad_group_layers_.size(), {});
+      grad_group_index_ = 0;
+      grad_offset_ = 0;
+      if (factors_due()) {
+        if (pipelined()) {
+          plan_factor_groups();
+        } else {
+          // Bulk strategies: single conceptual group per family; factors
+          // are computed here but communicated after the pass (step()).
+          a_groups_.assign(1, FusionGroup{0, layers_.size() - 1, 0, 0, 0, 0});
+          g_groups_.assign(1, FusionGroup{0, layers_.size() - 1, 0, 0, 0, 0});
+        }
+        hooked_a_.reset(pipelined() ? a_groups_.size() : 0);
+        hooked_g_.reset(pipelined() ? g_groups_.size() : 0);
+      }
+    }
+    if (factors_due()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fresh_a_[l] = compute_factor_a(*layers_[l]);
+      a_comp_seconds_[l] = seconds_since(t0);
+      if (pipelined()) on_after_forward(l);
+    }
+  };
+  hooks.after_backward = [this](std::size_t l, nn::PreconditionedLayer&) {
+    if (factors_due()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fresh_g_[l] = compute_factor_g(*layers_[l]);
+      g_comp_seconds_[l] = seconds_since(t0);
+      if (pipelined()) on_after_backward(l);
+    }
+    // WFBP: stage this layer's gradient; flush the group when complete.
+    if (comm_.size() > 1) {
+      auto& group_layers = grad_group_layers_[grad_group_index_];
+      auto& buffer = grad_buffers_[grad_group_index_];
+      if (buffer.empty()) {
+        std::size_t total = 0;
+        for (std::size_t gl : group_layers) {
+          total += layers_[gl]->weight_grad().size();
+        }
+        buffer.resize(total);
+        grad_offset_ = 0;
+      }
+      auto grad = layers_[l]->weight_grad().data();
+      std::copy(grad.begin(), grad.end(), buffer.begin() + grad_offset_);
+      grad_offset_ += grad.size();
+      if (l == group_layers.back()) {
+        grad_handles_[grad_group_index_] = engine_.all_reduce_async(
+            buffer, comm::ReduceOp::kAverage,
+            "wfbp-grad" + std::to_string(grad_group_index_));
+        ++grad_group_index_;
+      }
+    }
+  };
+  return hooks;
+}
+
+void DistKfacOptimizer::on_after_forward(std::size_t l) {
+  if (comm_.size() == 1) return;
+  // Find the group containing layer l (groups are consecutive, so this is
+  // the current one).
+  const FusionGroup& group = a_groups_[hooked_a_.current];
+  auto& buffer = hooked_a_.buffers[hooked_a_.current];
+  if (buffer.empty()) {
+    buffer.resize(group.elements);
+    hooked_a_.offset = 0;
+  }
+  const std::size_t n = a_sizes_[l];
+  tensor::pack_upper(fresh_a_[l],
+                     std::span<double>(buffer).subspan(hooked_a_.offset, n));
+  hooked_a_.offset += n;
+  if (l == group.last) {
+    hooked_a_.handles[hooked_a_.current] = engine_.all_reduce_async(
+        buffer, comm::ReduceOp::kAverage,
+        "A-group" + std::to_string(hooked_a_.current));
+    ++hooked_a_.current;
+  }
+}
+
+void DistKfacOptimizer::on_after_backward(std::size_t l) {
+  if (comm_.size() == 1) return;
+  const std::size_t i = layers_.size() - 1 - l;  // index in pass order
+  const FusionGroup& group = g_groups_[hooked_g_.current];
+  auto& buffer = hooked_g_.buffers[hooked_g_.current];
+  if (buffer.empty()) {
+    buffer.resize(group.elements);
+    hooked_g_.offset = 0;
+  }
+  const std::size_t n = g_sizes_[i];
+  tensor::pack_upper(fresh_g_[l],
+                     std::span<double>(buffer).subspan(hooked_g_.offset, n));
+  hooked_g_.offset += n;
+  if (i == group.last) {
+    hooked_g_.handles[hooked_g_.current] = engine_.all_reduce_async(
+        buffer, comm::ReduceOp::kAverage,
+        "G-group" + std::to_string(hooked_g_.current));
+    ++hooked_g_.current;
+  }
+}
+
+void DistKfacOptimizer::finish_hooked_comm() {
+  if (comm_.size() == 1) return;
+  const std::size_t L = layers_.size();
+  for (std::size_t gi = 0; gi < a_groups_.size(); ++gi) {
+    hooked_a_.handles[gi].wait();
+    std::size_t offset = 0;
+    for (std::size_t l = a_groups_[gi].first; l <= a_groups_[gi].last; ++l) {
+      const std::size_t n = a_sizes_[l];
+      tensor::unpack_upper(
+          std::span<const double>(hooked_a_.buffers[gi]).subspan(offset, n),
+          fresh_a_[l]);
+      offset += n;
+    }
+  }
+  for (std::size_t gi = 0; gi < g_groups_.size(); ++gi) {
+    hooked_g_.handles[gi].wait();
+    std::size_t offset = 0;
+    for (std::size_t i = g_groups_[gi].first; i <= g_groups_[gi].last; ++i) {
+      const std::size_t l = L - 1 - i;
+      const std::size_t n = g_sizes_[i];
+      tensor::unpack_upper(
+          std::span<const double>(hooked_g_.buffers[gi]).subspan(offset, n),
+          fresh_g_[l]);
+      offset += n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inverses and updates
+// ---------------------------------------------------------------------------
+
+void DistKfacOptimizer::compute_inverses() {
+  const std::size_t L = layers_.size();
+  // Tensor order T_{2l} = A_l, T_{2l+1} = G_l, matching the paper.
+  std::vector<std::size_t> dims(2 * L);
+  for (std::size_t l = 0; l < L; ++l) {
+    dims[2 * l] = layers_[l]->dim_a();
+    dims[2 * l + 1] = layers_[l]->dim_g();
+  }
+  if (!placement_ready_) {
+    switch (options_.strategy) {
+      case DistStrategy::kDKfac:
+        placement_ = nondist_place(dims, comm_.size());
+        break;
+      case DistStrategy::kMpdKfac:
+        placement_ = seq_place(dims, comm_.size());
+        break;
+      case DistStrategy::kSpdKfac:
+        placement_ = lbp_place(dims, comm_.size(), options_.inverse_model,
+                               options_.broadcast_model, options_.balance);
+        break;
+    }
+    placement_ready_ = true;
+  }
+
+  auto factor_of = [&](std::size_t t) -> const Matrix& {
+    return t % 2 == 0 ? state_[t / 2].a : state_[t / 2].g;
+  };
+  auto inverse_slot = [&](std::size_t t) -> Matrix& {
+    return t % 2 == 0 ? state_[t / 2].a_inv : state_[t / 2].g_inv;
+  };
+
+  // Per-tensor damping (identical on every rank: derived from the
+  // aggregated factors).
+  std::vector<double> gamma(dims.size(), options_.damping);
+  if (options_.pi_damping) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const auto [ga, gg] =
+          factored_damping(state_[l].a, state_[l].g, options_.damping);
+      gamma[2 * l] = ga;
+      gamma[2 * l + 1] = gg;
+    }
+  }
+
+  // CT tensors: the owner inverts and broadcasts the packed result; every
+  // rank submits the broadcasts in the same deterministic order.  For LBP
+  // that order is descending dimension (the order Algorithm 1 assigned);
+  // Seq-Dist uses tensor index order.
+  std::vector<std::size_t> ct_order;
+  for (std::size_t t = 0; t < dims.size(); ++t) {
+    if (!placement_.assignments[t].nct) ct_order.push_back(t);
+  }
+  if (options_.strategy == DistStrategy::kSpdKfac) {
+    std::stable_sort(ct_order.begin(), ct_order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return dims[x] > dims[y];
+                     });
+  }
+
+  std::vector<std::vector<double>> bcast_buffers(dims.size());
+  std::vector<comm::CommHandle> handles(dims.size());
+  for (std::size_t t : ct_order) {
+    const int owner = placement_.assignments[t].owner;
+    bcast_buffers[t].resize(tensor::packed_size(dims[t]));
+    if (owner == comm_.rank()) {
+      Matrix inv =
+          damped_inverse_by(factor_of(t), gamma[t], options_.inverse_method);
+      tensor::pack_upper(inv, bcast_buffers[t]);
+    }
+    handles[t] = engine_.broadcast_async(bcast_buffers[t], owner,
+                                         "inv-T" + std::to_string(t));
+  }
+
+  // NCT tensors: every rank inverts locally while the broadcasts drain on
+  // the background engine (real compute/communication overlap).
+  for (std::size_t t = 0; t < dims.size(); ++t) {
+    if (placement_.assignments[t].nct) {
+      inverse_slot(t) =
+          damped_inverse_by(factor_of(t), gamma[t], options_.inverse_method);
+    }
+  }
+
+  for (std::size_t t : ct_order) {
+    handles[t].wait();
+    Matrix inv(dims[t], dims[t]);
+    tensor::unpack_upper(bcast_buffers[t], inv);
+    inverse_slot(t) = std::move(inv);
+  }
+}
+
+void DistKfacOptimizer::apply_updates() {
+  std::vector<Matrix> deltas(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerState& st = state_[l];
+    deltas[l] =
+        tensor::matmul(st.g_inv, tensor::matmul(agg_grads_[l], st.a_inv));
+  }
+  const double nu =
+      kl_clip_factor(deltas, agg_grads_, options_.lr, options_.kl_clip);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l]->apply_update(deltas[l], options_.lr * nu);
+  }
+}
+
+void DistKfacOptimizer::step() {
+  const bool update_factors = factors_due();
+  const bool update_inverses =
+      step_count_ % options_.inverse_update_freq == 0;
+
+  if (hooked_active_) {
+    // Hooked step: local factors were computed (and, under SPD-KFAC,
+    // submitted) during the passes; drain the in-flight communication.
+    if (comm_.size() > 1 &&
+        grad_group_index_ != grad_group_layers_.size()) {
+      throw std::logic_error(
+          "DistKfacOptimizer: hooked step incomplete — pass_hooks() must be "
+          "given to both forward() and backward() of the same step");
+    }
+    if (update_factors) {
+      if (pipelined()) {
+        finish_hooked_comm();
+      } else {
+        aggregate_factors_bulk(/*compute_factors=*/false);
+      }
+    }
+    if (comm_.size() > 1) {
+      const std::size_t L = layers_.size();
+      std::size_t group = 0, offset = 0;
+      for (std::size_t i = 0; i < L; ++i) {
+        const std::size_t l = L - 1 - i;
+        if (offset == 0) grad_handles_[group].wait();
+        const Matrix& grad = layers_[l]->weight_grad();
+        agg_grads_[l] = Matrix(grad.rows(), grad.cols());
+        auto dst = agg_grads_[l].data();
+        std::copy(grad_buffers_[group].begin() + offset,
+                  grad_buffers_[group].begin() + offset + dst.size(),
+                  dst.begin());
+        offset += dst.size();
+        if (l == grad_group_layers_[group].back()) {
+          ++group;
+          offset = 0;
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        agg_grads_[l] = layers_[l]->weight_grad();
+      }
+    }
+    hooked_active_ = false;
+  } else {
+    if (update_factors) {
+      if (pipelined()) {
+        aggregate_factors_pipelined();
+      } else {
+        aggregate_factors_bulk(/*compute_factors=*/true);
+      }
+    }
+    aggregate_gradients();
+  }
+
+  if (update_factors) {
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      update_running_average(state_[l].a, fresh_a_[l], options_.stat_decay);
+      update_running_average(state_[l].g, fresh_g_[l], options_.stat_decay);
+    }
+  }
+
+  if (update_inverses) {
+    compute_inverses();
+  }
+
+  apply_updates();
+  ++step_count_;
+}
+
+}  // namespace spdkfac::core

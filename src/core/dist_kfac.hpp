@@ -1,0 +1,204 @@
+// Distributed K-FAC optimizer over the in-process cluster — the runtime
+// counterpart of the simulator's algorithm configurations, with real data
+// movement and real numerics.
+//
+// Strategies (Eq. (13) in all cases — identical updates up to floating-point
+// reassociation of the all-reduce):
+//
+//   kDKfac    — local factors are computed for all layers, aggregated in one
+//               bulk fused all-reduce after the pass, and every worker
+//               inverts every factor locally (Non-Dist).
+//   kMpdKfac  — as kDKfac, but the 2L damped inverses are distributed
+//               round-robin across workers (tensor i on rank i % P) and each
+//               result is broadcast to the rest (Seq-Dist, all CT)
+//               [Osawa'19 / Ueno'20 / Pauloski'20].
+//   kSpdKfac  — the paper: factor aggregation is pipelined with factor
+//               computation using Eq. (15) dynamic tensor fusion on the
+//               asynchronous engine, and inverses are placed by Algorithm 1
+//               (LBP) with CT/NCT typing.
+//
+// Every rank constructs one optimizer around its own model replica and
+// Communicator; collective submission order is derived deterministically
+// from the (identical) model structure, satisfying the engine's ordering
+// contract.  Per-step factor computation times are measured and feed the
+// next step's fusion plan, mirroring the paper's profiling-driven
+// TensorFusionController (Section V-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/async_engine.hpp"
+#include "comm/cluster.hpp"
+#include "core/fusion.hpp"
+#include "core/kfac_optimizer.hpp"
+#include "core/placement.hpp"
+#include "nn/layers.hpp"
+#include "perf/models.hpp"
+
+namespace spdkfac::core {
+
+enum class DistStrategy { kDKfac, kMpdKfac, kSpdKfac };
+
+const char* to_string(DistStrategy strategy) noexcept;
+
+struct DistKfacOptions {
+  double lr = 0.05;
+  double damping = 3e-2;
+  double stat_decay = 0.95;
+  std::size_t factor_update_freq = 1;
+  std::size_t inverse_update_freq = 1;
+  /// KL clipping (see KfacOptions::kl_clip); computed from the aggregated
+  /// deltas/gradients, so it is identical on every rank.  0 disables.
+  double kl_clip = 0.0;
+  InverseMethod inverse_method = InverseMethod::kCholesky;
+  bool pi_damping = false;  ///< see KfacOptions::pi_damping
+  DistStrategy strategy = DistStrategy::kSpdKfac;
+  BalanceMetric balance = BalanceMetric::kEstimatedTime;
+
+  /// Cost models used for planning only (fusion rule, Algorithm 1, CT/NCT).
+  /// Defaults are rough in-process-cluster figures; examples re-fit them
+  /// with perf::measure_* like the paper's one-time benchmarking.
+  perf::AllReduceModel allreduce_model{{2.0e-5, 1.0e-9}};
+  perf::BroadcastModel broadcast_model{{1.0e-5, 5.0e-10}};
+  perf::InverseModel inverse_model =
+      perf::InverseModel::cubic(2.0e-6, 5.0e-10);
+};
+
+class DistKfacOptimizer {
+ public:
+  /// `layers` is this rank's model replica (weights must already be
+  /// identical across ranks — use a shared initialization seed).
+  DistKfacOptimizer(std::vector<nn::PreconditionedLayer*> layers,
+                    comm::Communicator& comm, DistKfacOptions options = {});
+
+  /// One synchronous step; every rank must call it the same number of
+  /// times, each after its local forward + backward pass.
+  void step();
+
+  /// Hooks implementing the SPDKFACOptimizer architecture of Fig. 6: pass
+  /// them to Sequential::forward/backward so Kronecker factors and WFBP
+  /// gradient groups are computed *and submitted to the async engine*
+  /// inline with the passes — real communication/computation overlap
+  /// instead of post-hoc aggregation in step().
+  ///
+  ///   model.forward(x, optimizer.pass_hooks());
+  ///   loss/backward ...
+  ///   model.backward(grad, optimizer.pass_hooks());
+  ///   optimizer.step();   // drains in-flight comm, inverts, updates
+  ///
+  /// Factor all-reduces are pipelined only under the SPD-KFAC strategy (the
+  /// bulk strategies keep their after-the-pass aggregation semantics);
+  /// gradient WFBP groups are pipelined for every strategy, as in the
+  /// paper.  Every rank must use hooks for the same steps.
+  nn::PassHooks pass_hooks();
+
+  std::size_t steps() const noexcept { return step_count_; }
+  DistStrategy strategy() const noexcept { return options_.strategy; }
+
+  /// Inverse placement in effect (fixed after the first step).
+  const Placement& placement() const noexcept { return placement_; }
+
+  /// Execution records of this rank's background communication engine
+  /// (submit/start/end timestamps per collective) — the observable overlap.
+  std::vector<comm::OpRecord> comm_records() const {
+    return engine_.records();
+  }
+
+  /// Fusion groups used for the A/G factor aggregation of the last step
+  /// (SPD strategy; bulk strategies report one group per family).
+  const std::vector<FusionGroup>& last_a_groups() const noexcept {
+    return a_groups_;
+  }
+  const std::vector<FusionGroup>& last_g_groups() const noexcept {
+    return g_groups_;
+  }
+
+  // Introspection for the equivalence tests.
+  const tensor::Matrix& factor_a(std::size_t l) const { return state_[l].a; }
+  const tensor::Matrix& factor_g(std::size_t l) const { return state_[l].g; }
+  const tensor::Matrix& inverse_a(std::size_t l) const {
+    return state_[l].a_inv;
+  }
+  const tensor::Matrix& inverse_g(std::size_t l) const {
+    return state_[l].g_inv;
+  }
+  const tensor::Matrix& aggregated_grad(std::size_t l) const {
+    return agg_grads_[l];
+  }
+
+ private:
+  struct LayerState {
+    tensor::Matrix a, g;
+    tensor::Matrix a_inv, g_inv;
+  };
+
+  /// In-flight fused all-reduce groups of one factor pass.
+  struct PendingGroups {
+    std::vector<std::vector<double>> buffers;
+    std::vector<comm::CommHandle> handles;
+    std::size_t current = 0;  ///< group being filled
+    std::size_t offset = 0;   ///< write offset within the current buffer
+
+    void reset(std::size_t group_count) {
+      buffers.assign(group_count, {});
+      handles.assign(group_count, {});
+      current = 0;
+      offset = 0;
+    }
+  };
+
+  bool factors_due() const noexcept {
+    return step_count_ % options_.factor_update_freq == 0;
+  }
+  bool pipelined() const noexcept {
+    return options_.strategy == DistStrategy::kSpdKfac && comm_.size() > 1;
+  }
+
+  /// All-reduces the locally measured factor-computation times so every
+  /// rank plans identical fusion groups (a rank-divergent plan would make
+  /// the collectives mismatch).
+  void sync_measured_times();
+  /// Plans a_groups_/g_groups_ from the synced measurements (layer-wise on
+  /// the first step, Eq. (15)-objective DP afterwards).
+  void plan_factor_groups();
+  /// Plans grad_group_layers_ (threshold WFBP groups in backward order).
+  void plan_grad_groups();
+
+  void aggregate_factors_bulk(bool compute_factors);
+  void aggregate_factors_pipelined();
+  void aggregate_gradients();
+  void compute_inverses();
+  void apply_updates();
+
+  // Hook-mode callbacks (pass_hooks()).
+  void on_after_forward(std::size_t layer);
+  void on_after_backward(std::size_t layer);
+  void finish_hooked_comm();
+
+  std::vector<nn::PreconditionedLayer*> layers_;
+  comm::Communicator& comm_;
+  comm::AsyncCommEngine engine_;
+  DistKfacOptions options_;
+
+  std::vector<LayerState> state_;
+  std::vector<tensor::Matrix> fresh_a_, fresh_g_;
+  std::vector<tensor::Matrix> agg_grads_;
+  std::vector<double> a_comp_seconds_, g_comp_seconds_;  // last measured
+  std::vector<FusionGroup> a_groups_, g_groups_;
+  std::vector<std::size_t> a_sizes_, g_sizes_;  // packed sizes, pass order
+  Placement placement_;
+  bool placement_ready_ = false;
+  std::size_t step_count_ = 0;
+
+  // Hook-mode state.
+  bool hooked_active_ = false;
+  PendingGroups hooked_a_, hooked_g_;
+  std::vector<std::vector<std::size_t>> grad_group_layers_;
+  std::vector<std::vector<double>> grad_buffers_;
+  std::vector<comm::CommHandle> grad_handles_;
+  std::size_t grad_group_index_ = 0;
+  std::size_t grad_offset_ = 0;
+};
+
+}  // namespace spdkfac::core

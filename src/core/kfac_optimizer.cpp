@@ -1,0 +1,147 @@
+#include "core/kfac_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spdkfac::core {
+
+using tensor::Matrix;
+
+Matrix compute_factor_a(const nn::PreconditionedLayer& layer) {
+  const Matrix& rows = layer.kfac_input();
+  if (rows.rows() == 0) {
+    throw std::logic_error("compute_factor_a: no captured forward pass");
+  }
+  Matrix a = tensor::matmul_tn(rows, rows);
+  a *= 1.0 / static_cast<double>(rows.rows());
+  return a;
+}
+
+Matrix compute_factor_g(const nn::PreconditionedLayer& layer) {
+  const Matrix& rows = layer.kfac_output_grad();
+  if (rows.rows() == 0) {
+    throw std::logic_error("compute_factor_g: no captured backward pass");
+  }
+  Matrix g = tensor::matmul_tn(rows, rows);
+  g *= 1.0 / static_cast<double>(rows.rows());
+  return g;
+}
+
+void update_running_average(Matrix& state, const Matrix& fresh,
+                            double decay) {
+  if (state.empty()) {
+    state = fresh;
+    return;
+  }
+  auto sd = state.data();
+  auto fd = fresh.data();
+  for (std::size_t i = 0; i < sd.size(); ++i) {
+    sd[i] = decay * sd[i] + (1.0 - decay) * fd[i];
+  }
+}
+
+Matrix damped_inverse_by(const Matrix& m, double damping,
+                         InverseMethod method) {
+  switch (method) {
+    case InverseMethod::kCholesky:
+      return tensor::damped_inverse(m, damping);
+    case InverseMethod::kEigen:
+      return tensor::symmetric_eigen(m).damped_inverse(damping);
+  }
+  throw std::logic_error("damped_inverse_by: unknown method");
+}
+
+namespace {
+
+double trace_of(const Matrix& m) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) t += m(i, i);
+  return t;
+}
+
+}  // namespace
+
+std::pair<double, double> factored_damping(const Matrix& a, const Matrix& g,
+                                           double damping) {
+  const double mean_a = trace_of(a) / static_cast<double>(a.rows());
+  const double mean_g = trace_of(g) / static_cast<double>(g.rows());
+  if (mean_a <= 0.0 || mean_g <= 0.0) return {damping, damping};
+  const double pi = std::sqrt(mean_a / mean_g);
+  const double root = std::sqrt(damping);
+  return {pi * root, root / pi};
+}
+
+double kl_clip_factor(std::span<const Matrix> deltas,
+                      std::span<const Matrix> grads, double lr,
+                      double kl_clip) {
+  if (kl_clip <= 0.0) return 1.0;
+  if (deltas.size() != grads.size()) {
+    throw std::invalid_argument("kl_clip_factor: size mismatch");
+  }
+  double vg_sum = 0.0;
+  for (std::size_t l = 0; l < deltas.size(); ++l) {
+    auto dd = deltas[l].data();
+    auto gd = grads[l].data();
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dd.size(); ++i) dot += dd[i] * gd[i];
+    vg_sum += lr * lr * dot;
+  }
+  if (vg_sum <= 0.0) return 1.0;
+  return std::min(1.0, std::sqrt(kl_clip / vg_sum));
+}
+
+void SgdOptimizer::step() {
+  for (nn::PreconditionedLayer* layer : layers_) {
+    layer->apply_update(layer->weight_grad(), lr_);
+  }
+}
+
+KfacOptimizer::KfacOptimizer(std::vector<nn::PreconditionedLayer*> layers,
+                             KfacOptions options)
+    : layers_(std::move(layers)), options_(options) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("KfacOptimizer: no preconditioned layers");
+  }
+  state_.resize(layers_.size());
+}
+
+void KfacOptimizer::step() {
+  const bool update_factors =
+      step_count_ % options_.factor_update_freq == 0;
+  const bool update_inverses =
+      step_count_ % options_.inverse_update_freq == 0;
+
+  std::vector<Matrix> deltas(layers_.size());
+  std::vector<Matrix> grads(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    nn::PreconditionedLayer& layer = *layers_[l];
+    LayerState& st = state_[l];
+    if (update_factors) {
+      update_running_average(st.a, compute_factor_a(layer),
+                             options_.stat_decay);
+      update_running_average(st.g, compute_factor_g(layer),
+                             options_.stat_decay);
+    }
+    if (update_inverses) {
+      auto [gamma_a, gamma_g] =
+          options_.pi_damping
+              ? factored_damping(st.a, st.g, options_.damping)
+              : std::pair<double, double>{options_.damping, options_.damping};
+      st.a_inv = damped_inverse_by(st.a, gamma_a, options_.inverse_method);
+      st.g_inv = damped_inverse_by(st.g, gamma_g, options_.inverse_method);
+    }
+    // Precondition: delta = G^-1 * grad * A^-1.
+    grads[l] = layer.weight_grad();
+    deltas[l] =
+        tensor::matmul(st.g_inv, tensor::matmul(grads[l], st.a_inv));
+  }
+  const double nu =
+      kl_clip_factor(deltas, grads, options_.lr, options_.kl_clip);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l]->apply_update(deltas[l], options_.lr * nu);
+  }
+  ++step_count_;
+}
+
+}  // namespace spdkfac::core

@@ -1,0 +1,170 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace spdkfac::core {
+
+std::size_t Placement::num_ncts() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : assignments) n += a.nct ? 1 : 0;
+  return n;
+}
+
+std::size_t Placement::num_cts() const noexcept {
+  return assignments.size() - num_ncts();
+}
+
+bool Placement::valid(std::size_t num_tensors) const noexcept {
+  if (assignments.size() != num_tensors) return false;
+  std::vector<int> seen(num_tensors, 0);
+  for (const auto& a : assignments) {
+    if (a.tensor >= num_tensors) return false;
+    ++seen[a.tensor];
+    if (a.nct && a.owner != -1) return false;
+    if (!a.nct && (a.owner < 0 || a.owner >= world_size)) return false;
+  }
+  for (int s : seen) {
+    if (s != 1) return false;
+  }
+  // Each CT must appear in exactly its owner's worklist.
+  std::vector<int> listed(num_tensors, 0);
+  for (int p = 0; p < world_size; ++p) {
+    for (std::size_t t : per_gpu[p]) {
+      if (t >= num_tensors) return false;
+      if (assignments[t].owner != p) return false;
+      ++listed[t];
+    }
+  }
+  for (std::size_t t = 0; t < num_tensors; ++t) {
+    if (assignments[t].nct ? listed[t] != 0 : listed[t] != 1) return false;
+  }
+  return true;
+}
+
+Placement lbp_place(std::span<const std::size_t> dims, int world_size,
+                    const perf::InverseModel& inverse,
+                    const perf::BroadcastModel& broadcast,
+                    BalanceMetric metric) {
+  if (world_size < 1) {
+    throw std::invalid_argument("lbp_place: world_size must be >= 1");
+  }
+  Placement placement;
+  placement.policy = "LBP";
+  placement.world_size = world_size;
+  placement.assignments.resize(dims.size());
+  placement.per_gpu.assign(world_size, {});
+
+  // Line 3: traverse tensors in descending dimension order (largest first),
+  // so the heaviest workloads are spread before the buckets fill up.
+  std::vector<std::size_t> order(dims.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return dims[a] > dims[b];
+  });
+
+  std::vector<double> bucket(world_size, 0.0);
+  for (std::size_t t : order) {
+    const std::size_t d = dims[t];
+    const double t_comp = inverse.time(d);
+    const double t_comm = broadcast.time_dim(d);
+    TensorAssignment& a = placement.assignments[t];
+    a.tensor = t;
+    a.dim = d;
+
+    const double weight = [&] {
+      switch (metric) {
+        case BalanceMetric::kDim:
+          return static_cast<double>(d);
+        case BalanceMetric::kDimSquared:
+          return static_cast<double>(d) * static_cast<double>(d);
+        case BalanceMetric::kEstimatedTime:
+          return t_comp + t_comm;
+      }
+      return 0.0;
+    }();
+
+    if (t_comp < t_comm || world_size == 1) {
+      // Lines 8-10: cheaper to invert everywhere than to ship the result.
+      a.nct = true;
+      a.owner = -1;
+      const double comp_weight =
+          metric == BalanceMetric::kEstimatedTime ? t_comp : weight;
+      for (double& b : bucket) b += comp_weight;
+    } else {
+      // Lines 11-13: give the tensor to the least-loaded GPU.
+      const int p = static_cast<int>(
+          std::min_element(bucket.begin(), bucket.end()) - bucket.begin());
+      a.nct = false;
+      a.owner = p;
+      placement.per_gpu[p].push_back(t);
+      bucket[p] += weight;
+    }
+  }
+  return placement;
+}
+
+Placement seq_place(std::span<const std::size_t> dims, int world_size) {
+  if (world_size < 1) {
+    throw std::invalid_argument("seq_place: world_size must be >= 1");
+  }
+  Placement placement;
+  placement.policy = "Seq-Dist";
+  placement.world_size = world_size;
+  placement.assignments.resize(dims.size());
+  placement.per_gpu.assign(world_size, {});
+  for (std::size_t t = 0; t < dims.size(); ++t) {
+    const int p = static_cast<int>(t % world_size);
+    placement.assignments[t] = {t, dims[t], /*nct=*/false, p};
+    placement.per_gpu[p].push_back(t);
+  }
+  return placement;
+}
+
+Placement nondist_place(std::span<const std::size_t> dims, int world_size) {
+  Placement placement;
+  placement.policy = "Non-Dist";
+  placement.world_size = world_size;
+  placement.assignments.resize(dims.size());
+  placement.per_gpu.assign(world_size, {});
+  for (std::size_t t = 0; t < dims.size(); ++t) {
+    placement.assignments[t] = {t, dims[t], /*nct=*/true, -1};
+  }
+  return placement;
+}
+
+PlacementCost predict_cost(const Placement& placement,
+                           std::span<const std::size_t> dims,
+                           const perf::InverseModel& inverse,
+                           const perf::BroadcastModel& broadcast) {
+  PlacementCost cost;
+  const int world = placement.world_size;
+  cost.per_gpu_seconds.assign(world, 0.0);
+  std::vector<double> comp(world, 0.0), comm(world, 0.0);
+
+  double nct_comp = 0.0;
+  for (const auto& a : placement.assignments) {
+    if (a.nct) nct_comp += inverse.time(a.dim);
+  }
+  for (int p = 0; p < world; ++p) {
+    comp[p] = nct_comp;
+    for (std::size_t t : placement.per_gpu[p]) {
+      comp[p] += inverse.time(dims[t]);
+      comm[p] += broadcast.time_dim(dims[t]);
+    }
+    cost.per_gpu_seconds[p] = comp[p] + comm[p];
+  }
+  const auto it = std::max_element(cost.per_gpu_seconds.begin(),
+                                   cost.per_gpu_seconds.end());
+  cost.max_seconds = it == cost.per_gpu_seconds.end() ? 0.0 : *it;
+  if (it != cost.per_gpu_seconds.end()) {
+    const auto p = it - cost.per_gpu_seconds.begin();
+    cost.bottleneck_comp = comp[p];
+    cost.bottleneck_comm = comm[p];
+  }
+  return cost;
+}
+
+}  // namespace spdkfac::core

@@ -1,0 +1,84 @@
+// Load-balancing placement of matrix-inverse workloads (paper §IV-B,
+// Algorithm 1).
+//
+// After factor aggregation every GPU holds identical global factors; the 2L
+// damped inverses (A_l + gamma I)^-1, (G_l + gamma I)^-1 must then be
+// obtained by every GPU.  Each tensor is either
+//   * a CT (communicated tensor): inverted on exactly one GPU and broadcast
+//     to the rest, or
+//   * an NCT (non-communicated tensor): inverted redundantly by every GPU
+//     with no communication (profitable when t_comp < t_comm, Fig. 11).
+//
+// Algorithm 1 traverses tensors in descending dimension order, classifies
+// each via the fitted performance models, and assigns CTs to the currently
+// least-loaded GPU.  The baselines of Fig. 12 — Non-Dist (everything NCT,
+// i.e. D-KFAC) and Seq-Dist (round-robin CTs, i.e. MPD-KFAC [13,20,22]) —
+// are provided alongside.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perf/models.hpp"
+
+namespace spdkfac::core {
+
+/// Where one tensor's inverse is computed.
+struct TensorAssignment {
+  std::size_t tensor = 0;  ///< index into the input dims
+  std::size_t dim = 0;
+  bool nct = false;  ///< true: replicated on every GPU, no broadcast
+  int owner = -1;    ///< owning GPU for CTs; -1 for NCTs
+};
+
+/// Full placement: per-tensor assignments plus per-GPU CT worklists.
+struct Placement {
+  std::string policy;
+  int world_size = 1;
+  std::vector<TensorAssignment> assignments;      // index-aligned with dims
+  std::vector<std::vector<std::size_t>> per_gpu;  // CT tensor ids per GPU
+
+  std::size_t num_ncts() const noexcept;
+  std::size_t num_cts() const noexcept;
+
+  /// Sanity: every tensor appears either as an NCT or on exactly one GPU.
+  bool valid(std::size_t num_tensors) const noexcept;
+};
+
+/// What Algorithm 1 balances when choosing the least-loaded GPU.  The
+/// paper's pseudocode accumulates the raw dimension d_i (line 13) while the
+/// surrounding text balances by d_i^2 (Eq. 25); we additionally support the
+/// estimated wall-clock cost implied by the objective of Eq. (21).  The
+/// ablation bench compares all three; kEstimatedTime is the default.
+enum class BalanceMetric { kDim, kDimSquared, kEstimatedTime };
+
+/// Algorithm 1: LBP with dynamic CT/NCT typing.
+Placement lbp_place(std::span<const std::size_t> dims, int world_size,
+                    const perf::InverseModel& inverse,
+                    const perf::BroadcastModel& broadcast,
+                    BalanceMetric metric = BalanceMetric::kEstimatedTime);
+
+/// MPD-KFAC baseline: tensor i on GPU i % P, everything CT.
+Placement seq_place(std::span<const std::size_t> dims, int world_size);
+
+/// D-KFAC baseline: every tensor inverted locally by every GPU.
+Placement nondist_place(std::span<const std::size_t> dims, int world_size);
+
+/// Predicted cost of executing a placement, per the paper's objective
+/// Eq. (21): every GPU pays the compute time of its CTs plus all NCTs plus
+/// the broadcast time of its CTs; the phase ends with the slowest GPU.
+struct PlacementCost {
+  std::vector<double> per_gpu_seconds;
+  double max_seconds = 0.0;        ///< Eq. (21) objective value
+  double bottleneck_comp = 0.0;    ///< compute share of the slowest GPU
+  double bottleneck_comm = 0.0;    ///< broadcast share of the slowest GPU
+};
+
+PlacementCost predict_cost(const Placement& placement,
+                           std::span<const std::size_t> dims,
+                           const perf::InverseModel& inverse,
+                           const perf::BroadcastModel& broadcast);
+
+}  // namespace spdkfac::core

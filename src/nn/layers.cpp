@@ -1,0 +1,472 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spdkfac::nn {
+
+using tensor::Matrix;
+
+void PreconditionedLayer::apply_update(const Matrix& delta, double lr) {
+  Matrix& w = weight();
+  if (delta.rows() != w.rows() || delta.cols() != w.cols()) {
+    throw std::invalid_argument("apply_update: delta shape mismatch");
+  }
+  auto wd = w.data();
+  auto dd = delta.data();
+  for (std::size_t i = 0; i < wd.size(); ++i) wd[i] -= lr * dd[i];
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(std::string name, std::size_t in_features,
+               std::size_t out_features, bool bias, tensor::Rng& rng)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      bias_(bias) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(in_features));
+  weight_ = tensor::random_normal(out_features, dim_a(), rng, 0.0, stddev);
+  if (bias_) {
+    // Zero-initialize the bias column.
+    for (std::size_t r = 0; r < out_features_; ++r) {
+      weight_(r, dim_a() - 1) = 0.0;
+    }
+  }
+  weight_grad_ = Matrix(out_features_, dim_a());
+}
+
+Tensor4D Linear::forward(const Tensor4D& input) {
+  input.require_shape(input.n, in_features_, 1, 1);
+  const std::size_t n = input.n;
+  input_rows_ = Matrix(n, dim_a());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sample = input.sample(i);
+    for (std::size_t j = 0; j < in_features_; ++j) {
+      input_rows_(i, j) = sample[j];
+    }
+    if (bias_) input_rows_(i, dim_a() - 1) = 1.0;
+  }
+  const Matrix out_rows = tensor::matmul_nt(input_rows_, weight_);
+  Tensor4D out(n, out_features_, 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sample = out.sample(i);
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      sample[j] = out_rows(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor4D Linear::backward(const Tensor4D& grad_output) {
+  grad_output.require_shape(grad_output.n, out_features_, 1, 1);
+  const std::size_t n = grad_output.n;
+  if (input_rows_.rows() != n) {
+    throw std::logic_error("Linear::backward before forward");
+  }
+  output_grad_rows_ = Matrix(n, out_features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sample = grad_output.sample(i);
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      output_grad_rows_(i, j) = sample[j];
+    }
+  }
+  weight_grad_ = tensor::matmul_tn(output_grad_rows_, input_rows_);
+
+  const Matrix grad_in_rows = tensor::matmul(output_grad_rows_, weight_);
+  Tensor4D grad_in(n, in_features_, 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sample = grad_in.sample(i);
+    for (std::size_t j = 0; j < in_features_; ++j) {
+      sample[j] = grad_in_rows(i, j);  // bias column dropped
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, bool bias,
+               tensor::Rng& rng)
+    : name_(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      bias_(bias) {
+  const double fan_in =
+      static_cast<double>(in_channels * kernel * kernel);
+  weight_ =
+      tensor::random_normal(out_channels, dim_a(), rng, 0.0,
+                            1.0 / std::sqrt(fan_in));
+  if (bias_) {
+    for (std::size_t r = 0; r < out_channels_; ++r) {
+      weight_(r, dim_a() - 1) = 0.0;
+    }
+  }
+  weight_grad_ = Matrix(out_channels_, dim_a());
+}
+
+Tensor4D Conv2d::forward(const Tensor4D& input) {
+  if (input.c != in_channels_) {
+    throw std::invalid_argument("Conv2d: wrong input channels");
+  }
+  const std::size_t n = input.n, h = input.h, w = input.w;
+  const std::size_t oh = out_h(h), ow = out_h(w);
+  last_n_ = n;
+  last_h_ = h;
+  last_w_ = w;
+
+  // im2col: one row per output position, one column per (cin, kh, kw).
+  patches_ = Matrix(n * oh * ow, dim_a());
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t row = (ni * oh + oy) * ow + ox;
+        double* dst = patches_.row_ptr(row);
+        std::size_t col = 0;
+        for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(padding_);
+            for (std::size_t kx = 0; kx < kernel_; ++kx, ++col) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<std::ptrdiff_t>(h) ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                dst[col] = 0.0;
+              } else {
+                dst[col] = input.at(ni, ci, static_cast<std::size_t>(iy),
+                                    static_cast<std::size_t>(ix));
+              }
+            }
+          }
+        }
+        if (bias_) dst[dim_a() - 1] = 1.0;
+      }
+    }
+  }
+
+  const Matrix out_rows = tensor::matmul_nt(patches_, weight_);
+  Tensor4D out(n, out_channels_, oh, ow);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t row = (ni * oh + oy) * ow + ox;
+        for (std::size_t co = 0; co < out_channels_; ++co) {
+          out.at(ni, co, oy, ox) = out_rows(row, co);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor4D Conv2d::backward(const Tensor4D& grad_output) {
+  const std::size_t n = last_n_, h = last_h_, w = last_w_;
+  const std::size_t oh = out_h(h), ow = out_h(w);
+  grad_output.require_shape(n, out_channels_, oh, ow);
+  if (patches_.rows() != n * oh * ow) {
+    throw std::logic_error("Conv2d::backward before forward");
+  }
+
+  output_grad_rows_ = Matrix(n * oh * ow, out_channels_);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t row = (ni * oh + oy) * ow + ox;
+        for (std::size_t co = 0; co < out_channels_; ++co) {
+          output_grad_rows_(row, co) = grad_output.at(ni, co, oy, ox);
+        }
+      }
+    }
+  }
+
+  weight_grad_ = tensor::matmul_tn(output_grad_rows_, patches_);
+
+  // col2im: scatter dPatches = dY * W back onto the input grid.
+  const Matrix grad_patches = tensor::matmul(output_grad_rows_, weight_);
+  Tensor4D grad_in(n, in_channels_, h, w);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t row = (ni * oh + oy) * ow + ox;
+        const double* src = grad_patches.row_ptr(row);
+        std::size_t col = 0;
+        for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(padding_);
+            for (std::size_t kx = 0; kx < kernel_; ++kx, ++col) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<std::ptrdiff_t>(h) ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              grad_in.at(ni, ci, static_cast<std::size_t>(iy),
+                         static_cast<std::size_t>(ix)) += src[col];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// ReLU / MaxPool2d / Flatten
+// ---------------------------------------------------------------------------
+
+Tensor4D ReLU::forward(const Tensor4D& input) {
+  in_n_ = input.n;
+  in_c_ = input.c;
+  in_h_ = input.h;
+  in_w_ = input.w;
+  Tensor4D out = input;
+  mask_.assign(input.count(), false);
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    if (out.data[i] > 0.0) {
+      mask_[i] = true;
+    } else {
+      out.data[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+Tensor4D ReLU::backward(const Tensor4D& grad_output) {
+  grad_output.require_shape(in_n_, in_c_, in_h_, in_w_);
+  Tensor4D grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.data.size(); ++i) {
+    if (!mask_[i]) grad_in.data[i] = 0.0;
+  }
+  return grad_in;
+}
+
+Tensor4D MaxPool2d::forward(const Tensor4D& input) {
+  in_n_ = input.n;
+  in_c_ = input.c;
+  in_h_ = input.h;
+  in_w_ = input.w;
+  const std::size_t oh = input.h / 2, ow = input.w / 2;
+  Tensor4D out(input.n, input.c, oh, ow);
+  argmax_.assign(out.count(), 0);
+  std::size_t idx = 0;
+  for (std::size_t ni = 0; ni < input.n; ++ni) {
+    for (std::size_t ci = 0; ci < input.c; ++ci) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++idx) {
+          double best = input.at(ni, ci, 2 * oy, 2 * ox);
+          std::size_t best_y = 2 * oy, best_x = 2 * ox;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const double v = input.at(ni, ci, 2 * oy + dy, 2 * ox + dx);
+              if (v > best) {
+                best = v;
+                best_y = 2 * oy + dy;
+                best_x = 2 * ox + dx;
+              }
+            }
+          }
+          out.at(ni, ci, oy, ox) = best;
+          argmax_[idx] = (best_y * input.w) + best_x;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor4D MaxPool2d::backward(const Tensor4D& grad_output) {
+  const std::size_t oh = in_h_ / 2, ow = in_w_ / 2;
+  grad_output.require_shape(in_n_, in_c_, oh, ow);
+  Tensor4D grad_in(in_n_, in_c_, in_h_, in_w_);
+  std::size_t idx = 0;
+  for (std::size_t ni = 0; ni < in_n_; ++ni) {
+    for (std::size_t ci = 0; ci < in_c_; ++ci) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++idx) {
+          const std::size_t y = argmax_[idx] / in_w_;
+          const std::size_t x = argmax_[idx] % in_w_;
+          grad_in.at(ni, ci, y, x) += grad_output.at(ni, ci, oy, ox);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor4D Flatten::forward(const Tensor4D& input) {
+  in_c_ = input.c;
+  in_h_ = input.h;
+  in_w_ = input.w;
+  Tensor4D out(input.n, input.per_sample(), 1, 1);
+  out.data = input.data;  // NCHW layout flattens contiguously per sample
+  return out;
+}
+
+Tensor4D Flatten::backward(const Tensor4D& grad_output) {
+  Tensor4D grad_in(grad_output.n, in_c_, in_h_, in_w_);
+  grad_in.data = grad_output.data;
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// SoftmaxCrossEntropy
+// ---------------------------------------------------------------------------
+
+double SoftmaxCrossEntropy::forward(const Tensor4D& logits,
+                                    std::span<const int> labels) {
+  if (labels.size() != logits.n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: labels size mismatch");
+  }
+  probs_ = logits;
+  labels_.assign(labels.begin(), labels.end());
+  const std::size_t classes = logits.per_sample();
+  double loss = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.n; ++i) {
+    auto row = probs_.sample(i);
+    const double maxv = *std::max_element(row.begin(), row.end());
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    double sum = 0.0;
+    for (double& v : row) {
+      v = std::exp(v - maxv);
+      sum += v;
+    }
+    for (double& v : row) v /= sum;
+    const int label = labels_[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    loss -= std::log(std::max(row[label], 1e-300));
+    if (argmax == static_cast<std::size_t>(label)) ++correct;
+  }
+  accuracy_ = static_cast<double>(correct) / static_cast<double>(logits.n);
+  return loss / static_cast<double>(logits.n);
+}
+
+Tensor4D SoftmaxCrossEntropy::backward() const {
+  Tensor4D grad = probs_;
+  const double inv_n = 1.0 / static_cast<double>(grad.n);
+  for (std::size_t i = 0; i < grad.n; ++i) {
+    auto row = grad.sample(i);
+    row[labels_[i]] -= 1.0;
+    for (double& v : row) v *= inv_n;
+  }
+  return grad;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential + factories
+// ---------------------------------------------------------------------------
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+Tensor4D Sequential::forward(const Tensor4D& input) {
+  return forward(input, PassHooks{});
+}
+
+Tensor4D Sequential::backward(const Tensor4D& grad_output) {
+  return backward(grad_output, PassHooks{});
+}
+
+Tensor4D Sequential::forward(const Tensor4D& input, const PassHooks& hooks) {
+  Tensor4D x = input;
+  std::size_t precond_index = 0;
+  for (auto& layer : layers_) {
+    x = layer->forward(x);
+    if (auto* p = dynamic_cast<PreconditionedLayer*>(layer.get())) {
+      if (hooks.after_forward) hooks.after_forward(precond_index, *p);
+      ++precond_index;
+    }
+  }
+  return x;
+}
+
+Tensor4D Sequential::backward(const Tensor4D& grad_output,
+                              const PassHooks& hooks) {
+  // Count preconditioned layers so indices descend L-1 .. 0 as the backward
+  // pass visits them (deepest first).
+  std::size_t precond_index = 0;
+  for (const auto& layer : layers_) {
+    if (dynamic_cast<PreconditionedLayer*>(layer.get()) != nullptr) {
+      ++precond_index;
+    }
+  }
+  Tensor4D g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+    if (auto* p = dynamic_cast<PreconditionedLayer*>(it->get())) {
+      --precond_index;
+      if (hooks.after_backward) hooks.after_backward(precond_index, *p);
+    }
+  }
+  return g;
+}
+
+std::vector<PreconditionedLayer*> Sequential::preconditioned_layers() const {
+  std::vector<PreconditionedLayer*> out;
+  for (const auto& layer : layers_) {
+    if (auto* p = dynamic_cast<PreconditionedLayer*>(layer.get())) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+Sequential make_mlp(std::span<const std::size_t> widths, tensor::Rng& rng) {
+  if (widths.size() < 2) {
+    throw std::invalid_argument("make_mlp: need at least input and output");
+  }
+  Sequential model;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    model.add(std::make_unique<Linear>("fc" + std::to_string(i + 1),
+                                       widths[i], widths[i + 1],
+                                       /*bias=*/true, rng));
+    if (i + 2 < widths.size()) {
+      model.add(std::make_unique<ReLU>("relu" + std::to_string(i + 1)));
+    }
+  }
+  return model;
+}
+
+Sequential make_small_cnn(std::size_t in_channels, std::size_t image_hw,
+                          std::size_t c1, std::size_t c2, std::size_t classes,
+                          tensor::Rng& rng) {
+  Sequential model;
+  model.add(std::make_unique<Conv2d>("conv1", in_channels, c1, 3, 1, 1,
+                                     /*bias=*/true, rng));
+  model.add(std::make_unique<ReLU>("relu1"));
+  model.add(std::make_unique<MaxPool2d>("pool1"));
+  model.add(std::make_unique<Conv2d>("conv2", c1, c2, 3, 1, 1,
+                                     /*bias=*/true, rng));
+  model.add(std::make_unique<ReLU>("relu2"));
+  model.add(std::make_unique<MaxPool2d>("pool2"));
+  model.add(std::make_unique<Flatten>("flatten"));
+  const std::size_t hw = image_hw / 4;
+  model.add(std::make_unique<Linear>("fc", c2 * hw * hw, classes,
+                                     /*bias=*/true, rng));
+  return model;
+}
+
+}  // namespace spdkfac::nn

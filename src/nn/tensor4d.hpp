@@ -1,0 +1,54 @@
+// Minimal NCHW activation tensor for the CPU training substrate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace spdkfac::nn {
+
+/// Dense NCHW tensor of doubles.  Linear-layer activations use shape
+/// (n, features, 1, 1).
+struct Tensor4D {
+  std::size_t n = 0, c = 0, h = 0, w = 0;
+  std::vector<double> data;
+
+  Tensor4D() = default;
+  Tensor4D(std::size_t n_, std::size_t c_, std::size_t h_, std::size_t w_)
+      : n(n_), c(c_), h(h_), w(w_), data(n_ * c_ * h_ * w_, 0.0) {}
+
+  std::size_t count() const noexcept { return data.size(); }
+  std::size_t per_sample() const noexcept { return c * h * w; }
+
+  double& at(std::size_t ni, std::size_t ci, std::size_t hi,
+             std::size_t wi) noexcept {
+    return data[((ni * c + ci) * h + hi) * w + wi];
+  }
+  double at(std::size_t ni, std::size_t ci, std::size_t hi,
+            std::size_t wi) const noexcept {
+    return data[((ni * c + ci) * h + hi) * w + wi];
+  }
+
+  /// Start of sample ni's contiguous block.
+  std::span<double> sample(std::size_t ni) noexcept {
+    return std::span<double>(data).subspan(ni * per_sample(), per_sample());
+  }
+  std::span<const double> sample(std::size_t ni) const noexcept {
+    return std::span<const double>(data).subspan(ni * per_sample(),
+                                                 per_sample());
+  }
+
+  bool same_shape(const Tensor4D& o) const noexcept {
+    return n == o.n && c == o.c && h == o.h && w == o.w;
+  }
+
+  void require_shape(std::size_t n_, std::size_t c_, std::size_t h_,
+                     std::size_t w_) const {
+    if (n != n_ || c != c_ || h != h_ || w != w_) {
+      throw std::invalid_argument("Tensor4D: unexpected shape");
+    }
+  }
+};
+
+}  // namespace spdkfac::nn

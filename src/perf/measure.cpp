@@ -1,0 +1,110 @@
+#include "perf/measure.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/random.hpp"
+
+namespace spdkfac::perf {
+
+double time_mean(const std::function<void()>& fn, int runs, int warmup) {
+  for (int i = 0; i < warmup; ++i) fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < runs; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count() / runs;
+}
+
+std::vector<Sample> measure_inverse_times(std::span<const std::size_t> dims,
+                                          int runs, int warmup) {
+  std::vector<Sample> samples;
+  samples.reserve(dims.size());
+  tensor::Rng rng(0x5eed);
+  for (std::size_t d : dims) {
+    const tensor::Matrix spd = tensor::random_spd(d, rng, /*jitter=*/0.05);
+    const double secs = time_mean(
+        [&spd] { (void)tensor::damped_inverse(spd, 1e-3); }, runs, warmup);
+    samples.push_back({static_cast<double>(d), secs});
+  }
+  return samples;
+}
+
+namespace {
+
+std::vector<Sample> measure_collective(std::span<const std::size_t> sizes,
+                                       int world, int runs, int warmup,
+                                       bool broadcast) {
+  std::vector<Sample> samples;
+  samples.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    double elapsed = 0.0;
+    comm::Cluster::launch(world, [&](comm::Communicator& comm) {
+      std::vector<double> buf(n, comm.rank() + 1.0);
+      // Warm the channels, then time from a barrier so all ranks start
+      // together; rank 0's wall clock is the reported sample.
+      for (int i = 0; i < warmup; ++i) {
+        if (broadcast) {
+          comm.broadcast(buf, 0);
+        } else {
+          comm.all_reduce(buf, comm::ReduceOp::kSum);
+        }
+      }
+      comm.barrier();
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < runs; ++i) {
+        if (broadcast) {
+          comm.broadcast(buf, 0);
+        } else {
+          comm.all_reduce(buf, comm::ReduceOp::kSum);
+        }
+      }
+      comm.barrier();
+      if (comm.rank() == 0) {
+        const auto end = std::chrono::steady_clock::now();
+        elapsed =
+            std::chrono::duration<double>(end - start).count() / runs;
+      }
+    });
+    samples.push_back({static_cast<double>(n), elapsed});
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::vector<Sample> measure_allreduce_times(std::span<const std::size_t> sizes,
+                                            int world, int runs, int warmup) {
+  return measure_collective(sizes, world, runs, warmup, /*broadcast=*/false);
+}
+
+std::vector<Sample> measure_broadcast_times(std::span<const std::size_t> sizes,
+                                            int world, int runs, int warmup) {
+  return measure_collective(sizes, world, runs, warmup, /*broadcast=*/true);
+}
+
+InverseModel fit_inverse_model(std::span<const Sample> samples) {
+  std::vector<double> xs, ys;
+  xs.reserve(samples.size());
+  ys.reserve(samples.size());
+  for (const Sample& s : samples) {
+    xs.push_back(s.x);
+    ys.push_back(s.seconds);
+  }
+  const ExpModel fit = fit_exponential(xs, ys);
+  return InverseModel::exponential(fit.alpha, fit.beta);
+}
+
+LinearModel fit_comm_model(std::span<const Sample> samples) {
+  std::vector<double> xs, ys;
+  xs.reserve(samples.size());
+  ys.reserve(samples.size());
+  for (const Sample& s : samples) {
+    xs.push_back(s.x);
+    ys.push_back(s.seconds);
+  }
+  return fit_linear(xs, ys);
+}
+
+}  // namespace spdkfac::perf

@@ -1,0 +1,50 @@
+// Local measurement utilities mirroring the paper's one-time benchmarking
+// (Section V-B): time a series of SPD inverses / collectives, then fit the
+// Eq. (14)/(26)/(27) models to the measurements.  Used by the Fig. 7 / Fig. 8
+// benchmark harnesses to produce "Measured vs. Predicted" series on this
+// machine, next to the paper's published constants.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "perf/models.hpp"
+
+namespace spdkfac::perf {
+
+struct Sample {
+  double x = 0.0;  ///< dimension or element count
+  double seconds = 0.0;
+};
+
+/// Times `fn` `runs` times after `warmup` discarded runs; returns the mean
+/// wall-clock seconds.
+double time_mean(const std::function<void()>& fn, int runs = 5,
+                 int warmup = 1);
+
+/// Measures damped SPD inverses for each dimension in `dims` on this CPU and
+/// returns (d, seconds) samples.  This is the CPU analogue of the paper's
+/// cuSolver benchmark of Fig. 8.
+std::vector<Sample> measure_inverse_times(std::span<const std::size_t> dims,
+                                          int runs = 3, int warmup = 1);
+
+/// Measures in-process ring all-reduce across `world` worker threads for
+/// each message size in `sizes` (element counts).
+std::vector<Sample> measure_allreduce_times(std::span<const std::size_t> sizes,
+                                            int world, int runs = 3,
+                                            int warmup = 1);
+
+/// Measures in-process binomial broadcast (root 0) across `world` workers.
+std::vector<Sample> measure_broadcast_times(std::span<const std::size_t> sizes,
+                                            int world, int runs = 3,
+                                            int warmup = 1);
+
+/// Fits Eq. (26) to inverse samples.
+InverseModel fit_inverse_model(std::span<const Sample> samples);
+
+/// Fits Eq. (14) (or Eq. (27) when x is an element count) to comm samples.
+LinearModel fit_comm_model(std::span<const Sample> samples);
+
+}  // namespace spdkfac::perf

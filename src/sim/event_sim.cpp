@@ -1,0 +1,245 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <stdexcept>
+
+namespace spdkfac::sim {
+
+const char* to_string(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kForward:
+      return "Forward";
+    case TaskKind::kBackward:
+      return "Backward";
+    case TaskKind::kFactorComp:
+      return "FactorComp";
+    case TaskKind::kInverseComp:
+      return "InverseComp";
+    case TaskKind::kGradComm:
+      return "GradComm";
+    case TaskKind::kFactorComm:
+      return "FactorComm";
+    case TaskKind::kInverseComm:
+      return "InverseComm";
+    case TaskKind::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+int EventSim::add_stream(std::string name) {
+  stream_names_.push_back(std::move(name));
+  stream_queues_.emplace_back();
+  return static_cast<int>(stream_names_.size()) - 1;
+}
+
+int EventSim::add_task(TaskKind kind, double duration, int stream,
+                       std::vector<int> deps, std::string label) {
+  return add_gang_task(kind, duration, {stream}, std::move(deps),
+                       std::move(label));
+}
+
+int EventSim::add_gang_task(TaskKind kind, double duration,
+                            std::vector<int> streams, std::vector<int> deps,
+                            std::string label) {
+  const int id = static_cast<int>(tasks_.size());
+  if (duration < 0.0) {
+    throw std::logic_error("EventSim: negative duration");
+  }
+  for (int s : streams) {
+    if (s < 0 || s >= static_cast<int>(stream_queues_.size())) {
+      throw std::logic_error("EventSim: unknown stream");
+    }
+    stream_queues_[s].push_back(id);
+  }
+  for (int d : deps) {
+    if (d < 0 || d >= id) {
+      // Insertion order is the topological order; forward references would
+      // break the single-pass schedule below.
+      throw std::logic_error("EventSim: dependency on a later task");
+    }
+  }
+  tasks_.push_back(
+      TaskDef{kind, duration, std::move(streams), std::move(deps),
+              std::move(label)});
+  return id;
+}
+
+Schedule EventSim::run() const {
+  Schedule schedule;
+  schedule.tasks.resize(tasks_.size());
+
+  // Streams retire tasks in submission order, so a single pass in id order
+  // sees every queue predecessor and every dependency already scheduled.
+  std::vector<double> stream_free(stream_queues_.size(), 0.0);
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    const TaskDef& def = tasks_[id];
+    double start = 0.0;
+    for (int d : def.deps) start = std::max(start, schedule.tasks[d].end);
+    for (int s : def.streams) start = std::max(start, stream_free[s]);
+    const double end = start + def.duration;
+    for (int s : def.streams) stream_free[s] = end;
+    schedule.tasks[id] = {static_cast<int>(id), def.kind,    start, end,
+                          def.label,            def.streams};
+    schedule.makespan = std::max(schedule.makespan, end);
+  }
+  return schedule;
+}
+
+namespace {
+
+int priority_of(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kForward:
+    case TaskKind::kBackward:
+      return 0;
+    case TaskKind::kFactorComp:
+      return 1;
+    case TaskKind::kInverseComp:
+      return 2;
+    // Factor communication outranks gradient communication in attribution:
+    // Figs. 9/10 isolate the factor channel's exposure, and gradient
+    // handling is identical across all compared algorithms.
+    case TaskKind::kFactorComm:
+      return 3;
+    case TaskKind::kGradComm:
+      return 4;
+    case TaskKind::kInverseComm:
+      return 5;
+    case TaskKind::kOther:
+      return 6;
+  }
+  return 6;
+}
+
+void add_to(Breakdown& b, TaskKind kind, double seconds) noexcept {
+  switch (kind) {
+    case TaskKind::kForward:
+    case TaskKind::kBackward:
+      b.ff_bp += seconds;
+      return;
+    case TaskKind::kFactorComp:
+      b.factor_comp += seconds;
+      return;
+    case TaskKind::kInverseComp:
+      b.inverse_comp += seconds;
+      return;
+    case TaskKind::kGradComm:
+      b.grad_comm += seconds;
+      return;
+    case TaskKind::kFactorComm:
+      b.factor_comm += seconds;
+      return;
+    case TaskKind::kInverseComm:
+      b.inverse_comm += seconds;
+      return;
+    case TaskKind::kOther:
+      return;
+  }
+}
+
+}  // namespace
+
+Breakdown compute_breakdown(const Schedule& schedule) {
+  Breakdown breakdown;
+  // Event sweep: +1 active at start, -1 at end, per kind; each elementary
+  // interval goes to the highest-priority active kind.
+  std::map<double, std::array<int, 8>> deltas;
+  auto kind_index = [](TaskKind k) { return static_cast<int>(k); };
+  for (const ScheduledTask& t : schedule.tasks) {
+    if (t.end <= t.start) continue;
+    deltas[t.start][kind_index(t.kind)] += 1;
+    deltas[t.end][kind_index(t.kind)] -= 1;
+  }
+  std::array<int, 8> active{};
+  double prev = 0.0;
+  TaskKind pending_gap = TaskKind::kOther;  // kind charged for idle gaps
+  for (const auto& [time, delta] : deltas) {
+    if (time > prev) {
+      // Determine the winning active category of [prev, time).
+      int best_priority = 1 << 30;
+      TaskKind best = pending_gap;
+      for (int k = 0; k < 8; ++k) {
+        if (active[k] <= 0) continue;
+        const TaskKind kind = static_cast<TaskKind>(k);
+        const int p = priority_of(kind);
+        if (p < best_priority) {
+          best_priority = p;
+          best = kind;
+        }
+      }
+      add_to(breakdown, best, time - prev);
+    }
+    for (int k = 0; k < 8; ++k) active[k] += delta[k];
+    // If the cluster goes momentarily idle, charge the gap to whatever
+    // category starts next (the gap is time spent waiting for it).
+    for (int k = 0; k < 8; ++k) {
+      if (delta[k] > 0) {
+        pending_gap = static_cast<TaskKind>(k);
+        break;
+      }
+    }
+    prev = time;
+  }
+  return breakdown;
+}
+
+std::string render_timeline(const Schedule& schedule,
+                            const std::vector<std::string>& stream_names,
+                            std::size_t width) {
+  if (schedule.makespan <= 0.0 || stream_names.empty()) return {};
+  auto glyph = [](TaskKind kind) -> char {
+    switch (kind) {
+      case TaskKind::kForward:
+        return 'F';
+      case TaskKind::kBackward:
+        return 'B';
+      case TaskKind::kFactorComp:
+        return 'a';
+      case TaskKind::kInverseComp:
+        return 'I';
+      case TaskKind::kGradComm:
+        return 'g';
+      case TaskKind::kFactorComm:
+        return 'c';
+      case TaskKind::kInverseComm:
+        return 'b';
+      case TaskKind::kOther:
+        return 'o';
+    }
+    return '?';
+  };
+
+  std::size_t label_width = 0;
+  for (const auto& n : stream_names) label_width = std::max(label_width, n.size());
+
+  std::vector<std::string> rows(stream_names.size(),
+                                std::string(width, '.'));
+  for (const ScheduledTask& t : schedule.tasks) {
+    if (t.end <= t.start) continue;
+    auto col = [&](double x) {
+      const double f = x / schedule.makespan;
+      return std::min(width - 1,
+                      static_cast<std::size_t>(f * static_cast<double>(width)));
+    };
+    const std::size_t c0 = col(t.start);
+    const std::size_t c1 = std::max(c0, col(t.end));
+    for (int s : t.resources) {
+      for (std::size_t c = c0; c <= c1; ++c) rows[s][c] = glyph(t.kind);
+    }
+  }
+
+  std::string out;
+  out += "legend: F=fwd B=bwd a=factor-comp I=inverse-comp g=grad-comm "
+         "c=factor-comm b=inverse-bcast .=idle\n";
+  for (std::size_t s = 0; s < stream_names.size(); ++s) {
+    std::string label = stream_names[s];
+    label.resize(label_width, ' ');
+    out += label + " |" + rows[s] + "|\n";
+  }
+  return out;
+}
+
+}  // namespace spdkfac::sim

@@ -1,0 +1,372 @@
+#include "sim/iteration.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace spdkfac::sim {
+
+AlgorithmConfig AlgorithmConfig::sgd() {
+  AlgorithmConfig cfg;
+  cfg.name = "SGD";
+  cfg.second_order = false;
+  return cfg;
+}
+
+AlgorithmConfig AlgorithmConfig::kfac() {
+  AlgorithmConfig cfg;
+  cfg.name = "KFAC";
+  cfg.second_order = true;
+  cfg.factor_comm = FactorCommMode::kBulk;
+  cfg.inverse = InverseMode::kLocalAll;
+  return cfg;
+}
+
+AlgorithmConfig AlgorithmConfig::dkfac() {
+  AlgorithmConfig cfg = kfac();
+  cfg.name = "D-KFAC";
+  return cfg;
+}
+
+AlgorithmConfig AlgorithmConfig::mpd_kfac() {
+  AlgorithmConfig cfg = kfac();
+  cfg.name = "MPD-KFAC";
+  cfg.inverse = InverseMode::kSeqDist;
+  return cfg;
+}
+
+AlgorithmConfig AlgorithmConfig::spd_kfac() {
+  AlgorithmConfig cfg = kfac();
+  cfg.name = "SPD-KFAC";
+  cfg.factor_comm = FactorCommMode::kOptimalFuse;
+  cfg.inverse = InverseMode::kLBP;
+  return cfg;
+}
+
+namespace {
+
+/// Pending communication op, gathered from all passes and then submitted to
+/// the communication streams in readiness order (mirroring the async
+/// engine's FIFO queue).
+struct CommOp {
+  double ready = 0.0;
+  TaskKind kind = TaskKind::kOther;
+  double duration = 0.0;
+  std::vector<int> deps;
+  std::string label;
+};
+
+core::FusionPolicy to_policy(FactorCommMode mode) {
+  switch (mode) {
+    case FactorCommMode::kLayerWise:
+      return core::FusionPolicy::kNoFusion;
+    case FactorCommMode::kThresholdFuse:
+      return core::FusionPolicy::kThreshold;
+    case FactorCommMode::kOptimalFuse:
+      return core::FusionPolicy::kOptimal;
+    case FactorCommMode::kBulk:
+    case FactorCommMode::kNaive:
+      return core::FusionPolicy::kSingleBulk;
+  }
+  return core::FusionPolicy::kSingleBulk;
+}
+
+}  // namespace
+
+IterationResult simulate_iteration(const models::ModelSpec& model,
+                                   std::size_t batch,
+                                   const perf::ClusterCalibration& cal,
+                                   const AlgorithmConfig& cfg) {
+  const int world = cal.world_size;
+  const std::size_t L = model.layers.size();
+  if (L == 0) throw std::invalid_argument("simulate_iteration: empty model");
+
+  EventSim es;
+  // Streams per GPU: one compute stream, one communication stream for the
+  // factor/inverse traffic (the paper's own fusion controller + broadcast
+  // path), and one for gradient aggregation (Horovod's communicator — a
+  // separate NCCL channel in the paper's implementation, so gradient
+  // all-reduces do not queue behind factor all-reduces).
+  std::vector<int> comp(world), comm(world), gcomm(world);
+  std::vector<std::string> stream_names;
+  for (int p = 0; p < world; ++p) {
+    comp[p] = es.add_stream("gpu" + std::to_string(p) + ".comp");
+    comm[p] = es.add_stream("gpu" + std::to_string(p) + ".comm");
+    gcomm[p] = es.add_stream("gpu" + std::to_string(p) + ".gradcomm");
+  }
+  // Shared-fabric stream: concurrent broadcasts from different roots contend
+  // here (all-reduces already gang every per-GPU comm stream).
+  const int fabric = es.add_stream("fabric");
+  for (int p = 0; p < world; ++p) {
+    stream_names.push_back(es.stream_name(comp[p]));
+    stream_names.push_back(es.stream_name(comm[p]));
+    stream_names.push_back(es.stream_name(gcomm[p]));
+  }
+  stream_names.push_back(es.stream_name(fabric));
+  std::vector<int> factor_comm_streams(comm.begin(), comm.end());
+  factor_comm_streams.push_back(fabric);
+  std::vector<int> grad_comm_streams(gcomm.begin(), gcomm.end());
+
+  // Per-layer task durations from the compute model.
+  std::vector<double> t_fwd(L), t_bwd(L), t_a(L), t_g(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& layer = model.layers[l];
+    t_fwd[l] = cal.compute.fwd_time(layer.fwd_flops(batch));
+    t_bwd[l] = cal.compute.bwd_time(layer.bwd_flops(batch));
+    if (cfg.second_order) {
+      t_a[l] = cal.compute.factor_time(layer.factor_a_flops(batch));
+      t_g[l] = cal.compute.factor_time(layer.factor_g_flops(batch));
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Forward pass on the representative GPU 0 (all workers are symmetric
+  // until the inverse phase):  A_0 F_1 A_1 F_2 ... A_{L-1} F_L (Fig. 1b).
+  // -------------------------------------------------------------------
+  std::vector<int> a_comp_id(L, -1), g_comp_id(L, -1), b_id(L, -1);
+  std::vector<double> a_ready(L, 0.0), g_ready(L, 0.0), grad_ready(L, 0.0);
+  double clock = 0.0;
+  for (std::size_t l = 0; l < L; ++l) {
+    if (cfg.second_order) {
+      a_comp_id[l] = es.add_task(TaskKind::kFactorComp, t_a[l], comp[0], {},
+                                 "A" + std::to_string(l));
+      clock += t_a[l];
+      a_ready[l] = clock;
+    }
+    es.add_task(TaskKind::kForward, t_fwd[l], comp[0], {},
+                "F" + std::to_string(l + 1));
+    clock += t_fwd[l];
+  }
+
+  // -------------------------------------------------------------------
+  // Backward pass: B_L G_L ... B_1 G_1; gradients ready after each B.
+  // -------------------------------------------------------------------
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t l = L - 1 - i;
+    b_id[l] = es.add_task(TaskKind::kBackward, t_bwd[l], comp[0], {},
+                          "B" + std::to_string(l + 1));
+    clock += t_bwd[l];
+    grad_ready[l] = clock;
+    if (cfg.second_order) {
+      g_comp_id[l] = es.add_task(TaskKind::kFactorComp, t_g[l], comp[0], {},
+                                 "G" + std::to_string(l + 1));
+      clock += t_g[l];
+      g_ready[l] = clock;
+    }
+  }
+  const double bwd_end = clock;
+  const int last_comp_id =
+      cfg.second_order ? g_comp_id[0] : b_id[0];
+
+  // -------------------------------------------------------------------
+  // Communication plan (world > 1): gradient WFBP groups plus the factor
+  // aggregation ops of the configured mode, submitted in readiness order.
+  // -------------------------------------------------------------------
+  std::vector<CommOp> comm_ops;
+  double factor_comm_busy = 0.0;
+
+  if (world > 1) {
+    // Gradients: threshold fusion over backward order (Horovod default in
+    // every algorithm of the paper).
+    {
+      std::size_t acc = 0;
+      std::size_t group_tail_layer = L;  // first (deepest) member
+      for (std::size_t i = 0; i < L; ++i) {
+        const std::size_t l = L - 1 - i;
+        if (acc == 0) group_tail_layer = l;
+        acc += model.layers[l].params();
+        const bool flush =
+            acc >= cfg.grad_fusion_threshold || l == 0;
+        if (flush) {
+          CommOp op;
+          op.ready = grad_ready[l];
+          op.kind = TaskKind::kGradComm;
+          op.duration = cal.allreduce.time(acc);
+          op.deps = {b_id[l]};
+          op.label = "grad[" + std::to_string(l) + ".." +
+                     std::to_string(group_tail_layer) + "]";
+          comm_ops.push_back(std::move(op));
+          acc = 0;
+        }
+      }
+    }
+
+    if (cfg.second_order) {
+      std::vector<std::size_t> a_sizes(L), g_sizes_rev(L);
+      for (std::size_t l = 0; l < L; ++l) {
+        a_sizes[l] = model.layers[l].a_elements();
+        g_sizes_rev[l] = model.layers[L - 1 - l].g_elements();
+      }
+
+      if (cfg.factor_comm == FactorCommMode::kBulk ||
+          cfg.factor_comm == FactorCommMode::kNaive) {
+        const std::size_t a_total =
+            std::accumulate(a_sizes.begin(), a_sizes.end(), std::size_t{0});
+        const std::size_t g_total = std::accumulate(
+            g_sizes_rev.begin(), g_sizes_rev.end(), std::size_t{0});
+        CommOp a_op;
+        a_op.kind = TaskKind::kFactorComm;
+        a_op.duration = cal.allreduce.time(a_total);
+        a_op.label = "A-bulk";
+        if (cfg.factor_comm == FactorCommMode::kNaive) {
+          // Naive pipelining: ship all A factors while the backward pass
+          // computes the G factors.
+          a_op.ready = a_ready[L - 1];
+          a_op.deps = {a_comp_id[L - 1]};
+        } else {
+          a_op.ready = bwd_end;
+          a_op.deps = {last_comp_id};
+        }
+        CommOp g_op;
+        g_op.kind = TaskKind::kFactorComm;
+        g_op.duration = cal.allreduce.time(g_total);
+        g_op.ready = bwd_end;
+        g_op.deps = {last_comp_id};
+        g_op.label = "G-bulk";
+        factor_comm_busy += a_op.duration + g_op.duration;
+        comm_ops.push_back(std::move(a_op));
+        comm_ops.push_back(std::move(g_op));
+      } else {
+        // Layer-wise pipelined aggregation: plan fused groups for the A pass
+        // (forward) and the G pass (backward, deepest layer first).
+        const core::FusionPolicy policy = to_policy(cfg.factor_comm);
+        core::FusionPlanInput a_input{a_ready, a_sizes, 0.0};
+        const auto a_groups =
+            core::plan_fusion(a_input, cal.allreduce, policy);
+        double stream_free = a_groups.empty() ? 0.0 : a_groups.back().comm_end;
+        std::vector<double> g_ready_rev(L);
+        for (std::size_t i = 0; i < L; ++i) g_ready_rev[i] = g_ready[L - 1 - i];
+        core::FusionPlanInput g_input{g_ready_rev, g_sizes_rev, stream_free};
+        const auto g_groups =
+            core::plan_fusion(g_input, cal.allreduce, policy);
+
+        for (const auto& g : a_groups) {
+          CommOp op;
+          op.ready = g.ready_time;
+          op.kind = TaskKind::kFactorComm;
+          op.duration = cal.allreduce.time(g.elements);
+          op.deps = {a_comp_id[g.last]};
+          op.label = "A[" + std::to_string(g.first) + ".." +
+                     std::to_string(g.last) + "]";
+          factor_comm_busy += op.duration;
+          comm_ops.push_back(std::move(op));
+        }
+        for (const auto& g : g_groups) {
+          CommOp op;
+          op.ready = g.ready_time;
+          op.kind = TaskKind::kFactorComm;
+          op.duration = cal.allreduce.time(g.elements);
+          // Index i in the reversed G sequence maps to layer L-1-i.
+          op.deps = {g_comp_id[L - 1 - g.last]};
+          op.label = "G[" + std::to_string(g.first) + ".." +
+                     std::to_string(g.last) + "]";
+          factor_comm_busy += op.duration;
+          comm_ops.push_back(std::move(op));
+        }
+      }
+    }
+
+    std::stable_sort(comm_ops.begin(), comm_ops.end(),
+                     [](const CommOp& a, const CommOp& b) {
+                       return a.ready < b.ready;
+                     });
+  }
+
+  std::vector<int> factor_comm_ids;
+  for (const CommOp& op : comm_ops) {
+    const auto& streams = op.kind == TaskKind::kGradComm
+                              ? grad_comm_streams
+                              : factor_comm_streams;
+    const int id =
+        es.add_gang_task(op.kind, op.duration, streams, op.deps, op.label);
+    if (op.kind == TaskKind::kFactorComm) factor_comm_ids.push_back(id);
+  }
+
+  IterationResult result;
+  result.algorithm = cfg.name;
+  result.factor_comm_busy = factor_comm_busy;
+
+  // -------------------------------------------------------------------
+  // Inverse phase: place the 2L damped inverses per the configured policy
+  // and schedule comp (+ broadcast for CTs) on every GPU.  Tensor order:
+  // T_{2l} = A_l, T_{2l+1} = G_l, matching the paper's T_1..T_2L.
+  // -------------------------------------------------------------------
+  if (cfg.second_order) {
+    std::vector<std::size_t> dims(2 * L);
+    for (std::size_t l = 0; l < L; ++l) {
+      dims[2 * l] = model.layers[l].dim_a();
+      dims[2 * l + 1] = model.layers[l].dim_g();
+    }
+
+    switch (cfg.inverse) {
+      case InverseMode::kLocalAll:
+        result.placement = core::nondist_place(dims, world);
+        break;
+      case InverseMode::kSeqDist:
+        result.placement = core::seq_place(dims, world);
+        break;
+      case InverseMode::kLBP:
+        // CT/NCT decisions compare against the fabric broadcast cost the
+        // tensor would actually pay.
+        result.placement = core::lbp_place(dims, world, cal.inverse,
+                                           cal.bcast_fabric, cfg.balance);
+        break;
+    }
+
+    // All GPUs hold consistent global factors only after every factor
+    // aggregation finished (the barrier of Fig. 1b).
+    std::vector<int> barrier = factor_comm_ids;
+    if (barrier.empty()) barrier.push_back(last_comp_id);
+
+    // Worklist per GPU: owned CTs plus every NCT.  LBP emits CTs
+    // largest-first; keep that order and merge NCTs in descending dimension
+    // so small replicated inverses fill the tail while broadcasts drain.
+    std::vector<std::vector<std::size_t>> worklists(world);
+    for (int p = 0; p < world; ++p) {
+      worklists[p] = result.placement.per_gpu[p];
+      for (const auto& a : result.placement.assignments) {
+        if (a.nct) worklists[p].push_back(a.tensor);
+      }
+      if (cfg.inverse == InverseMode::kLBP) {
+        std::stable_sort(worklists[p].begin(), worklists[p].end(),
+                         [&](std::size_t x, std::size_t y) {
+                           return dims[x] > dims[y];
+                         });
+      }
+    }
+    // Submit round-robin across GPUs so the fabric stream's FIFO order
+    // matches actual readiness (all GPUs start their r-th inverse at about
+    // the same time); per-GPU task order is preserved.
+    std::size_t max_len = 0;
+    for (const auto& wl : worklists) max_len = std::max(max_len, wl.size());
+    for (std::size_t r = 0; r < max_len; ++r) {
+      for (int p = 0; p < world; ++p) {
+        if (r >= worklists[p].size()) continue;
+        const std::size_t t = worklists[p][r];
+        const int inv_id = es.add_task(
+            TaskKind::kInverseComp, cal.inverse.time(dims[t]), comp[p],
+            barrier, "inv[T" + std::to_string(t) + "]");
+        if (!result.placement.assignments[t].nct && world > 1) {
+          es.add_gang_task(TaskKind::kInverseComm,
+                           cal.bcast_fabric.time_dim(dims[t]),
+                           {comm[p], fabric}, {inv_id},
+                           "bcast[T" + std::to_string(t) + "]");
+        }
+      }
+    }
+  }
+
+  result.schedule = es.run();
+  result.total = result.schedule.makespan;
+  result.breakdown = compute_breakdown(result.schedule);
+  result.stream_names = stream_names;
+  return result;
+}
+
+double iteration_time(const models::ModelSpec& model, std::size_t batch,
+                      const perf::ClusterCalibration& cal,
+                      const AlgorithmConfig& cfg) {
+  return simulate_iteration(model, batch, cal, cfg).total;
+}
+
+}  // namespace spdkfac::sim

@@ -1,0 +1,95 @@
+// Builds and simulates one training iteration's task DAG for each algorithm
+// the paper evaluates (Fig. 1 structure, priced by the perf models):
+//
+//   SGD / S-SGD       — forward, backward, WFBP gradient aggregation;
+//   KFAC (1 GPU)      — + factor computation + local inverses;
+//   D-KFAC            — + factor all-reduce (bulk, after backward, as in
+//                        Pauloski et al. [22]) + local inverses everywhere;
+//   MPD-KFAC          — D-KFAC with inverses distributed round-robin and
+//                        broadcast (Osawa/Ueno/Pauloski style);
+//   SPD-KFAC          — the paper: pipelined factor communication with
+//                        dynamic tensor fusion (Eq. 15) + LBP placement
+//                        (Algorithm 1) with CT/NCT typing.
+//
+// The pipelining baselines of Fig. 10 (Naive, LW w/o TF, LW w/ TTF) and the
+// placement baselines of Fig. 12 (Non-Dist, Seq-Dist) are expressible
+// through AlgorithmConfig, which is how the ablation of Fig. 13 is produced.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/placement.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/event_sim.hpp"
+
+namespace spdkfac::sim {
+
+/// How Kronecker factors are aggregated across workers.
+enum class FactorCommMode {
+  kBulk,           ///< one fused op per factor family after backward (-Pipe)
+  kNaive,          ///< A factors bulk-overlapped with backward, G bulk after
+  kLayerWise,      ///< per-factor all-reduce as computed (LW w/o TF)
+  kThresholdFuse,  ///< layer-wise with Horovod 64 MiB threshold (LW w/ TTF)
+  kOptimalFuse,    ///< Eq. (15) dynamic fusion (SP w/ OTF, +Pipe)
+};
+
+/// How the 2L damped inverses are computed and shared.
+enum class InverseMode {
+  kLocalAll,  ///< every GPU inverts everything (Non-Dist, D-KFAC)
+  kSeqDist,   ///< round-robin ownership, all CT (Seq-Dist, MPD-KFAC)
+  kLBP,       ///< Algorithm 1 with CT/NCT typing (SPD-KFAC)
+};
+
+struct AlgorithmConfig {
+  std::string name;
+  bool second_order = true;  ///< false: plain (S-)SGD
+  FactorCommMode factor_comm = FactorCommMode::kBulk;
+  InverseMode inverse = InverseMode::kLocalAll;
+  core::BalanceMetric balance = core::BalanceMetric::kEstimatedTime;
+  /// Gradient aggregation is always WFBP + threshold fusion (the Horovod
+  /// default the paper keeps for gradients in every algorithm).
+  std::size_t grad_fusion_threshold = core::kHorovodThresholdElements;
+
+  static AlgorithmConfig sgd();       ///< SGD / S-SGD (depends on world size)
+  static AlgorithmConfig kfac();      ///< single-GPU KFAC = D-KFAC at P=1
+  static AlgorithmConfig dkfac();     ///< bulk comm + local inverses
+  static AlgorithmConfig mpd_kfac();  ///< bulk comm + Seq-Dist inverses
+  static AlgorithmConfig spd_kfac();  ///< pipelined fusion + LBP
+};
+
+struct IterationResult {
+  std::string algorithm;
+  double total = 0.0;  ///< iteration wall-clock (schedule makespan)
+  Breakdown breakdown;
+  Schedule schedule;
+  std::vector<std::string> stream_names;
+
+  /// Factor-communication diagnostics (Fig. 10): total communicated time vs
+  /// the non-overlapped residue in `breakdown.factor_comm`.
+  double factor_comm_busy = 0.0;
+  double factor_comm_hidden_fraction() const noexcept {
+    if (factor_comm_busy <= 0.0) return 0.0;
+    return 1.0 - breakdown.factor_comm / factor_comm_busy;
+  }
+
+  /// The inverse placement used (empty for first-order configs).
+  core::Placement placement;
+};
+
+/// Simulates one iteration of `cfg` training `model` with per-GPU batch
+/// `batch` on the cluster described by `cal` (cal.world_size workers).
+IterationResult simulate_iteration(const models::ModelSpec& model,
+                                   std::size_t batch,
+                                   const perf::ClusterCalibration& cal,
+                                   const AlgorithmConfig& cfg);
+
+/// Convenience: iteration time only.
+double iteration_time(const models::ModelSpec& model, std::size_t batch,
+                      const perf::ClusterCalibration& cal,
+                      const AlgorithmConfig& cfg);
+
+}  // namespace spdkfac::sim

@@ -1,0 +1,110 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spdkfac::sim {
+
+namespace {
+
+/// Minimal JSON string escaping (labels are ASCII identifiers, but be safe).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Category names double as Perfetto color keys.
+const char* category_of(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kForward:
+    case TaskKind::kBackward:
+      return "compute";
+    case TaskKind::kFactorComp:
+      return "factor_comp";
+    case TaskKind::kInverseComp:
+      return "inverse_comp";
+    case TaskKind::kGradComm:
+      return "grad_comm";
+    case TaskKind::kFactorComm:
+      return "factor_comm";
+    case TaskKind::kInverseComm:
+      return "inverse_comm";
+    case TaskKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Schedule& schedule,
+                            const std::vector<std::string>& stream_names,
+                            const std::string& process_name) {
+  std::ostringstream out;
+  out << "[\n";
+  // Process + thread metadata rows.
+  out << R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":")"
+      << escape(process_name) << "\"}}";
+  for (std::size_t s = 0; s < stream_names.size(); ++s) {
+    out << ",\n"
+        << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << s
+        << R"(,"args":{"name":")" << escape(stream_names[s]) << "\"}}";
+  }
+  // One complete event per (task, stream) occupancy; gang tasks appear on
+  // every stream they hold, exactly as they block them.
+  for (const ScheduledTask& t : schedule.tasks) {
+    if (t.end <= t.start) continue;
+    for (int s : t.resources) {
+      if (s < 0 || static_cast<std::size_t>(s) >= stream_names.size()) {
+        throw std::invalid_argument("to_chrome_trace: unnamed stream id");
+      }
+      out << ",\n"
+          << R"({"name":")"
+          << escape(t.label.empty() ? to_string(t.kind) : t.label)
+          << R"(","cat":")" << category_of(t.kind)
+          << R"(","ph":"X","pid":1,"tid":)" << s << R"(,"ts":)"
+          << t.start * 1e6 << R"(,"dur":)" << (t.end - t.start) * 1e6
+          << R"(,"args":{"kind":")" << to_string(t.kind) << "\"}}";
+    }
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+void write_chrome_trace(const std::string& path, const Schedule& schedule,
+                        const std::vector<std::string>& stream_names,
+                        const std::string& process_name) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  file << to_chrome_trace(schedule, stream_names, process_name);
+  if (!file) {
+    throw std::runtime_error("write_chrome_trace: write failed for " + path);
+  }
+}
+
+}  // namespace spdkfac::sim

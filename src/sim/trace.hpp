@@ -1,0 +1,30 @@
+// Chrome trace-event export of simulated schedules.
+//
+// Serializes a Schedule as the Trace Event JSON format consumed by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev): each simulated
+// stream becomes a named thread row, each task a complete ("X") event with
+// microsecond timestamps, colored by its breakdown category.  Useful for
+// visually inspecting where SPD-KFAC hides communication — the interactive
+// equivalent of Fig. 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace spdkfac::sim {
+
+/// Renders the schedule as a Trace Event JSON array document.
+/// `stream_names` must index every stream id used by the schedule's tasks.
+std::string to_chrome_trace(const Schedule& schedule,
+                            const std::vector<std::string>& stream_names,
+                            const std::string& process_name = "spdkfac-sim");
+
+/// Writes to_chrome_trace() output to `path`; throws std::runtime_error on
+/// I/O failure.
+void write_chrome_trace(const std::string& path, const Schedule& schedule,
+                        const std::vector<std::string>& stream_names,
+                        const std::string& process_name = "spdkfac-sim");
+
+}  // namespace spdkfac::sim

@@ -1,0 +1,227 @@
+#include "tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spdkfac::tensor {
+
+void Cholesky::solve_lower(std::span<double> b) const {
+  const std::size_t n = lower.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = lower.row_ptr(i);
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= li[k] * b[k];
+    b[i] = sum / li[i];
+  }
+}
+
+void Cholesky::solve_upper(std::span<double> b) const {
+  const std::size_t n = lower.rows();
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    // Traverse column ii of L below the diagonal, i.e. row entries L(k, ii).
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= lower(k, ii) * b[k];
+    b[ii] = sum / lower(ii, ii);
+  }
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_lower(x);
+  solve_upper(x);
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  if (b.rows() != lower.rows()) {
+    throw std::invalid_argument("Cholesky::solve shape mismatch");
+  }
+  Matrix x = b.transposed();  // iterate columns of b contiguously
+  for (std::size_t c = 0; c < x.rows(); ++c) {
+    std::span<double> col(x.row_ptr(c), x.cols());
+    solve_lower(col);
+    solve_upper(col);
+  }
+  return x.transposed();
+}
+
+double Cholesky::log_det() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < lower.rows(); ++i) {
+    s += std::log(lower(i, i));
+  }
+  return 2.0 * s;
+}
+
+std::optional<Cholesky> cholesky(const Matrix& a) {
+  if (!a.square()) {
+    throw std::invalid_argument("cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lj = l.row_ptr(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double* li = l.row_ptr(i);
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      l(i, j) = sum / ljj;
+    }
+  }
+  return Cholesky{std::move(l)};
+}
+
+Matrix spd_inverse(const Matrix& a) {
+  auto chol = cholesky(a);
+  if (!chol) {
+    throw std::domain_error("spd_inverse: matrix is not positive definite");
+  }
+  const std::size_t n = a.rows();
+  // Invert by solving A X = I one column at a time.  Columns of the identity
+  // are sparse, but the triangular solves dominate anyway (O(n^2) each).
+  Matrix inv(n, n);
+  std::vector<double> col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::fill(col.begin(), col.end(), 0.0);
+    col[j] = 1.0;
+    chol->solve_lower(col);
+    chol->solve_upper(col);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  symmetrize(inv);
+  return inv;
+}
+
+Matrix damped_inverse(const Matrix& a, double damping) {
+  Matrix damped = a;
+  damped.add_diagonal(damping);
+  return spd_inverse(damped);
+}
+
+bool is_symmetric(const Matrix& a, double tol) noexcept {
+  if (!a.square()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void symmetrize(Matrix& a) {
+  if (!a.square()) {
+    throw std::invalid_argument("symmetrize requires a square matrix");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double avg = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = avg;
+      a(j, i) = avg;
+    }
+  }
+}
+
+double spd_inverse_flops(std::size_t n) noexcept {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd;
+}
+
+Matrix SymmetricEigen::damped_inverse(double damping) const {
+  const std::size_t n = eigenvalues.size();
+  Matrix scaled(n, n);  // Q * diag(1/(lambda+damping))
+  for (std::size_t j = 0; j < n; ++j) {
+    const double denom = eigenvalues[j] + damping;
+    if (denom <= 0.0 || !std::isfinite(denom)) {
+      throw std::domain_error(
+          "SymmetricEigen::damped_inverse: non-positive damped eigenvalue");
+    }
+    const double inv = 1.0 / denom;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled(i, j) = eigenvectors(i, j) * inv;
+    }
+  }
+  Matrix result = matmul_nt(scaled, eigenvectors);
+  symmetrize(result);
+  return result;
+}
+
+SymmetricEigen symmetric_eigen(const Matrix& a, int max_sweeps, double tol) {
+  if (!a.square()) {
+    throw std::invalid_argument("symmetric_eigen requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  symmetrize(m);
+  Matrix q = Matrix::identity(n);
+
+  auto off_diagonal_norm = [&m, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(m.max_abs(), 1.0);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol * scale * n) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q_idx = p + 1; q_idx < n; ++q_idx) {
+        const double apq = m(p, q_idx);
+        if (std::abs(apq) <= tol * scale) continue;
+        // Classic Jacobi rotation annihilating m(p, q).
+        const double theta = (m(q_idx, q_idx) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p), mkq = m(k, q_idx);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q_idx) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k), mqk = m(q_idx, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q_idx, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = q(k, p), qkq = q(k, q_idx);
+          q(k, p) = c * qkp - s * qkq;
+          q(k, q_idx) = s * qkp + c * qkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigen eigen;
+  eigen.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) eigen.eigenvalues[i] = m(i, i);
+
+  // Sort ascending, permuting the eigenvector columns accordingly.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&eigen](std::size_t x,
+                                                 std::size_t y) {
+    return eigen.eigenvalues[x] < eigen.eigenvalues[y];
+  });
+  SymmetricEigen sorted;
+  sorted.eigenvalues.resize(n);
+  sorted.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted.eigenvalues[j] = eigen.eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted.eigenvectors(i, j) = q(i, order[j]);
+    }
+  }
+  return sorted;
+}
+
+}  // namespace spdkfac::tensor

@@ -1,0 +1,204 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+namespace spdkfac::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix initializer rows differ in length");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix += shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix -= shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::add_diagonal(double value) {
+  if (!square()) {
+    throw std::invalid_argument("add_diagonal requires a square matrix");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += value;
+}
+
+void Matrix::set_zero() noexcept {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul shape mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // both b and c, which is the standard cache-friendly ordering for
+  // row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_ptr(i);
+    const double* ai = a.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        ci[j] += aik * bk[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_tn shape mismatch");
+  }
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* ak = a.row_ptr(k);
+    const double* bk = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        ci[j] += aki * bk[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nt shape mismatch");
+  }
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* bj = b.row_ptr(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
+      ci[j] = sum;
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec shape mismatch");
+  }
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < a.cols(); ++k) sum += ai[k] * x[k];
+    y[i] = sum;
+  }
+  return y;
+}
+
+bool allclose(const Matrix& a, const Matrix& b, double rtol,
+              double atol) noexcept {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (std::abs(da[i] - db[i]) > atol + rtol * std::abs(db[i])) return false;
+  }
+  return true;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff shape mismatch");
+  }
+  double m = 0.0;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::abs(da[i] - db[i]));
+  }
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")[\n";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << "\n";
+  }
+  return os << "]";
+}
+
+}  // namespace spdkfac::tensor

@@ -1,0 +1,62 @@
+#include "tensor/symmetric.hpp"
+
+#include <stdexcept>
+
+namespace spdkfac::tensor {
+
+SymmetricPacked::SymmetricPacked(std::size_t dim)
+    : dim_(dim), data_(packed_size(dim), 0.0) {}
+
+SymmetricPacked SymmetricPacked::pack(const Matrix& dense) {
+  if (!dense.square()) {
+    throw std::invalid_argument("SymmetricPacked::pack requires square input");
+  }
+  SymmetricPacked p(dense.rows());
+  pack_upper(dense, p.data());
+  return p;
+}
+
+Matrix SymmetricPacked::unpack() const {
+  Matrix dense(dim_, dim_);
+  unpack_upper(data_, dense);
+  return dense;
+}
+
+double& SymmetricPacked::at(std::size_t r, std::size_t c) noexcept {
+  if (r > c) std::swap(r, c);
+  return data_[packed_index(r, c, dim_)];
+}
+
+double SymmetricPacked::at(std::size_t r, std::size_t c) const noexcept {
+  if (r > c) std::swap(r, c);
+  return data_[packed_index(r, c, dim_)];
+}
+
+void pack_upper(const Matrix& dense, std::span<double> out) {
+  const std::size_t d = dense.rows();
+  if (out.size() != packed_size(d)) {
+    throw std::invalid_argument("pack_upper: output span has wrong size");
+  }
+  std::size_t idx = 0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const double* row = dense.row_ptr(r);
+    for (std::size_t c = r; c < d; ++c) out[idx++] = row[c];
+  }
+}
+
+void unpack_upper(std::span<const double> packed, Matrix& dense) {
+  const std::size_t d = dense.rows();
+  if (!dense.square() || packed.size() != packed_size(d)) {
+    throw std::invalid_argument("unpack_upper: size mismatch");
+  }
+  std::size_t idx = 0;
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = r; c < d; ++c) {
+      const double v = packed[idx++];
+      dense(r, c) = v;
+      dense(c, r) = v;
+    }
+  }
+}
+
+}  // namespace spdkfac::tensor

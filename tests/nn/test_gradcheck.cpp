@@ -1,0 +1,196 @@
+// Numerical gradient checks: the analytic backward passes (and therefore the
+// K-FAC captured quantities) are verified against central finite differences
+// end-to-end through every layer type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+
+namespace spdkfac::nn {
+namespace {
+
+using tensor::Rng;
+
+/// Central-difference derivative of the loss w.r.t. one weight entry.
+double numeric_weight_grad(Sequential& model, SoftmaxCrossEntropy& loss,
+                           const Tensor4D& x, std::span<const int> labels,
+                           PreconditionedLayer& layer, std::size_t r,
+                           std::size_t c, double eps = 1e-6) {
+  double& w = layer.weight()(r, c);
+  const double saved = w;
+  w = saved + eps;
+  const double up = loss.forward(model.forward(x), labels);
+  w = saved - eps;
+  const double down = loss.forward(model.forward(x), labels);
+  w = saved;
+  return (up - down) / (2 * eps);
+}
+
+/// Checks every weight gradient of `layer` against finite differences.
+void check_layer_grads(Sequential& model, PreconditionedLayer& layer,
+                       const Tensor4D& x, std::span<const int> labels,
+                       double tol = 2e-6) {
+  SoftmaxCrossEntropy loss;
+  loss.forward(model.forward(x), labels);
+  model.backward(loss.backward());
+  const tensor::Matrix analytic = layer.weight_grad();
+  for (std::size_t r = 0; r < analytic.rows(); ++r) {
+    for (std::size_t c = 0; c < analytic.cols(); ++c) {
+      const double numeric =
+          numeric_weight_grad(model, loss, x, labels, layer, r, c);
+      EXPECT_NEAR(analytic(r, c), numeric, tol)
+          << layer.name() << " (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(GradCheck, LinearWithBias) {
+  Rng rng(31);
+  Sequential model;
+  model.add(std::make_unique<Linear>("fc", 4, 3, true, rng));
+  Tensor4D x(3, 4, 1, 1);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{0, 2, 1};
+  check_layer_grads(model, *model.preconditioned_layers()[0], x, labels);
+}
+
+TEST(GradCheck, TwoLayerMlpBothLayers) {
+  Rng rng(37);
+  const std::size_t widths[] = {5, 7, 3};
+  Sequential model = make_mlp(widths, rng);
+  Tensor4D x(4, 5, 1, 1);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{0, 1, 2, 1};
+  for (auto* layer : model.preconditioned_layers()) {
+    check_layer_grads(model, *layer, x, labels);
+  }
+}
+
+TEST(GradCheck, ConvStride1Padded) {
+  Rng rng(41);
+  Sequential model;
+  model.add(std::make_unique<Conv2d>("conv", 2, 3, 3, 1, 1, true, rng));
+  model.add(std::make_unique<Flatten>());
+  Tensor4D x(2, 2, 4, 4);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{5, 17};  // 3*4*4 = 48 logits
+  check_layer_grads(model, *model.preconditioned_layers()[0], x, labels);
+}
+
+TEST(GradCheck, ConvStride2NoPadding) {
+  Rng rng(43);
+  Sequential model;
+  model.add(std::make_unique<Conv2d>("conv", 1, 2, 2, 2, 0, false, rng));
+  model.add(std::make_unique<Flatten>());
+  Tensor4D x(2, 1, 4, 4);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{0, 7};  // 2*2*2 = 8 logits
+  check_layer_grads(model, *model.preconditioned_layers()[0], x, labels);
+}
+
+TEST(GradCheck, FullSmallCnnStack) {
+  Rng rng(47);
+  Sequential model = make_small_cnn(1, 8, 2, 3, 4, rng);
+  Tensor4D x(2, 1, 8, 8);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{1, 3};
+  for (auto* layer : model.preconditioned_layers()) {
+    check_layer_grads(model, *layer, x, labels, 5e-6);
+  }
+}
+
+TEST(GradCheck, InputGradientThroughReluAndPool) {
+  // Verify dL/dx (not just weight grads) through the nonlinear layers.
+  Rng rng(53);
+  Sequential model;
+  model.add(std::make_unique<Conv2d>("conv", 1, 2, 3, 1, 1, false, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2d>());
+  model.add(std::make_unique<Flatten>());
+  Tensor4D x(1, 1, 4, 4);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{3};  // 2*2*2 = 8 logits
+
+  SoftmaxCrossEntropy loss;
+  loss.forward(model.forward(x), labels);
+  const Tensor4D analytic = model.backward(loss.backward());
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.data.size(); ++i) {
+    const double saved = x.data[i];
+    x.data[i] = saved + eps;
+    const double up = loss.forward(model.forward(x), labels);
+    x.data[i] = saved - eps;
+    const double down = loss.forward(model.forward(x), labels);
+    x.data[i] = saved;
+    EXPECT_NEAR(analytic.data[i], (up - down) / (2 * eps), 2e-6) << i;
+  }
+}
+
+// Randomized architecture sweep: build a random stack of conv / relu / pool
+// layers on a tiny input and gradient-check every preconditioned layer.
+// Catches interaction bugs (shape bookkeeping, padding, capture state) that
+// fixed-architecture tests can miss.
+class RandomArchGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomArchGradCheck, AllLayersPassFiniteDifference) {
+  Rng rng(GetParam() * 7919 + 11);
+  std::uniform_int_distribution<int> conv_count(1, 3);
+  std::uniform_int_distribution<std::size_t> channels(1, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  Sequential model;
+  std::size_t c = 1;
+  std::size_t hw = 8;
+  const int convs = conv_count(rng);
+  for (int i = 0; i < convs; ++i) {
+    const std::size_t cout = channels(rng);
+    const bool bias = coin(rng) == 1;
+    model.add(std::make_unique<Conv2d>("conv" + std::to_string(i), c, cout,
+                                       3, 1, 1, bias, rng));
+    c = cout;
+    if (coin(rng)) model.add(std::make_unique<ReLU>());
+    if (hw >= 4 && coin(rng)) {
+      model.add(std::make_unique<MaxPool2d>());
+      hw /= 2;
+    }
+  }
+  model.add(std::make_unique<Flatten>());
+  const std::size_t features = c * hw * hw;
+  const std::size_t classes = 3;
+  model.add(std::make_unique<Linear>("head", features, classes, true, rng));
+
+  Tensor4D x(2, 1, 8, 8);
+  tensor::fill_normal(x.data, rng);
+  std::vector<int> labels{0, 2};
+  for (auto* layer : model.preconditioned_layers()) {
+    check_layer_grads(model, *layer, x, labels, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomArchGradCheck, ::testing::Range(0, 8));
+
+TEST(GradCheck, SoftmaxGradMatchesFiniteDifference) {
+  Rng rng(59);
+  Tensor4D logits(3, 4, 1, 1);
+  tensor::fill_normal(logits.data, rng);
+  std::vector<int> labels{0, 3, 2};
+  SoftmaxCrossEntropy loss;
+  loss.forward(logits, labels);
+  const Tensor4D grad = loss.backward();
+  const double eps = 1e-7;
+  for (std::size_t i = 0; i < logits.data.size(); ++i) {
+    const double saved = logits.data[i];
+    logits.data[i] = saved + eps;
+    const double up = loss.forward(logits, labels);
+    logits.data[i] = saved - eps;
+    const double down = loss.forward(logits, labels);
+    logits.data[i] = saved;
+    EXPECT_NEAR(grad.data[i], (up - down) / (2 * eps), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace spdkfac::nn

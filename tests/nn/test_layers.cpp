@@ -1,0 +1,246 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spdkfac::nn {
+namespace {
+
+using tensor::Rng;
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear fc("fc", 2, 2, /*bias=*/true, rng);
+  fc.weight() = tensor::Matrix{{1.0, 2.0, 0.5}, {-1.0, 0.0, 1.0}};
+  Tensor4D x(1, 2, 1, 1);
+  x.data = {3.0, 4.0};
+  Tensor4D y = fc.forward(x);
+  EXPECT_DOUBLE_EQ(y.data[0], 1.0 * 3 + 2.0 * 4 + 0.5);
+  EXPECT_DOUBLE_EQ(y.data[1], -3.0 + 1.0);
+}
+
+TEST(Linear, CapturesBiasAugmentedInput) {
+  Rng rng(2);
+  Linear fc("fc", 3, 2, /*bias=*/true, rng);
+  Tensor4D x(2, 3, 1, 1);
+  x.data = {1, 2, 3, 4, 5, 6};
+  fc.forward(x);
+  const tensor::Matrix& rows = fc.kfac_input();
+  ASSERT_EQ(rows.rows(), 2u);
+  ASSERT_EQ(rows.cols(), 4u);
+  EXPECT_EQ(rows(0, 0), 1.0);
+  EXPECT_EQ(rows(0, 3), 1.0);  // bias column
+  EXPECT_EQ(rows(1, 2), 6.0);
+  EXPECT_EQ(rows(1, 3), 1.0);
+}
+
+TEST(Linear, NoBiasHasNoAugmentation) {
+  Rng rng(3);
+  Linear fc("fc", 3, 2, /*bias=*/false, rng);
+  EXPECT_EQ(fc.dim_a(), 3u);
+  Tensor4D x(1, 3, 1, 1);
+  x.data = {1, 2, 3};
+  fc.forward(x);
+  EXPECT_EQ(fc.kfac_input().cols(), 3u);
+}
+
+TEST(Linear, BackwardCapturesOutputGrads) {
+  Rng rng(4);
+  Linear fc("fc", 2, 3, true, rng);
+  Tensor4D x(2, 2, 1, 1);
+  x.data = {1, 2, 3, 4};
+  fc.forward(x);
+  Tensor4D dy(2, 3, 1, 1);
+  dy.data = {1, 0, -1, 0.5, 0.5, 0};
+  fc.backward(dy);
+  const tensor::Matrix& g = fc.kfac_output_grad();
+  ASSERT_EQ(g.rows(), 2u);
+  ASSERT_EQ(g.cols(), 3u);
+  EXPECT_EQ(g(0, 2), -1.0);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(5);
+  Linear fc("fc", 2, 2, true, rng);
+  Tensor4D dy(1, 2, 1, 1);
+  EXPECT_THROW(fc.backward(dy), std::logic_error);
+}
+
+TEST(Linear, ApplyUpdateShiftsWeights) {
+  Rng rng(6);
+  Linear fc("fc", 2, 2, false, rng);
+  tensor::Matrix before = fc.weight();
+  tensor::Matrix delta(2, 2, 1.0);
+  fc.apply_update(delta, 0.1);
+  EXPECT_NEAR(fc.weight()(0, 0), before(0, 0) - 0.1, 1e-12);
+}
+
+TEST(Conv2d, OutputShapeWithPaddingAndStride) {
+  Rng rng(7);
+  Conv2d conv("c", 3, 8, 3, 2, 1, false, rng);
+  Tensor4D x(2, 3, 8, 8);
+  Tensor4D y = conv.forward(x);
+  EXPECT_EQ(y.n, 2u);
+  EXPECT_EQ(y.c, 8u);
+  EXPECT_EQ(y.h, 4u);
+  EXPECT_EQ(y.w, 4u);
+}
+
+TEST(Conv2d, IdentityKernelPreservesInput) {
+  Rng rng(8);
+  Conv2d conv("c", 1, 1, 3, 1, 1, false, rng);
+  conv.weight().set_zero();
+  conv.weight()(0, 4) = 1.0;  // center tap of the 3x3 kernel
+  Tensor4D x(1, 1, 5, 5);
+  for (std::size_t i = 0; i < x.data.size(); ++i) x.data[i] = i * 0.5;
+  Tensor4D y = conv.forward(x);
+  for (std::size_t i = 0; i < x.data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y.data[i], x.data[i]);
+  }
+}
+
+TEST(Conv2d, KnownSumKernel) {
+  Rng rng(9);
+  Conv2d conv("c", 1, 1, 2, 1, 0, false, rng);
+  conv.weight() = tensor::Matrix(1, 4, 1.0);  // sums each 2x2 patch
+  Tensor4D x(1, 1, 2, 2);
+  x.data = {1, 2, 3, 4};
+  Tensor4D y = conv.forward(x);
+  ASSERT_EQ(y.h, 1u);
+  EXPECT_DOUBLE_EQ(y.data[0], 10.0);
+}
+
+TEST(Conv2d, PatchMatrixHasBiasColumn) {
+  Rng rng(10);
+  Conv2d conv("c", 2, 4, 3, 1, 1, /*bias=*/true, rng);
+  Tensor4D x(1, 2, 4, 4);
+  conv.forward(x);
+  const tensor::Matrix& patches = conv.kfac_input();
+  EXPECT_EQ(patches.rows(), 16u);
+  EXPECT_EQ(patches.cols(), 2u * 9 + 1);
+  for (std::size_t r = 0; r < patches.rows(); ++r) {
+    EXPECT_EQ(patches(r, patches.cols() - 1), 1.0);
+  }
+}
+
+TEST(Conv2d, WrongChannelCountThrows) {
+  Rng rng(11);
+  Conv2d conv("c", 3, 4, 3, 1, 1, false, rng);
+  Tensor4D x(1, 2, 4, 4);
+  EXPECT_THROW(conv.forward(x), std::invalid_argument);
+}
+
+TEST(ReLU, ZeroesNegativesAndMasksGradients) {
+  ReLU relu;
+  Tensor4D x(1, 1, 2, 2);
+  x.data = {-1.0, 2.0, 0.0, 3.0};
+  Tensor4D y = relu.forward(x);
+  EXPECT_EQ(y.data, (std::vector<double>{0, 2, 0, 3}));
+  Tensor4D dy(1, 1, 2, 2);
+  dy.data = {5, 5, 5, 5};
+  Tensor4D dx = relu.backward(dy);
+  EXPECT_EQ(dx.data, (std::vector<double>{0, 5, 0, 5}));
+}
+
+TEST(MaxPool2d, SelectsMaxAndRoutesGradient) {
+  MaxPool2d pool;
+  Tensor4D x(1, 1, 2, 2);
+  x.data = {1, 5, 3, 2};
+  Tensor4D y = pool.forward(x);
+  ASSERT_EQ(y.count(), 1u);
+  EXPECT_EQ(y.data[0], 5.0);
+  Tensor4D dy(1, 1, 1, 1);
+  dy.data = {7.0};
+  Tensor4D dx = pool.backward(dy);
+  EXPECT_EQ(dx.data, (std::vector<double>{0, 7, 0, 0}));
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat;
+  Tensor4D x(2, 3, 2, 2);
+  for (std::size_t i = 0; i < x.data.size(); ++i) x.data[i] = i;
+  Tensor4D y = flat.forward(x);
+  EXPECT_EQ(y.c, 12u);
+  EXPECT_EQ(y.h, 1u);
+  Tensor4D back = flat.backward(y);
+  EXPECT_TRUE(back.same_shape(x));
+  EXPECT_EQ(back.data, x.data);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor4D logits(2, 4, 1, 1);  // all zeros -> uniform softmax
+  std::vector<int> labels{0, 3};
+  const double l = loss.forward(logits, labels);
+  EXPECT_NEAR(l, std::log(4.0), 1e-12);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerSample) {
+  SoftmaxCrossEntropy loss;
+  Tensor4D logits(3, 5, 1, 1);
+  tensor::Rng rng(13);
+  tensor::fill_normal(logits.data, rng);
+  std::vector<int> labels{1, 4, 0};
+  loss.forward(logits, labels);
+  Tensor4D grad = loss.backward();
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (double v : grad.sample(i)) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, AccuracyTracksArgmax) {
+  SoftmaxCrossEntropy loss;
+  Tensor4D logits(2, 2, 1, 1);
+  logits.data = {5.0, 0.0, 0.0, 5.0};  // predicts class 0 then class 1
+  std::vector<int> labels{0, 0};
+  loss.forward(logits, labels);
+  EXPECT_DOUBLE_EQ(loss.accuracy(), 0.5);
+}
+
+TEST(SoftmaxCrossEntropy, BadLabelThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor4D logits(1, 2, 1, 1);
+  std::vector<int> labels{7};
+  EXPECT_THROW(loss.forward(logits, labels), std::invalid_argument);
+}
+
+TEST(Sequential, CollectsPreconditionedLayers) {
+  Rng rng(17);
+  Sequential model = make_small_cnn(1, 8, 4, 8, 3, rng);
+  const auto layers = model.preconditioned_layers();
+  ASSERT_EQ(layers.size(), 3u);  // conv, conv, fc
+  EXPECT_EQ(layers[0]->dim_g(), 4u);
+  EXPECT_EQ(layers[2]->dim_g(), 3u);
+}
+
+TEST(Sequential, MlpForwardShape) {
+  Rng rng(19);
+  const std::size_t widths[] = {6, 8, 4};
+  Sequential mlp = make_mlp(widths, rng);
+  Tensor4D x(5, 6, 1, 1);
+  Tensor4D y = mlp.forward(x);
+  EXPECT_EQ(y.n, 5u);
+  EXPECT_EQ(y.c, 4u);
+}
+
+TEST(Sequential, IdenticalSeedsGiveIdenticalWeights) {
+  Rng rng_a(123), rng_b(123);
+  const std::size_t widths[] = {4, 6, 2};
+  Sequential a = make_mlp(widths, rng_a);
+  Sequential b = make_mlp(widths, rng_b);
+  const auto la = a.preconditioned_layers();
+  const auto lb = b.preconditioned_layers();
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(tensor::max_abs_diff(la[i]->weight(), lb[i]->weight()), 0.0);
+  }
+}
+
+TEST(Sequential, MakeMlpRejectsTooFewWidths) {
+  Rng rng(23);
+  const std::size_t widths[] = {4};
+  EXPECT_THROW(make_mlp(widths, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spdkfac::nn

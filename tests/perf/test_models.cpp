@@ -1,0 +1,171 @@
+#include "perf/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace spdkfac::perf {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 + 2.0 * x);
+  const LinearModel m = fit_linear(xs, ys);
+  EXPECT_NEAR(m.alpha, 3.0, 1e-12);
+  EXPECT_NEAR(m.beta, 2.0, 1e-12);
+  EXPECT_NEAR(m(10.0), 23.0, 1e-12);
+}
+
+TEST(FitLinear, LeastSquaresOnNoisyData) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.5 + 0.25 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const LinearModel m = fit_linear(xs, ys);
+  EXPECT_NEAR(m.alpha, 1.5, 0.05);
+  EXPECT_NEAR(m.beta, 0.25, 0.01);
+}
+
+TEST(FitLinear, RequiresTwoSamples) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), std::invalid_argument);
+}
+
+TEST(FitLinear, DegenerateXsThrow) {
+  std::vector<double> xs{2.0, 2.0, 2.0};
+  std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(xs, ys), std::invalid_argument);
+}
+
+TEST(FitExponential, RecoversExactExponential) {
+  const double alpha = 3.64e-3, beta = 4.77e-4;  // the paper's Fig. 8 fit
+  std::vector<double> xs, ys;
+  for (double d = 64; d <= 8192; d *= 2) {
+    xs.push_back(d);
+    ys.push_back(alpha * std::exp(beta * d));
+  }
+  const ExpModel m = fit_exponential(xs, ys);
+  EXPECT_NEAR(m.alpha, alpha, alpha * 1e-6);
+  EXPECT_NEAR(m.beta, beta, beta * 1e-6);
+}
+
+TEST(FitExponential, RejectsNonPositive) {
+  std::vector<double> xs{1, 2};
+  std::vector<double> ys{1.0, 0.0};
+  EXPECT_THROW(fit_exponential(xs, ys), std::invalid_argument);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictionIsZero) {
+  std::vector<double> obs{1, 2, 3};
+  std::vector<double> pred{2, 2, 2};
+  EXPECT_NEAR(r_squared(pred, obs), 0.0, 1e-12);
+}
+
+TEST(AllReduceModel, PaperConstantsPredictPaperScale) {
+  const auto cal = ClusterCalibration::paper_rtx2080ti_64gpu();
+  // Fig. 7a: ~0.74 s to all-reduce 5e8 fp32 elements on 64 GPUs.
+  EXPECT_NEAR(cal.allreduce.time(500'000'000), 0.0122 + 1.45e-9 * 5e8, 1e-9);
+  EXPECT_GT(cal.allreduce.time(500'000'000), 0.7);
+  EXPECT_LT(cal.allreduce.time(500'000'000), 0.8);
+  EXPECT_NEAR(cal.allreduce.startup(), 1.22e-2, 1e-12);
+}
+
+TEST(BroadcastModel, PackedTriangleCost) {
+  const auto cal = ClusterCalibration::paper_rtx2080ti_64gpu();
+  const double by_dim = cal.broadcast.time_dim(4608);
+  const double by_elements = cal.broadcast.time_elements(4608ull * 4609 / 2);
+  EXPECT_DOUBLE_EQ(by_dim, by_elements);
+}
+
+TEST(InverseModel, PaperFitMatchesFig8Endpoint) {
+  const auto cal = ClusterCalibration::paper_rtx2080ti_64gpu();
+  // Fig. 8 shows ~0.18 s at d = 8192 on an RTX2080Ti.
+  EXPECT_NEAR(cal.inverse.time(8192), 0.18, 0.03);
+  // ...and a few milliseconds at small dims.
+  EXPECT_LT(cal.inverse.time(64), 0.005);
+}
+
+TEST(ComputeModel, ThroughputAndOverhead) {
+  ComputeModel m;
+  m.fwd_flops_per_s = 1e12;
+  m.kernel_overhead_s = 1e-5;
+  EXPECT_NEAR(m.fwd_time(1e9), 1e-3 + 1e-5, 1e-12);
+}
+
+TEST(PaperFabric, SingleGpuHasNoCommCost) {
+  const auto cal = ClusterCalibration::paper_fabric(1);
+  EXPECT_EQ(cal.allreduce.time(1'000'000), 0.0);
+  EXPECT_EQ(cal.broadcast.time_dim(1024), 0.0);
+  EXPECT_EQ(cal.world_size, 1);
+}
+
+TEST(PaperFabric, SixtyFourMatchesPaperPreset) {
+  const auto a = ClusterCalibration::paper_fabric(64);
+  const auto b = ClusterCalibration::paper_rtx2080ti_64gpu();
+  EXPECT_DOUBLE_EQ(a.allreduce.model.alpha, b.allreduce.model.alpha);
+  EXPECT_DOUBLE_EQ(a.allreduce.model.beta, b.allreduce.model.beta);
+  EXPECT_DOUBLE_EQ(a.broadcast.model.alpha, b.broadcast.model.alpha);
+}
+
+TEST(PaperFabric, CostsGrowWithWorldSize) {
+  const auto small = ClusterCalibration::paper_fabric(8);
+  const auto large = ClusterCalibration::paper_fabric(64);
+  EXPECT_LT(small.allreduce.time(100'000'000),
+            large.allreduce.time(100'000'000));
+  EXPECT_LT(small.broadcast.time_dim(4096), large.broadcast.time_dim(4096));
+}
+
+TEST(PaperFabric, RejectsNonPositiveWorld) {
+  EXPECT_THROW(ClusterCalibration::paper_fabric(0), std::invalid_argument);
+}
+
+TEST(Crossover, MatchesDirectComparison) {
+  const auto cal = ClusterCalibration::paper_rtx2080ti_64gpu();
+  const std::size_t cross =
+      ct_nct_crossover_dim(cal.inverse, cal.broadcast);
+  ASSERT_GT(cross, 0u);
+  ASSERT_LT(cross, 16384u);
+  EXPECT_LT(cal.inverse.time(cross), cal.broadcast.time_dim(cross));
+  EXPECT_GE(cal.inverse.time(cross + 1), cal.broadcast.time_dim(cross + 1));
+}
+
+TEST(Crossover, Fig11ShapeSmallTensorsAreNct) {
+  // Fig. 11: below the crossover the inverse is cheaper than broadcasting;
+  // above, broadcasting wins.  With the paper's constants the crossover sits
+  // in the low thousands of dimensions.
+  const auto cal = ClusterCalibration::paper_rtx2080ti_64gpu();
+  const std::size_t cross = ct_nct_crossover_dim(cal.inverse, cal.broadcast);
+  EXPECT_GT(cross, 500u);
+  EXPECT_LT(cross, 8192u);
+}
+
+class FitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitProperty, LinearFitIsExactOnLinearData) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coef(-5.0, 5.0);
+  const double alpha = coef(rng), beta = coef(rng);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = i * 3.7 + 1;
+    xs.push_back(x);
+    ys.push_back(alpha + beta * x);
+  }
+  const LinearModel m = fit_linear(xs, ys);
+  EXPECT_NEAR(m.alpha, alpha, 1e-8);
+  EXPECT_NEAR(m.beta, beta, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace spdkfac::perf

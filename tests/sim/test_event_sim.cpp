@@ -1,0 +1,256 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace spdkfac::sim {
+namespace {
+
+TEST(EventSim, SingleTask) {
+  EventSim es;
+  const int s = es.add_stream("comp");
+  es.add_task(TaskKind::kForward, 2.5, s);
+  const Schedule sched = es.run();
+  ASSERT_EQ(sched.tasks.size(), 1u);
+  EXPECT_EQ(sched.tasks[0].start, 0.0);
+  EXPECT_EQ(sched.tasks[0].end, 2.5);
+  EXPECT_EQ(sched.makespan, 2.5);
+}
+
+TEST(EventSim, StreamSerializesTasks) {
+  EventSim es;
+  const int s = es.add_stream("comp");
+  es.add_task(TaskKind::kForward, 1.0, s);
+  es.add_task(TaskKind::kForward, 2.0, s);
+  const Schedule sched = es.run();
+  EXPECT_EQ(sched.tasks[1].start, 1.0);
+  EXPECT_EQ(sched.tasks[1].end, 3.0);
+}
+
+TEST(EventSim, IndependentStreamsOverlap) {
+  EventSim es;
+  const int a = es.add_stream("a");
+  const int b = es.add_stream("b");
+  es.add_task(TaskKind::kForward, 3.0, a);
+  es.add_task(TaskKind::kGradComm, 2.0, b);
+  const Schedule sched = es.run();
+  EXPECT_EQ(sched.tasks[1].start, 0.0);
+  EXPECT_EQ(sched.makespan, 3.0);
+}
+
+TEST(EventSim, DependencyDelaysStart) {
+  EventSim es;
+  const int a = es.add_stream("a");
+  const int b = es.add_stream("b");
+  const int t0 = es.add_task(TaskKind::kForward, 3.0, a);
+  es.add_task(TaskKind::kGradComm, 1.0, b, {t0});
+  const Schedule sched = es.run();
+  EXPECT_EQ(sched.tasks[1].start, 3.0);
+  EXPECT_EQ(sched.makespan, 4.0);
+}
+
+TEST(EventSim, GangTaskOccupiesAllStreams) {
+  EventSim es;
+  const int a = es.add_stream("a");
+  const int b = es.add_stream("b");
+  es.add_task(TaskKind::kForward, 2.0, a);
+  // Gang over both streams: cannot start until stream a frees at t=2.
+  es.add_gang_task(TaskKind::kFactorComm, 1.0, {a, b});
+  es.add_task(TaskKind::kForward, 1.0, b);  // queued behind the gang on b
+  const Schedule sched = es.run();
+  EXPECT_EQ(sched.tasks[1].start, 2.0);
+  EXPECT_EQ(sched.tasks[2].start, 3.0);
+}
+
+TEST(EventSim, ForwardDependencyThrows) {
+  EventSim es;
+  const int s = es.add_stream("s");
+  EXPECT_THROW(es.add_task(TaskKind::kForward, 1.0, s, {5}),
+               std::logic_error);
+}
+
+TEST(EventSim, NegativeDurationThrows) {
+  EventSim es;
+  const int s = es.add_stream("s");
+  EXPECT_THROW(es.add_task(TaskKind::kForward, -1.0, s), std::logic_error);
+}
+
+TEST(EventSim, UnknownStreamThrows) {
+  EventSim es;
+  EXPECT_THROW(es.add_task(TaskKind::kForward, 1.0, 3), std::logic_error);
+}
+
+TEST(EventSim, DeterministicAcrossRuns) {
+  EventSim es;
+  const int a = es.add_stream("a");
+  const int b = es.add_stream("b");
+  int prev = -1;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<int> deps;
+    if (prev >= 0 && i % 3 == 0) deps.push_back(prev);
+    prev = es.add_task(i % 2 ? TaskKind::kGradComm : TaskKind::kForward,
+                       0.5 + i * 0.1, i % 2 ? b : a, deps);
+  }
+  const Schedule s1 = es.run();
+  const Schedule s2 = es.run();
+  ASSERT_EQ(s1.tasks.size(), s2.tasks.size());
+  for (std::size_t i = 0; i < s1.tasks.size(); ++i) {
+    EXPECT_EQ(s1.tasks[i].start, s2.tasks[i].start);
+    EXPECT_EQ(s1.tasks[i].end, s2.tasks[i].end);
+  }
+}
+
+TEST(Breakdown, ComputeHidesOverlappedComm) {
+  EventSim es;
+  const int comp = es.add_stream("comp");
+  const int comm = es.add_stream("comm");
+  es.add_task(TaskKind::kForward, 4.0, comp);
+  // Comm fully inside the compute window: contributes nothing.
+  es.add_task(TaskKind::kFactorComm, 2.0, comm);
+  const Schedule sched = es.run();
+  const Breakdown b = compute_breakdown(sched);
+  EXPECT_DOUBLE_EQ(b.ff_bp, 4.0);
+  EXPECT_DOUBLE_EQ(b.factor_comm, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), sched.makespan);
+}
+
+TEST(Breakdown, CommTailIsExposed) {
+  EventSim es;
+  const int comp = es.add_stream("comp");
+  const int comm = es.add_stream("comm");
+  const int f = es.add_task(TaskKind::kForward, 2.0, comp);
+  es.add_task(TaskKind::kFactorComm, 3.0, comm, {f});
+  const Schedule sched = es.run();
+  const Breakdown b = compute_breakdown(sched);
+  EXPECT_DOUBLE_EQ(b.ff_bp, 2.0);
+  EXPECT_DOUBLE_EQ(b.factor_comm, 3.0);
+  EXPECT_DOUBLE_EQ(b.total(), 5.0);
+}
+
+TEST(Breakdown, PartialOverlapSplitsCorrectly) {
+  EventSim es;
+  const int comp = es.add_stream("comp");
+  const int comm = es.add_stream("comm");
+  es.add_task(TaskKind::kForward, 2.0, comp);
+  es.add_task(TaskKind::kGradComm, 5.0, comm);  // starts at 0, ends at 5
+  const Schedule sched = es.run();
+  const Breakdown b = compute_breakdown(sched);
+  EXPECT_DOUBLE_EQ(b.ff_bp, 2.0);
+  EXPECT_DOUBLE_EQ(b.grad_comm, 3.0);  // only the non-overlapped tail
+  EXPECT_DOUBLE_EQ(b.total(), 5.0);
+}
+
+TEST(Breakdown, CategoriesAlwaysSumToMakespan) {
+  EventSim es;
+  const int comp = es.add_stream("comp");
+  const int comm = es.add_stream("comm");
+  int prev = -1;
+  for (int i = 0; i < 10; ++i) {
+    prev = es.add_task(i % 2 ? TaskKind::kBackward : TaskKind::kFactorComp,
+                       0.3 + 0.05 * i, comp, {});
+    es.add_task(i % 3 ? TaskKind::kFactorComm : TaskKind::kGradComm,
+                0.2 + 0.1 * i, comm, {prev});
+  }
+  const Schedule sched = es.run();
+  const Breakdown b = compute_breakdown(sched);
+  EXPECT_NEAR(b.total(), sched.makespan, 1e-9);
+}
+
+TEST(Breakdown, InverseCompBeatsInverseComm) {
+  EventSim es;
+  const int c0 = es.add_stream("g0.comp");
+  const int m1 = es.add_stream("g1.comm");
+  es.add_task(TaskKind::kInverseComp, 2.0, c0);
+  es.add_task(TaskKind::kInverseComm, 3.0, m1);
+  const Breakdown b = compute_breakdown(es.run());
+  EXPECT_DOUBLE_EQ(b.inverse_comp, 2.0);
+  EXPECT_DOUBLE_EQ(b.inverse_comm, 1.0);
+}
+
+TEST(Timeline, RendersRowsPerStream) {
+  EventSim es;
+  const int comp = es.add_stream("gpu0.comp");
+  const int comm = es.add_stream("gpu0.comm");
+  const int f = es.add_task(TaskKind::kForward, 1.0, comp);
+  es.add_task(TaskKind::kFactorComm, 1.0, comm, {f});
+  const Schedule sched = es.run();
+  const std::string art =
+      render_timeline(sched, {"gpu0.comp", "gpu0.comm"}, 40);
+  EXPECT_NE(art.find("gpu0.comp"), std::string::npos);
+  EXPECT_NE(art.find('F'), std::string::npos);
+  EXPECT_NE(art.find('c'), std::string::npos);
+}
+
+// Random-DAG schedule properties: streams never double-book, queue order is
+// preserved, dependencies are respected, and the makespan is exactly the
+// latest task end.
+class ScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, StreamsSerializeAndDepsHold) {
+  std::mt19937_64 rng(GetParam() * 101 + 13);
+  std::uniform_int_distribution<int> stream_count(1, 6);
+  std::uniform_int_distribution<int> task_count(1, 80);
+  std::uniform_real_distribution<double> duration(0.0, 2.0);
+  std::uniform_int_distribution<int> coin(0, 3);
+
+  EventSim es;
+  const int streams = stream_count(rng);
+  for (int s = 0; s < streams; ++s) es.add_stream("s" + std::to_string(s));
+
+  const int n = task_count(rng);
+  std::vector<std::vector<int>> deps_of(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> gang;
+    std::uniform_int_distribution<int> pick(0, streams - 1);
+    gang.push_back(pick(rng));
+    if (coin(rng) == 0 && streams > 1) {
+      const int extra = pick(rng);
+      if (extra != gang[0]) gang.push_back(extra);
+    }
+    std::vector<int> deps;
+    if (i > 0 && coin(rng) <= 1) {
+      std::uniform_int_distribution<int> dep(0, i - 1);
+      deps.push_back(dep(rng));
+    }
+    deps_of[i] = deps;
+    es.add_gang_task(TaskKind::kOther, duration(rng), gang, deps);
+  }
+
+  const Schedule sched = es.run();
+  double latest = 0.0;
+  for (const auto& t : sched.tasks) latest = std::max(latest, t.end);
+  EXPECT_EQ(sched.makespan, latest);
+
+  // Dependencies respected.
+  for (int i = 0; i < n; ++i) {
+    for (int d : deps_of[i]) {
+      EXPECT_GE(sched.tasks[i].start, sched.tasks[d].end) << i << "<-" << d;
+    }
+  }
+
+  // Per-stream: no overlap and insertion order preserved.
+  for (int s = 0; s < streams; ++s) {
+    double prev_end = 0.0;
+    for (const auto& t : sched.tasks) {
+      if (std::find(t.resources.begin(), t.resources.end(), s) ==
+          t.resources.end()) {
+        continue;
+      }
+      EXPECT_GE(t.start, prev_end - 1e-12);
+      prev_end = t.end;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, ::testing::Range(0, 15));
+
+TEST(TaskKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(TaskKind::kForward), "Forward");
+  EXPECT_STREQ(to_string(TaskKind::kInverseComm), "InverseComm");
+  EXPECT_STREQ(to_string(TaskKind::kOther), "Other");
+}
+
+}  // namespace
+}  // namespace spdkfac::sim

@@ -1,0 +1,103 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+namespace spdkfac::sim {
+namespace {
+
+Schedule tiny_schedule(EventSim& es) {
+  const int comp = es.add_stream("comp");
+  const int comm = es.add_stream("comm");
+  const int f = es.add_task(TaskKind::kForward, 1.0, comp, {}, "F1");
+  es.add_gang_task(TaskKind::kFactorComm, 0.5, {comm}, {f}, "CA0");
+  return es.run();
+}
+
+TEST(ChromeTrace, ContainsMetadataAndEvents) {
+  EventSim es;
+  const Schedule sched = tiny_schedule(es);
+  const std::string json = to_chrome_trace(sched, {"comp", "comm"}, "proc");
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"proc\""), std::string::npos);
+  EXPECT_NE(json.find("\"comp\""), std::string::npos);
+  EXPECT_NE(json.find("\"F1\""), std::string::npos);
+  EXPECT_NE(json.find("\"CA0\""), std::string::npos);
+  EXPECT_NE(json.find("\"factor_comm\""), std::string::npos);
+  // Complete events with microsecond duration.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":500000"), std::string::npos);
+}
+
+TEST(ChromeTrace, StartsAndEndsAsJsonArray) {
+  EventSim es;
+  const Schedule sched = tiny_schedule(es);
+  const std::string json = to_chrome_trace(sched, {"comp", "comm"});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');  // trailing newline after ]
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters) {
+  EventSim es;
+  const int s = es.add_stream("str\"eam");
+  es.add_task(TaskKind::kForward, 1.0, s, {}, "la\\bel");
+  const Schedule sched = es.run();
+  const std::string json = to_chrome_trace(sched, {"str\"eam"});
+  EXPECT_NE(json.find("str\\\"eam"), std::string::npos);
+  EXPECT_NE(json.find("la\\\\bel"), std::string::npos);
+}
+
+TEST(ChromeTrace, UnnamedStreamThrows) {
+  EventSim es;
+  const Schedule sched = tiny_schedule(es);
+  EXPECT_THROW(to_chrome_trace(sched, {"only-one"}), std::invalid_argument);
+}
+
+TEST(ChromeTrace, GangTasksAppearOnEveryStream) {
+  EventSim es;
+  const int a = es.add_stream("a");
+  const int b = es.add_stream("b");
+  es.add_gang_task(TaskKind::kFactorComm, 1.0, {a, b}, {}, "gang");
+  const std::string json = to_chrome_trace(es.run(), {"a", "b"});
+  // The gang event is emitted once per occupied stream.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"gang\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 6;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ChromeTrace, WritesFullIterationToDisk) {
+  const auto cal = perf::ClusterCalibration::paper_fabric(4);
+  auto spec = models::resnet50();
+  spec.layers.resize(6);
+  const auto res = simulate_iteration(spec, 8, cal,
+                                      AlgorithmConfig::spd_kfac());
+  const std::string path = "/tmp/spdkfac_trace_test.json";
+  write_chrome_trace(path, res.schedule, res.stream_names);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_GT(content.size(), 1000u);
+  EXPECT_NE(content.find("inverse_comp"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, WriteToBadPathThrows) {
+  EventSim es;
+  const Schedule sched = tiny_schedule(es);
+  EXPECT_THROW(
+      write_chrome_trace("/nonexistent-dir/x.json", sched, {"comp", "comm"}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spdkfac::sim

@@ -1,0 +1,211 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/random.hpp"
+
+namespace spdkfac::tensor {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 1.5);
+  for (double v : m.data()) EXPECT_EQ(v, 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, InitializerListRaggedThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AddSubtract) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  Matrix sum = a + b;
+  Matrix diff = b - a;
+  EXPECT_EQ(sum(1, 1), 44.0);
+  EXPECT_EQ(diff(0, 0), 9.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  Matrix a{{1, -2}};
+  Matrix b = 2.0 * a;
+  Matrix c = a * -1.0;
+  EXPECT_EQ(b(0, 1), -4.0);
+  EXPECT_EQ(c(0, 0), -1.0);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix a(3, 3);
+  a.add_diagonal(0.5);
+  EXPECT_EQ(a(0, 0), 0.5);
+  EXPECT_EQ(a(2, 2), 0.5);
+  EXPECT_EQ(a(0, 1), 0.0);
+}
+
+TEST(Matrix, AddDiagonalNonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.add_diagonal(1.0), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a{{3, 4}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix a{{1, -7}, {3, 2}};
+  EXPECT_EQ(a.max_abs(), 7.0);
+}
+
+TEST(Matrix, SetZero) {
+  Matrix a{{1, 2}, {3, 4}};
+  a.set_zero();
+  for (double v : a.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Matmul, SmallKnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Rng rng(7);
+  Matrix a = random_normal(4, 4, rng);
+  EXPECT_TRUE(allclose(matmul(a, Matrix::identity(4)), a));
+  EXPECT_TRUE(allclose(matmul(Matrix::identity(4), a), a));
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  Rng rng(11);
+  Matrix a = random_normal(5, 3, rng);
+  Matrix b = random_normal(5, 4, rng);
+  EXPECT_TRUE(allclose(matmul_tn(a, b), matmul(a.transposed(), b)));
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  Rng rng(13);
+  Matrix a = random_normal(4, 6, rng);
+  Matrix b = random_normal(5, 6, rng);
+  EXPECT_TRUE(allclose(matmul_nt(a, b), matmul(a, b.transposed())));
+}
+
+TEST(Matvec, MatchesMatmul) {
+  Rng rng(17);
+  Matrix a = random_normal(4, 3, rng);
+  std::vector<double> x{1.0, -2.0, 0.5};
+  const auto y = matvec(a, x);
+  ASSERT_EQ(y.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double expect = 0;
+    for (std::size_t j = 0; j < 3; ++j) expect += a(i, j) * x[j];
+    EXPECT_DOUBLE_EQ(y[i], expect);
+  }
+}
+
+TEST(Allclose, DetectsDifference) {
+  Matrix a{{1.0}};
+  Matrix b{{1.0 + 1e-6}};
+  EXPECT_FALSE(allclose(a, b, 1e-9, 1e-9));
+  EXPECT_TRUE(allclose(a, b, 1e-3, 1e-3));
+}
+
+TEST(Allclose, ShapeMismatchIsFalse) {
+  EXPECT_FALSE(allclose(Matrix(1, 2), Matrix(2, 1)));
+}
+
+TEST(MatrixPrint, ContainsDims) {
+  std::ostringstream os;
+  os << Matrix(2, 3);
+  EXPECT_NE(os.str().find("2x3"), std::string::npos);
+}
+
+// Associativity-style property sweep over random shapes.
+class MatmulProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulProperty, AssociativeWithinTolerance) {
+  Rng rng(GetParam());
+  std::uniform_int_distribution<std::size_t> dim(1, 12);
+  const std::size_t m = dim(rng), k = dim(rng), n = dim(rng), p = dim(rng);
+  Matrix a = random_normal(m, k, rng);
+  Matrix b = random_normal(k, n, rng);
+  Matrix c = random_normal(n, p, rng);
+  EXPECT_TRUE(allclose(matmul(matmul(a, b), c), matmul(a, matmul(b, c)),
+                       1e-9, 1e-9));
+}
+
+TEST_P(MatmulProperty, DistributesOverAddition) {
+  Rng rng(GetParam() + 1000);
+  std::uniform_int_distribution<std::size_t> dim(1, 12);
+  const std::size_t m = dim(rng), k = dim(rng), n = dim(rng);
+  Matrix a = random_normal(m, k, rng);
+  Matrix b = random_normal(k, n, rng);
+  Matrix c = random_normal(k, n, rng);
+  EXPECT_TRUE(allclose(matmul(a, b + c), matmul(a, b) + matmul(a, c), 1e-9,
+                       1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace spdkfac::tensor

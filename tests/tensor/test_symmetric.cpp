@@ -1,0 +1,101 @@
+#include "tensor/symmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/linalg.hpp"
+#include "tensor/random.hpp"
+
+namespace spdkfac::tensor {
+namespace {
+
+TEST(PackedSize, MatchesTriangleNumbers) {
+  EXPECT_EQ(packed_size(0), 0u);
+  EXPECT_EQ(packed_size(1), 1u);
+  EXPECT_EQ(packed_size(2), 3u);
+  EXPECT_EQ(packed_size(64), 2080u);      // paper's smallest ResNet-50 factor
+  EXPECT_EQ(packed_size(4608), 10619136u);  // paper's largest
+}
+
+TEST(PackedIndex, RowMajorUpperTriangle) {
+  // d = 3: layout (0,0)(0,1)(0,2)(1,1)(1,2)(2,2).
+  EXPECT_EQ(packed_index(0, 0, 3), 0u);
+  EXPECT_EQ(packed_index(0, 2, 3), 2u);
+  EXPECT_EQ(packed_index(1, 1, 3), 3u);
+  EXPECT_EQ(packed_index(1, 2, 3), 4u);
+  EXPECT_EQ(packed_index(2, 2, 3), 5u);
+}
+
+TEST(SymmetricPacked, ZeroInitialized) {
+  SymmetricPacked p(4);
+  EXPECT_EQ(p.dim(), 4u);
+  EXPECT_EQ(p.size(), 10u);
+  for (double v : p.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SymmetricPacked, AtIsSymmetricView) {
+  SymmetricPacked p(3);
+  p.at(0, 2) = 5.0;
+  EXPECT_EQ(p.at(2, 0), 5.0);
+  p.at(2, 1) = -1.0;
+  EXPECT_EQ(p.at(1, 2), -1.0);
+}
+
+TEST(SymmetricPacked, PackRejectsNonSquare) {
+  EXPECT_THROW(SymmetricPacked::pack(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(PackUnpack, RoundTripsExactly) {
+  Rng rng(42);
+  for (std::size_t d : {1u, 2u, 5u, 17u, 64u}) {
+    Matrix spd = random_spd(d, rng);
+    SymmetricPacked p = SymmetricPacked::pack(spd);
+    Matrix back = p.unpack();
+    EXPECT_EQ(max_abs_diff(spd, back), 0.0) << "d=" << d;
+  }
+}
+
+TEST(PackUpper, WrongSpanSizeThrows) {
+  Matrix a = Matrix::identity(3);
+  std::vector<double> too_small(5);
+  EXPECT_THROW(pack_upper(a, too_small), std::invalid_argument);
+}
+
+TEST(UnpackUpper, WrongSizeThrows) {
+  Matrix a(3, 3);
+  std::vector<double> packed(5);
+  EXPECT_THROW(unpack_upper(packed, a), std::invalid_argument);
+}
+
+TEST(PackUnpack, UpperTriangleIsTruth) {
+  // Asymmetric input: pack takes the upper triangle and unpack mirrors it.
+  Matrix a{{1, 2}, {999, 3}};
+  Matrix back = SymmetricPacked::pack(a).unpack();
+  EXPECT_EQ(back(0, 1), 2.0);
+  EXPECT_EQ(back(1, 0), 2.0);
+  EXPECT_EQ(back(1, 1), 3.0);
+}
+
+TEST(PackUnpack, InversesSurvivePackedTransport) {
+  // The real optimizer ships damped inverses as packed triangles; since
+  // spd_inverse symmetrizes, transport must be lossless.
+  Rng rng(77);
+  Matrix inv = spd_inverse(random_spd(24, rng));
+  Matrix back = SymmetricPacked::pack(inv).unpack();
+  EXPECT_EQ(max_abs_diff(inv, back), 0.0);
+}
+
+class PackedRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedRoundTrip, RandomSymmetricRoundTrip) {
+  const std::size_t d = GetParam();
+  Rng rng(d);
+  Matrix m = random_normal(d, d, rng);
+  symmetrize(m);
+  EXPECT_EQ(max_abs_diff(SymmetricPacked::pack(m).unpack(), m), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PackedRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 31, 100));
+
+}  // namespace
+}  // namespace spdkfac::tensor
