@@ -32,6 +32,7 @@ int main() {
       "\nPaper Table II: 25.6/54/32/62.3/14.6, 60.2/156/8/162.0/32.9,\n"
       "20.0/201/16/131.0/18.0, 42.7/150/16/116.4/4.7.\n"
       "All cells match within 3%% except DenseNet-201 sum(G): the paper\n"
-      "prints 18.0M where the architecture yields 1.81M (see DESIGN.md).\n");
+      "prints 18.0M where the architecture yields 1.81M (see\n"
+      "docs/ARCHITECTURE.md, \"Modeling notes\").\n");
   return 0;
 }

@@ -90,7 +90,8 @@ struct BroadcastModel {
 ///   * kCubic — t = overhead + coef * d^3, the Cholesky cost law plus a
 ///     kernel-launch floor.  The simulator prices inverse tasks with this
 ///     form (calibrated to Fig. 8's large-d endpoint) so that per-layer
-///     sums reproduce the breakdown figures; see DESIGN.md.
+///     sums reproduce the breakdown figures; see docs/ARCHITECTURE.md
+///     ("Modeling notes").
 struct InverseModel {
   enum class Form { kExponential, kCubic };
   Form form = Form::kExponential;

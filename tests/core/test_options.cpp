@@ -1,0 +1,50 @@
+// Coverage for DistKfacOptions defaults and to_string(DistStrategy).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/dist_kfac.hpp"
+
+namespace spdkfac::core {
+namespace {
+
+TEST(DistKfacOptionsTest, DefaultsMatchPaperConfiguration) {
+  DistKfacOptions opts;
+  EXPECT_DOUBLE_EQ(opts.lr, 0.05);
+  EXPECT_DOUBLE_EQ(opts.damping, 3e-2);
+  EXPECT_DOUBLE_EQ(opts.stat_decay, 0.95);
+  EXPECT_EQ(opts.factor_update_freq, 1u);
+  EXPECT_EQ(opts.inverse_update_freq, 1u);
+  EXPECT_DOUBLE_EQ(opts.kl_clip, 0.0);
+  EXPECT_EQ(opts.inverse_method, InverseMethod::kCholesky);
+  EXPECT_FALSE(opts.pi_damping);
+  EXPECT_EQ(opts.strategy, DistStrategy::kSpdKfac);
+  EXPECT_EQ(opts.balance, BalanceMetric::kEstimatedTime);
+}
+
+TEST(DistStrategyTest, ToStringNamesEachStrategy) {
+  EXPECT_STREQ(to_string(DistStrategy::kDKfac), "D-KFAC");
+  EXPECT_STREQ(to_string(DistStrategy::kMpdKfac), "MPD-KFAC");
+  EXPECT_STREQ(to_string(DistStrategy::kSpdKfac), "SPD-KFAC");
+}
+
+TEST(DistStrategyTest, ToStringRoundTripsUniquely) {
+  const DistStrategy all[] = {DistStrategy::kDKfac, DistStrategy::kMpdKfac,
+                              DistStrategy::kSpdKfac};
+  std::map<std::string, DistStrategy> by_name;
+  for (DistStrategy s : all) {
+    const char* name = to_string(s);
+    ASSERT_NE(name, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    auto [it, inserted] = by_name.emplace(name, s);
+    EXPECT_TRUE(inserted) << "duplicate strategy name: " << name;
+  }
+  // Name -> strategy -> name is the identity: names are a faithful key.
+  for (const auto& [name, s] : by_name) {
+    EXPECT_EQ(name, to_string(s));
+  }
+}
+
+}  // namespace
+}  // namespace spdkfac::core
