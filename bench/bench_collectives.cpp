@@ -1,0 +1,116 @@
+// Collective algorithm sweep: message size x world size x topology.
+//
+// For each cluster shape, prices one all-reduce of every algorithm in the
+// library across message sizes (the paper's Fig. 7 grid extended downwards
+// to the latency-bound region), marks the selector's choice, and verifies
+// the acceptance invariant: the chosen algorithm is never priced worse
+// than the always-ring baseline.  A second section runs the paper's
+// measure-then-fit workflow on this machine's in-process cluster
+// (perf::fit_selector) and reports the fitted per-algorithm terms, and a
+// third simulates full SPD-KFAC iterations (ResNet-50, batch 32) with ring
+// vs auto-selected collectives per topology.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "models/model_spec.hpp"
+#include "perf/measure.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+using namespace spdkfac;
+
+namespace {
+
+std::string shape_name(const comm::Topology& topo) {
+  return std::to_string(topo.nodes) + "x" + std::to_string(topo.gpus_per_node) +
+         " (P=" + std::to_string(topo.world_size()) + ")";
+}
+
+void sweep_topology(const comm::Topology& topo) {
+  const comm::AlgorithmSelector sel(topo);
+  std::printf("\nTopology %s — predicted all-reduce cost (ms), * = chosen\n",
+              shape_name(topo).c_str());
+  bench::Table table({"elements", "ring", "halving-doubling", "flat-tree",
+                      "hierarchical", "chosen"});
+  bool auto_ok = true;
+  for (std::size_t m = 1; m <= (std::size_t{1} << 26); m <<= 3) {
+    const comm::AllReduceAlgo chosen = sel.choose(m);
+    std::vector<std::string> row{bench::fmt("%.0f", static_cast<double>(m))};
+    for (comm::AllReduceAlgo algo : comm::kAllReduceAlgos) {
+      if (!sel.available(algo)) {
+        row.push_back("-");
+        continue;
+      }
+      std::string cell = bench::fmt("%.3f", sel.cost(algo, m) * 1e3);
+      if (algo == chosen) cell += " *";
+      row.push_back(std::move(cell));
+    }
+    row.push_back(comm::to_string(chosen));
+    table.add_row(std::move(row));
+    auto_ok &= sel.best_cost(m) <= sel.cost(comm::AllReduceAlgo::kRing, m);
+  }
+  table.print();
+  std::printf("auto <= ring at every size: %s\n", auto_ok ? "yes" : "NO");
+}
+
+void fitted_selector_section() {
+  const comm::Topology topo = comm::Topology::multi_node(2, 2);
+  const std::vector<std::size_t> sizes{1 << 10, 1 << 12, 1 << 14, 1 << 16,
+                                       1 << 18};
+  std::printf(
+      "\n[Local] fitted selector on the in-process cluster, topology %s\n",
+      shape_name(topo).c_str());
+  const comm::AlgorithmSelector fitted = perf::fit_selector(topo, sizes);
+  bench::Table table({"algorithm", "fitted alpha (s)", "fitted beta (s/elem)",
+                      "t(64K) ms"});
+  for (comm::AllReduceAlgo algo : comm::kAllReduceAlgos) {
+    if (!fitted.available(algo)) continue;
+    const comm::LinkModel term = fitted.term(algo);
+    table.add_row({comm::to_string(algo), bench::fmt("%.3e", term.alpha),
+                   bench::fmt("%.3e", term.beta),
+                   bench::fmt("%.3f", fitted.cost(algo, 1 << 16) * 1e3)});
+  }
+  table.print();
+  std::printf("fitted choice at 1K: %s, at 256K: %s\n",
+              comm::to_string(fitted.choose(1 << 10)),
+              comm::to_string(fitted.choose(1 << 18)));
+}
+
+void iteration_section() {
+  const models::ModelSpec model = models::resnet50();
+  std::printf("\nSimulated SPD-KFAC iteration (ResNet-50, batch 32): ring vs "
+              "auto-selected collectives\n");
+  bench::Table table({"topology", "ring (ms)", "auto (ms)", "speedup"});
+  for (const comm::Topology& topo :
+       {comm::Topology::flat(16), comm::Topology::flat(64),
+        comm::Topology::multi_node(2, 4), comm::Topology::multi_node(4, 8),
+        comm::Topology::multi_node(8, 8)}) {
+    const auto cal = perf::ClusterCalibration::for_topology(topo);
+    sim::AlgorithmConfig ring = sim::AlgorithmConfig::spd_kfac();
+    sim::AlgorithmConfig autosel = ring;
+    autosel.collective_algo = comm::AllReduceAlgo::kAuto;
+    const double t_ring = sim::iteration_time(model, 32, cal, ring);
+    const double t_auto = sim::iteration_time(model, 32, cal, autosel);
+    table.add_row({shape_name(topo), bench::millis(t_ring),
+                   bench::millis(t_auto),
+                   bench::fmt("%.2fx", t_ring / t_auto)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Collectives",
+                      "Topology-aware all-reduce algorithm library");
+  for (const comm::Topology& topo :
+       {comm::Topology::flat(4), comm::Topology::flat(12),
+        comm::Topology::flat(64), comm::Topology::multi_node(2, 2),
+        comm::Topology::multi_node(4, 8), comm::Topology::multi_node(8, 8)}) {
+    sweep_topology(topo);
+  }
+  fitted_selector_section();
+  iteration_section();
+  return 0;
+}

@@ -23,10 +23,11 @@ double AsyncCommEngine::now_s() const {
 }
 
 CommHandle AsyncCommEngine::all_reduce_async(std::span<double> data,
-                                             ReduceOp op, std::string name) {
+                                             ReduceOp op, std::string name,
+                                             AllReduceAlgo algo) {
   return submit(
-      [data, op](Communicator& comm) {
-        comm.all_reduce(data, op);
+      [data, op, algo](Communicator& comm) {
+        comm.all_reduce(data, op, algo);
       },
       std::move(name), data.size());
 }

@@ -87,9 +87,12 @@ class AsyncCommEngine {
 
   /// Queues an in-place all-reduce over `data`.  The caller must keep the
   /// underlying buffer alive and untouched until the handle completes.
+  /// `algo` picks the collective algorithm (kAuto: per size/topology); all
+  /// ranks must pass the same algorithm for the same operation.
   CommHandle all_reduce_async(std::span<double> data,
                               ReduceOp op = ReduceOp::kAverage,
-                              std::string name = "allreduce");
+                              std::string name = "allreduce",
+                              AllReduceAlgo algo = AllReduceAlgo::kRing);
 
   /// Queues an in-place broadcast from `root`.
   CommHandle broadcast_async(std::span<double> data, int root,

@@ -3,48 +3,37 @@
 #include <algorithm>
 #include <exception>
 #include <mutex>
-#include <numeric>
 #include <stdexcept>
 #include <thread>
 
+#include "comm/collectives.hpp"
+
 namespace spdkfac::comm {
 
-namespace {
-
-/// Splits n elements into `parts` contiguous segments as evenly as possible
-/// (first n % parts segments get one extra element).  Returns segment sizes.
-std::vector<std::size_t> even_partition(std::size_t n, std::size_t parts) {
-  std::vector<std::size_t> counts(parts, n / parts);
-  for (std::size_t i = 0; i < n % parts; ++i) ++counts[i];
-  return counts;
-}
-
-std::vector<std::size_t> offsets_of(std::span<const std::size_t> counts) {
-  std::vector<std::size_t> offsets(counts.size() + 1, 0);
-  std::partial_sum(counts.begin(), counts.end(), offsets.begin() + 1);
-  return offsets;
-}
-
-void accumulate(std::span<double> dst, std::span<const double> src,
-                ReduceOp op) {
-  if (op == ReduceOp::kMax) {
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = std::max(dst[i], src[i]);
-    }
-  } else {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
-  }
-}
-
-}  // namespace
+// Every ReduceOp flows through the same two shared helpers (also used by
+// the alternative algorithms in collectives.cpp): detail::accumulate for
+// the elementwise combine (kSum/kAverage add, kMax maxes) and
+// detail::finalize for the single end-of-reduction kAverage division —
+// so the scalar and _v collectives cannot drift apart in op handling.
+using detail::accumulate;
+using detail::even_partition;
+using detail::finalize;
+using detail::offsets_of;
 
 // ---------------------------------------------------------------------------
 // Cluster
 // ---------------------------------------------------------------------------
 
-Cluster::Cluster(int size) : size_(size), barrier_(static_cast<size_t>(size)) {
-  if (size <= 0) throw std::invalid_argument("Cluster size must be positive");
-  channels_.resize(static_cast<std::size_t>(size) * size);
+Cluster::Cluster(int size) : Cluster(Topology::flat(size)) {}
+
+Cluster::Cluster(const Topology& topo)
+    : size_(topo.world_size()),
+      topology_(topo),
+      barrier_(static_cast<size_t>(std::max(topo.world_size(), 1))) {
+  if (topo.nodes <= 0 || topo.gpus_per_node <= 0) {
+    throw std::invalid_argument("Cluster size must be positive");
+  }
+  channels_.resize(static_cast<std::size_t>(size_) * size_);
   for (auto& ch : channels_) ch = std::make_unique<Channel>();
 }
 
@@ -74,6 +63,12 @@ void Cluster::launch(int size, const std::function<void(Communicator&)>& fn) {
   cluster.run(fn);
 }
 
+void Cluster::launch(const Topology& topo,
+                     const std::function<void(Communicator&)>& fn) {
+  Cluster cluster(topo);
+  cluster.run(fn);
+}
+
 // ---------------------------------------------------------------------------
 // Communicator
 // ---------------------------------------------------------------------------
@@ -87,6 +82,10 @@ Channel& Communicator::channel_from(int src) {
 }
 
 void Communicator::barrier() { cluster_->barrier_.arrive_and_wait(); }
+
+const Topology& Communicator::topology() const noexcept {
+  return cluster_->topology_;
+}
 
 void Communicator::send(int dst, std::span<const double> payload) {
   if (dst < 0 || dst >= size_) throw std::invalid_argument("send: bad rank");
@@ -116,10 +115,7 @@ void Communicator::reduce_scatter_v(std::span<double> data,
   if (offsets.back() != data.size()) {
     throw std::invalid_argument("reduce_scatter_v: counts do not sum to size");
   }
-  if (size_ == 1) {
-    if (op == ReduceOp::kAverage) { /* sum of one, nothing to do */ }
-    return;
-  }
+  if (size_ == 1) return;  // sum/max/average of one value is itself
 
   const int right = (rank_ + 1) % size_;
   const int left = (rank_ + size_ - 1) % size_;
@@ -146,11 +142,9 @@ void Communicator::reduce_scatter_v(std::span<double> data,
     accumulate(recv_view, recv_buf, op);
   }
 
-  if (op == ReduceOp::kAverage) {
-    std::span<double> own = data.subspan(offsets[rank_], counts[rank_]);
-    const double inv = 1.0 / size_;
-    for (double& v : own) v *= inv;
-  }
+  // Op finalization on the reduced (own) segment only — the other segments
+  // are unspecified on return.
+  finalize(data.subspan(offsets[rank_], counts[rank_]), op, size_);
 }
 
 void Communicator::all_gather_v(std::span<double> data,

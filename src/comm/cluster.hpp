@@ -2,9 +2,10 @@
 //
 // Cluster::run(P, fn) spawns P threads, each receiving a Communicator bound
 // to its rank.  The Communicator offers MPI/NCCL-style collectives (ring
-// all-reduce, binomial-tree broadcast, reduce-scatter, all-gather) that move
-// real data through the Channel mailboxes, substituting for the paper's
-// 64-GPU InfiniBand fabric while preserving collective semantics:
+// all-reduce, binomial-tree broadcast, reduce-scatter, all-gather — plus the
+// alternative all-reduce algorithms of collectives.hpp, selectable per call)
+// that move real data through the Channel mailboxes, substituting for the
+// paper's 64-GPU InfiniBand fabric while preserving collective semantics:
 //   * all ranks must call collectives in the same order with matching sizes;
 //   * results are bitwise identical on every rank (ring reduction applies
 //     additions in a rank-independent order per segment).
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "comm/channel.hpp"
+#include "comm/topology.hpp"
 
 namespace spdkfac::comm {
 
@@ -24,6 +26,16 @@ enum class ReduceOp {
   kSum,
   kAverage,  // sum / world size, applied once after reduction
   kMax,
+};
+
+/// All-reduce algorithm (see collectives.hpp for the implementations and
+/// AlgorithmSelector for the size/topology-based choice).
+enum class AllReduceAlgo {
+  kRing,             ///< reduce-scatter + all-gather ring (bandwidth-optimal)
+  kHalvingDoubling,  ///< Rabenseifner recursive halving/doubling (low latency)
+  kFlatTree,         ///< reduce to rank 0 + binomial broadcast
+  kHierarchical,     ///< intra-node reduce, leader ring, intra-node broadcast
+  kAuto,             ///< pick per message size/topology via AlgorithmSelector
 };
 
 class Cluster;
@@ -48,6 +60,16 @@ class Communicator {
   /// Ring all-reduce (reduce-scatter + all-gather, 2*(P-1) steps).  In-place;
   /// every rank ends with the identical reduced vector.
   void all_reduce(std::span<double> data, ReduceOp op = ReduceOp::kSum);
+
+  /// All-reduce with an explicit algorithm (kAuto selects per message size
+  /// and cluster topology).  Every algorithm preserves the collective
+  /// contract: results are bitwise identical on every rank, though different
+  /// algorithms may round differently (floating-point reassociation).
+  void all_reduce(std::span<double> data, ReduceOp op, AllReduceAlgo algo);
+
+  /// The cluster shape this communicator runs on (flat unless the Cluster
+  /// was built from an explicit Topology).
+  const Topology& topology() const noexcept;
 
   /// Binomial-tree broadcast from `root`; in-place on non-root ranks.
   void broadcast(std::span<double> data, int root);
@@ -86,7 +108,12 @@ class Cluster {
  public:
   explicit Cluster(int size);
 
+  /// Cluster shaped as `topo` (topo.world_size() ranks); the hierarchical
+  /// collective and kAuto selection use the shape and link models.
+  explicit Cluster(const Topology& topo);
+
   int size() const noexcept { return size_; }
+  const Topology& topology() const noexcept { return topology_; }
 
   /// Runs `fn(comm)` on one thread per rank and joins them all.  If any
   /// worker throws, the first exception is rethrown on the caller's thread
@@ -97,10 +124,15 @@ class Cluster {
   /// Convenience: builds a cluster of `size` ranks and runs `fn`.
   static void launch(int size, const std::function<void(Communicator&)>& fn);
 
+  /// Convenience: builds a cluster shaped as `topo` and runs `fn`.
+  static void launch(const Topology& topo,
+                     const std::function<void(Communicator&)>& fn);
+
  private:
   friend class Communicator;
 
   int size_;
+  Topology topology_;
   Barrier barrier_;
   // channels_[src * size_ + dst]
   std::vector<std::unique_ptr<Channel>> channels_;

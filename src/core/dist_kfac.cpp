@@ -38,7 +38,8 @@ DistKfacOptimizer::DistKfacOptimizer(
     : layers_(std::move(layers)),
       comm_(comm),
       engine_(comm),
-      options_(options) {
+      options_(options),
+      selector_(comm.topology()) {
   if (layers_.empty()) {
     throw std::invalid_argument("DistKfacOptimizer: no preconditioned layers");
   }
@@ -69,7 +70,9 @@ void DistKfacOptimizer::sync_measured_times() {
   std::copy(a_comp_seconds_.begin(), a_comp_seconds_.end(), buffer.begin());
   std::copy(g_comp_seconds_.begin(), g_comp_seconds_.end(),
             buffer.begin() + L);
-  engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, "factor-times")
+  engine_
+      .all_reduce_async(buffer, comm::ReduceOp::kAverage, "factor-times",
+                        collective_algo(buffer.size()))
       .wait();
   std::copy(buffer.begin(), buffer.begin() + L, a_comp_seconds_.begin());
   std::copy(buffer.begin() + L, buffer.end(), g_comp_seconds_.begin());
@@ -165,7 +168,9 @@ void DistKfacOptimizer::aggregate_factors_bulk(bool compute_factors) {
     offset += ng;
   }
 
-  engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, "factors-bulk")
+  engine_
+      .all_reduce_async(buffer, comm::ReduceOp::kAverage, "factors-bulk",
+                        collective_algo(buffer.size()))
       .wait();
 
   offset = 0;
@@ -225,7 +230,9 @@ void DistKfacOptimizer::aggregate_gradients() {
       std::copy(grad.begin(), grad.end(), buffer.begin() + offset);
       offset += grad.size();
     }
-    engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, "gradients")
+    engine_
+        .all_reduce_async(buffer, comm::ReduceOp::kAverage, "gradients",
+                          collective_algo(buffer.size()))
         .wait();
     offset = 0;
     for (std::size_t l : group) {
@@ -299,7 +306,8 @@ nn::PassHooks DistKfacOptimizer::pass_hooks() {
       if (l == group_layers.back()) {
         grad_handles_[grad_group_index_] = engine_.all_reduce_async(
             buffer, comm::ReduceOp::kAverage,
-            "wfbp-grad" + std::to_string(grad_group_index_));
+            "wfbp-grad" + std::to_string(grad_group_index_),
+            collective_algo(buffer.size()));
         ++grad_group_index_;
       }
     }
@@ -324,7 +332,8 @@ void DistKfacOptimizer::on_after_forward(std::size_t l) {
   if (l == group.last) {
     hooked_a_.handles[hooked_a_.current] = engine_.all_reduce_async(
         buffer, comm::ReduceOp::kAverage,
-        "A-group" + std::to_string(hooked_a_.current));
+        "A-group" + std::to_string(hooked_a_.current),
+        collective_algo(buffer.size()));
     ++hooked_a_.current;
   }
 }
@@ -345,7 +354,8 @@ void DistKfacOptimizer::on_after_backward(std::size_t l) {
   if (i == group.last) {
     hooked_g_.handles[hooked_g_.current] = engine_.all_reduce_async(
         buffer, comm::ReduceOp::kAverage,
-        "G-group" + std::to_string(hooked_g_.current));
+        "G-group" + std::to_string(hooked_g_.current),
+        collective_algo(buffer.size()));
     ++hooked_g_.current;
   }
 }

@@ -30,6 +30,7 @@
 
 #include "comm/async_engine.hpp"
 #include "comm/cluster.hpp"
+#include "comm/collectives.hpp"
 #include "core/fusion.hpp"
 #include "core/kfac_optimizer.hpp"
 #include "core/placement.hpp"
@@ -55,6 +56,13 @@ struct DistKfacOptions {
   bool pi_damping = false;  ///< see KfacOptions::pi_damping
   DistStrategy strategy = DistStrategy::kSpdKfac;
   BalanceMetric balance = BalanceMetric::kEstimatedTime;
+
+  /// All-reduce algorithm for every factor/gradient aggregation.  kRing
+  /// reproduces the seed's collectives; kAuto picks per message size and
+  /// the cluster's Topology through an AlgorithmSelector built at
+  /// construction (identical on every rank, so the engine's collective
+  /// ordering contract holds); any concrete algorithm forces it.
+  comm::AllReduceAlgo collective_algo = comm::AllReduceAlgo::kRing;
 
   /// Cost models used for planning only (fusion rule, Algorithm 1, CT/NCT).
   /// Defaults are rough in-process-cluster figures; examples re-fit them
@@ -95,6 +103,14 @@ class DistKfacOptimizer {
 
   std::size_t steps() const noexcept { return step_count_; }
   DistStrategy strategy() const noexcept { return options_.strategy; }
+
+  /// Algorithm this optimizer submits for an all-reduce of `elements`
+  /// doubles (resolves kAuto through the topology-derived selector).
+  comm::AllReduceAlgo collective_algo(std::size_t elements) const {
+    return options_.collective_algo == comm::AllReduceAlgo::kAuto
+               ? selector_.choose(elements)
+               : options_.collective_algo;
+  }
 
   /// Inverse placement in effect (fixed after the first step).
   const Placement& placement() const noexcept { return placement_; }
@@ -180,6 +196,7 @@ class DistKfacOptimizer {
   comm::Communicator& comm_;
   comm::AsyncCommEngine engine_;
   DistKfacOptions options_;
+  comm::AlgorithmSelector selector_;  ///< kAuto resolution (rank-identical)
 
   std::vector<LayerState> state_;
   std::vector<tensor::Matrix> fresh_a_, fresh_g_;

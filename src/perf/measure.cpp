@@ -1,5 +1,6 @@
 #include "perf/measure.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -34,13 +35,14 @@ std::vector<Sample> measure_inverse_times(std::span<const std::size_t> dims,
 namespace {
 
 std::vector<Sample> measure_collective(std::span<const std::size_t> sizes,
-                                       int world, int runs, int warmup,
-                                       bool broadcast) {
+                                       const comm::Topology& topo, int runs,
+                                       int warmup, bool broadcast,
+                                       comm::AllReduceAlgo algo) {
   std::vector<Sample> samples;
   samples.reserve(sizes.size());
   for (std::size_t n : sizes) {
     double elapsed = 0.0;
-    comm::Cluster::launch(world, [&](comm::Communicator& comm) {
+    comm::Cluster::launch(topo, [&](comm::Communicator& comm) {
       std::vector<double> buf(n, comm.rank() + 1.0);
       // Warm the channels, then time from a barrier so all ranks start
       // together; rank 0's wall clock is the reported sample.
@@ -48,7 +50,7 @@ std::vector<Sample> measure_collective(std::span<const std::size_t> sizes,
         if (broadcast) {
           comm.broadcast(buf, 0);
         } else {
-          comm.all_reduce(buf, comm::ReduceOp::kSum);
+          comm.all_reduce(buf, comm::ReduceOp::kSum, algo);
         }
       }
       comm.barrier();
@@ -57,7 +59,7 @@ std::vector<Sample> measure_collective(std::span<const std::size_t> sizes,
         if (broadcast) {
           comm.broadcast(buf, 0);
         } else {
-          comm.all_reduce(buf, comm::ReduceOp::kSum);
+          comm.all_reduce(buf, comm::ReduceOp::kSum, algo);
         }
       }
       comm.barrier();
@@ -75,13 +77,42 @@ std::vector<Sample> measure_collective(std::span<const std::size_t> sizes,
 }  // namespace
 
 std::vector<Sample> measure_allreduce_times(std::span<const std::size_t> sizes,
-                                            int world, int runs, int warmup) {
-  return measure_collective(sizes, world, runs, warmup, /*broadcast=*/false);
+                                            int world, int runs, int warmup,
+                                            comm::AllReduceAlgo algo) {
+  return measure_collective(sizes, comm::Topology::flat(world), runs, warmup,
+                            /*broadcast=*/false, algo);
+}
+
+std::vector<Sample> measure_allreduce_times(std::span<const std::size_t> sizes,
+                                            const comm::Topology& topo,
+                                            comm::AllReduceAlgo algo, int runs,
+                                            int warmup) {
+  return measure_collective(sizes, topo, runs, warmup, /*broadcast=*/false,
+                            algo);
 }
 
 std::vector<Sample> measure_broadcast_times(std::span<const std::size_t> sizes,
                                             int world, int runs, int warmup) {
-  return measure_collective(sizes, world, runs, warmup, /*broadcast=*/true);
+  return measure_collective(sizes, comm::Topology::flat(world), runs, warmup,
+                            /*broadcast=*/true, comm::AllReduceAlgo::kRing);
+}
+
+comm::AlgorithmSelector fit_selector(const comm::Topology& topo,
+                                     std::span<const std::size_t> sizes,
+                                     int runs, int warmup) {
+  comm::AlgorithmSelector selector(topo);
+  for (comm::AllReduceAlgo algo : comm::kAllReduceAlgos) {
+    if (!selector.available(algo)) continue;
+    const auto samples =
+        measure_allreduce_times(sizes, topo, algo, runs, warmup);
+    const LinearModel fit = fit_comm_model(samples);
+    // Noise-dominated small-message samples can drive the OLS intercept
+    // (or slope) negative; a negative term would make this algorithm's
+    // cost negative and win every selection, so clamp to physical values.
+    selector.set_term(algo, comm::LinkModel{std::max(fit.alpha, 0.0),
+                                            std::max(fit.beta, 0.0)});
+  }
+  return selector;
 }
 
 InverseModel fit_inverse_model(std::span<const Sample> samples) {

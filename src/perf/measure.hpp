@@ -30,11 +30,17 @@ double time_mean(const std::function<void()>& fn, int runs = 5,
 std::vector<Sample> measure_inverse_times(std::span<const std::size_t> dims,
                                           int runs = 3, int warmup = 1);
 
-/// Measures in-process ring all-reduce across `world` worker threads for
-/// each message size in `sizes` (element counts).
-std::vector<Sample> measure_allreduce_times(std::span<const std::size_t> sizes,
-                                            int world, int runs = 3,
-                                            int warmup = 1);
+/// Measures in-process all-reduce across `world` worker threads for each
+/// message size in `sizes` (element counts), using the given algorithm
+/// (flat topology; ring by default, matching the seed's behaviour).
+std::vector<Sample> measure_allreduce_times(
+    std::span<const std::size_t> sizes, int world, int runs = 3,
+    int warmup = 1, comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing);
+
+/// Measures one algorithm on an in-process cluster shaped as `topo`.
+std::vector<Sample> measure_allreduce_times(
+    std::span<const std::size_t> sizes, const comm::Topology& topo,
+    comm::AllReduceAlgo algo, int runs = 3, int warmup = 1);
 
 /// Measures in-process binomial broadcast (root 0) across `world` workers.
 std::vector<Sample> measure_broadcast_times(std::span<const std::size_t> sizes,
@@ -46,5 +52,15 @@ InverseModel fit_inverse_model(std::span<const Sample> samples);
 
 /// Fits Eq. (14) (or Eq. (27) when x is an element count) to comm samples.
 LinearModel fit_comm_model(std::span<const Sample> samples);
+
+/// The paper's one-time benchmarking workflow applied to the algorithm
+/// library: measures every concrete algorithm on an in-process cluster
+/// shaped as `topo` over `sizes`, fits a linear model per algorithm, and
+/// returns a selector whose terms are the fitted models — i.e. a selector
+/// calibrated to *this machine's* transport instead of the closed-form
+/// link constants.
+comm::AlgorithmSelector fit_selector(const comm::Topology& topo,
+                                     std::span<const std::size_t> sizes,
+                                     int runs = 3, int warmup = 1);
 
 }  // namespace spdkfac::perf

@@ -124,6 +124,35 @@ ClusterCalibration ClusterCalibration::paper_fabric(int world_size) {
   return cal;
 }
 
+ClusterCalibration ClusterCalibration::for_topology(const comm::Topology& topo) {
+  const int world = topo.world_size();
+  if (world < 1) {
+    throw std::invalid_argument("for_topology: world_size must be >= 1");
+  }
+  ClusterCalibration cal = paper_fabric(world);
+  cal.topology = topo;
+  cal.collectives = comm::AlgorithmSelector(topo);
+  cal.topology_aware = true;
+  const comm::LinkModel ring = cal.collectives.term(comm::AllReduceAlgo::kRing);
+  cal.allreduce.model = LinearModel{ring.alpha, ring.beta};
+  cal.name = "topo-" + std::to_string(topo.nodes) + "x" +
+             std::to_string(topo.gpus_per_node);
+  return cal;
+}
+
+comm::AlgorithmSelector ClusterCalibration::effective_selector() const {
+  if (topology_aware) return collectives;
+  comm::Topology t = comm::Topology::flat(std::max(world_size, 1));
+  if (world_size > 1) {
+    // Invert the ring closed form so the derived selector's ring term
+    // reproduces this calibration's fitted Eq. (14) constants.
+    const double p = static_cast<double>(world_size);
+    t.inter.alpha = allreduce.model.alpha / (2.0 * (p - 1.0));
+    t.inter.beta = allreduce.model.beta * p / (2.0 * (p - 1.0));
+  }
+  return comm::AlgorithmSelector(t);
+}
+
 std::size_t ct_nct_crossover_dim(const InverseModel& inv,
                                  const BroadcastModel& bcast,
                                  std::size_t d_max) {

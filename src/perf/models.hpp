@@ -17,6 +17,9 @@
 #include <span>
 #include <string>
 
+#include "comm/collectives.hpp"
+#include "comm/topology.hpp"
+
 namespace spdkfac::perf {
 
 /// t(x) = alpha + beta * x.
@@ -151,6 +154,14 @@ struct ClusterCalibration {
   InverseModel inverse;
   ComputeModel compute;
 
+  /// Cluster shape plus per-algorithm all-reduce cost terms (the NCCL-style
+  /// algorithm switching the paper's fixed flat testbed never needed).
+  /// Populated by for_topology(); calibrations built any other way stay
+  /// ring-only and price every all-reduce with `allreduce` above.
+  comm::Topology topology;
+  comm::AlgorithmSelector collectives;
+  bool topology_aware = false;
+
   /// The paper's testbed: 64x Nvidia RTX2080Ti over 100Gb/s InfiniBand,
   /// constants as fitted in Figs. 7 and 8:
   ///   alpha_ar = 1.22e-2, beta_ar = 1.45e-9,
@@ -170,6 +181,20 @@ struct ClusterCalibration {
   /// P and per-element cost approaches 2(P-1)/P / bandwidth, so we rescale
   /// both terms accordingly when simulating other cluster sizes.
   static ClusterCalibration paper_fabric(int world_size);
+
+  /// Topology-aware calibration: paper_fabric compute/inverse/broadcast
+  /// constants for topo.world_size() workers, plus an AlgorithmSelector
+  /// built from topo's link models.  The ring `allreduce` model is replaced
+  /// by the selector's ring term so that "always ring" baselines and the
+  /// selector price the same algorithm identically (the Eq. (14) role is
+  /// unchanged: t = alpha + beta*m, just derived from the links).
+  static ClusterCalibration for_topology(const comm::Topology& topo);
+
+  /// The selector to price/choose all-reduce algorithms with.  For
+  /// topology-aware calibrations this is `collectives`; otherwise a flat
+  /// selector is derived from the ring `allreduce` fit so non-ring pricing
+  /// stays consistent with this calibration's Eq. (14) constants.
+  comm::AlgorithmSelector effective_selector() const;
 };
 
 /// Crossover dimension of Fig. 11: the largest d (searched over [1, d_max])

@@ -54,6 +54,44 @@ struct CommOp {
   double duration = 0.0;
   std::vector<int> deps;
   std::string label;
+  std::size_t elements = 0;
+  comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
+};
+
+/// Prices one gang all-reduce under the config's algorithm policy: kRing
+/// keeps the seed's Eq. (14) pricing; otherwise the calibration's selector
+/// supplies (or picks, for kAuto) the algorithm and its alpha+beta*m cost.
+class CollectivePricer {
+ public:
+  CollectivePricer(const perf::ClusterCalibration& cal,
+                   const AlgorithmConfig& cfg)
+      : cal_(cal), policy_(cfg.collective_algo) {
+    if (policy_ != comm::AllReduceAlgo::kRing) {
+      selector_ = cal.effective_selector();
+    }
+  }
+
+  std::pair<double, comm::AllReduceAlgo> price(std::size_t elements) const {
+    if (policy_ == comm::AllReduceAlgo::kRing) {
+      return {cal_.allreduce.time(elements), comm::AllReduceAlgo::kRing};
+    }
+    const comm::AllReduceAlgo algo = policy_ == comm::AllReduceAlgo::kAuto
+                                         ? selector_.choose(elements)
+                                         : policy_;
+    return {selector_.cost(algo, elements), algo};
+  }
+
+  /// Trace labels carry the algorithm only when the config departs from
+  /// the seed's implicit ring (keeps seed-era golden labels stable).
+  std::string decorate(std::string label, comm::AllReduceAlgo algo) const {
+    if (policy_ == comm::AllReduceAlgo::kRing) return label;
+    return label + "@" + comm::to_string(algo);
+  }
+
+ private:
+  const perf::ClusterCalibration& cal_;
+  comm::AllReduceAlgo policy_;
+  comm::AlgorithmSelector selector_;
 };
 
 core::FusionPolicy to_policy(FactorCommMode mode) {
@@ -164,6 +202,7 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   // -------------------------------------------------------------------
   std::vector<CommOp> comm_ops;
   double factor_comm_busy = 0.0;
+  const CollectivePricer pricer(cal, cfg);
 
   if (world > 1) {
     // Gradients: threshold fusion over backward order (Horovod default in
@@ -181,10 +220,13 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
           CommOp op;
           op.ready = grad_ready[l];
           op.kind = TaskKind::kGradComm;
-          op.duration = cal.allreduce.time(acc);
+          std::tie(op.duration, op.algo) = pricer.price(acc);
+          op.elements = acc;
           op.deps = {b_id[l]};
-          op.label = "grad[" + std::to_string(l) + ".." +
-                     std::to_string(group_tail_layer) + "]";
+          op.label = pricer.decorate("grad[" + std::to_string(l) + ".." +
+                                         std::to_string(group_tail_layer) +
+                                         "]",
+                                     op.algo);
           comm_ops.push_back(std::move(op));
           acc = 0;
         }
@@ -206,8 +248,9 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
             g_sizes_rev.begin(), g_sizes_rev.end(), std::size_t{0});
         CommOp a_op;
         a_op.kind = TaskKind::kFactorComm;
-        a_op.duration = cal.allreduce.time(a_total);
-        a_op.label = "A-bulk";
+        std::tie(a_op.duration, a_op.algo) = pricer.price(a_total);
+        a_op.elements = a_total;
+        a_op.label = pricer.decorate("A-bulk", a_op.algo);
         if (cfg.factor_comm == FactorCommMode::kNaive) {
           // Naive pipelining: ship all A factors while the backward pass
           // computes the G factors.
@@ -219,10 +262,11 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
         }
         CommOp g_op;
         g_op.kind = TaskKind::kFactorComm;
-        g_op.duration = cal.allreduce.time(g_total);
+        std::tie(g_op.duration, g_op.algo) = pricer.price(g_total);
+        g_op.elements = g_total;
         g_op.ready = bwd_end;
         g_op.deps = {last_comp_id};
-        g_op.label = "G-bulk";
+        g_op.label = pricer.decorate("G-bulk", g_op.algo);
         factor_comm_busy += a_op.duration + g_op.duration;
         comm_ops.push_back(std::move(a_op));
         comm_ops.push_back(std::move(g_op));
@@ -244,10 +288,12 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
           CommOp op;
           op.ready = g.ready_time;
           op.kind = TaskKind::kFactorComm;
-          op.duration = cal.allreduce.time(g.elements);
+          std::tie(op.duration, op.algo) = pricer.price(g.elements);
+          op.elements = g.elements;
           op.deps = {a_comp_id[g.last]};
-          op.label = "A[" + std::to_string(g.first) + ".." +
-                     std::to_string(g.last) + "]";
+          op.label = pricer.decorate("A[" + std::to_string(g.first) + ".." +
+                                         std::to_string(g.last) + "]",
+                                     op.algo);
           factor_comm_busy += op.duration;
           comm_ops.push_back(std::move(op));
         }
@@ -255,11 +301,13 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
           CommOp op;
           op.ready = g.ready_time;
           op.kind = TaskKind::kFactorComm;
-          op.duration = cal.allreduce.time(g.elements);
+          std::tie(op.duration, op.algo) = pricer.price(g.elements);
+          op.elements = g.elements;
           // Index i in the reversed G sequence maps to layer L-1-i.
           op.deps = {g_comp_id[L - 1 - g.last]};
-          op.label = "G[" + std::to_string(g.first) + ".." +
-                     std::to_string(g.last) + "]";
+          op.label = pricer.decorate("G[" + std::to_string(g.first) + ".." +
+                                         std::to_string(g.last) + "]",
+                                     op.algo);
           factor_comm_busy += op.duration;
           comm_ops.push_back(std::move(op));
         }
@@ -272,6 +320,7 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
                      });
   }
 
+  IterationResult result;
   std::vector<int> factor_comm_ids;
   for (const CommOp& op : comm_ops) {
     const auto& streams = op.kind == TaskKind::kGradComm
@@ -280,9 +329,10 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
     const int id =
         es.add_gang_task(op.kind, op.duration, streams, op.deps, op.label);
     if (op.kind == TaskKind::kFactorComm) factor_comm_ids.push_back(id);
+    result.collectives.push_back(
+        {op.label, op.kind, op.elements, op.algo, op.duration});
   }
 
-  IterationResult result;
   result.algorithm = cfg.name;
   result.factor_comm_busy = factor_comm_busy;
 

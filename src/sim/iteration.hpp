@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/collectives.hpp"
 #include "core/fusion.hpp"
 #include "core/placement.hpp"
 #include "models/model_spec.hpp"
@@ -53,6 +54,11 @@ struct AlgorithmConfig {
   /// Gradient aggregation is always WFBP + threshold fusion (the Horovod
   /// default the paper keeps for gradients in every algorithm).
   std::size_t grad_fusion_threshold = core::kHorovodThresholdElements;
+  /// All-reduce algorithm used to price every gang collective (gradients
+  /// and factors).  kRing reproduces the seed exactly; kAuto selects per
+  /// message size/topology via the calibration's AlgorithmSelector
+  /// (NCCL-style switching); any concrete algorithm forces that algorithm.
+  comm::AllReduceAlgo collective_algo = comm::AllReduceAlgo::kRing;
 
   static AlgorithmConfig sgd();       ///< SGD / S-SGD (depends on world size)
   static AlgorithmConfig kfac();      ///< single-GPU KFAC = D-KFAC at P=1
@@ -61,12 +67,26 @@ struct AlgorithmConfig {
   static AlgorithmConfig spd_kfac();  ///< pipelined fusion + LBP
 };
 
+/// One priced gang all-reduce of the iteration: which algorithm the
+/// config/selector assigned and the closed-form cost it was charged
+/// (duration of the matching schedule task).
+struct CollectiveChoice {
+  std::string label;   ///< schedule/trace label of the gang task
+  TaskKind kind = TaskKind::kOther;
+  std::size_t elements = 0;
+  comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
+  double seconds = 0.0;
+};
+
 struct IterationResult {
   std::string algorithm;
   double total = 0.0;  ///< iteration wall-clock (schedule makespan)
   Breakdown breakdown;
   Schedule schedule;
   std::vector<std::string> stream_names;
+
+  /// Per-collective algorithm choices in submission order (world > 1).
+  std::vector<CollectiveChoice> collectives;
 
   /// Factor-communication diagnostics (Fig. 10): total communicated time vs
   /// the non-overlapped residue in `breakdown.factor_comm`.

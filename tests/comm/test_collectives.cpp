@@ -208,6 +208,65 @@ TEST(ReduceScatterV, OwnSegmentHoldsReducedValues) {
   });
 }
 
+// Regression: every ReduceOp must flow through the _v collectives exactly
+// as it does through all_reduce (shared detail::accumulate/finalize path) —
+// kMax and kAverage must not be special cases of the scalar entry point.
+TEST(ReduceScatterV, MaxReducesElementwiseThroughUnevenSegments) {
+  const int world = 4;
+  const std::vector<std::size_t> counts{3, 0, 5, 2};
+  Cluster::launch(world, [&](Communicator& comm) {
+    std::vector<double> data(10);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      // Rank holding the max alternates with i; max over ranks of
+      // (r+1)*s is 4*s for s > 0.
+      const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+      data[i] = sign * (comm.rank() + 1) * (static_cast<double>(i) + 1.0);
+    }
+    comm.reduce_scatter_v(data, counts, ReduceOp::kMax);
+    std::size_t offset = 0;
+    for (int p = 0; p < comm.rank(); ++p) offset += counts[p];
+    for (std::size_t i = 0; i < counts[comm.rank()]; ++i) {
+      const std::size_t j = offset + i;
+      const double expect = (j % 2 == 0)
+                                ? 4.0 * (static_cast<double>(j) + 1.0)
+                                : -1.0 * (static_cast<double>(j) + 1.0);
+      EXPECT_EQ(data[j], expect) << "j=" << j;
+    }
+  });
+}
+
+TEST(ReduceScatterV, MaxThenAllGatherMatchesAllReduceMax) {
+  const int world = 3;
+  const std::size_t n = 10;  // not divisible by world
+  Cluster::launch(world, [&](Communicator& comm) {
+    std::vector<double> via_v(n), via_allreduce(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      via_v[i] = via_allreduce[i] =
+          std::cos(static_cast<double>(i) * (comm.rank() + 1));
+    }
+    std::vector<std::size_t> counts(world, n / world);
+    for (std::size_t r = 0; r < n % world; ++r) ++counts[r];
+    comm.reduce_scatter_v(via_v, counts, ReduceOp::kMax);
+    comm.all_gather_v(via_v, counts);
+    comm.all_reduce(via_allreduce, ReduceOp::kMax);
+    EXPECT_EQ(via_v, via_allreduce);  // identical path => bitwise equal
+  });
+}
+
+TEST(ReduceScatterV, AverageDividesOwnSegmentOnce) {
+  const int world = 4;
+  const std::vector<std::size_t> counts{1, 3, 2, 1};
+  Cluster::launch(world, [&](Communicator& comm) {
+    std::vector<double> data(7, static_cast<double>(comm.rank()));
+    comm.reduce_scatter_v(data, counts, ReduceOp::kAverage);
+    std::size_t offset = 0;
+    for (int p = 0; p < comm.rank(); ++p) offset += counts[p];
+    for (std::size_t i = 0; i < counts[comm.rank()]; ++i) {
+      EXPECT_NEAR(data[offset + i], 1.5, 1e-12);  // mean of 0..3
+    }
+  });
+}
+
 TEST(ReduceScatterV, CountMismatchThrows) {
   Cluster::launch(2, [](Communicator& comm) {
     std::vector<double> data(4);

@@ -309,5 +309,61 @@ TEST(DistKfac, UpdateFrequenciesReduceWork) {
   });
 }
 
+/// Real-numerics path of the collective algorithm library: training on a
+/// hierarchical topology with the auto-selected algorithms must keep ranks
+/// bitwise identical and match the ring run up to the floating-point
+/// reassociation the different reduction orders introduce.
+TEST(DistKfac, TopologyAwareCollectivesMatchRingNumerics) {
+  const comm::Topology topo = comm::Topology::multi_node(2, 2);
+  auto train = [&](comm::AllReduceAlgo algo) {
+    std::vector<std::vector<Matrix>> final_weights(topo.world_size());
+    comm::Cluster::launch(topo, [&](comm::Communicator& comm) {
+      nn::Sequential model = make_model();
+      auto layers = model.preconditioned_layers();
+      DistKfacOptions opts;
+      opts.strategy = DistStrategy::kSpdKfac;
+      opts.lr = 0.1;
+      opts.damping = 0.1;
+      opts.stat_decay = 0.5;
+      opts.collective_algo = algo;
+      DistKfacOptimizer optimizer(layers, comm, opts);
+      if (algo == comm::AllReduceAlgo::kAuto) {
+        // On a 2x2 hierarchy the default link models never pick the ring.
+        EXPECT_NE(optimizer.collective_algo(1), comm::AllReduceAlgo::kRing);
+        EXPECT_NE(optimizer.collective_algo(1 << 22),
+                  comm::AllReduceAlgo::kRing);
+      }
+      nn::SyntheticClassification data(kClasses, kIn, 1, kDataSeed);
+      Rng shard_rng(1000 + comm.rank());
+      for (int s = 0; s < 3; ++s) {
+        run_pass(model, data, shard_rng, 8);
+        optimizer.step();
+      }
+      std::vector<Matrix> weights;
+      for (auto* l : layers) weights.push_back(l->weight());
+      final_weights[comm.rank()] = std::move(weights);
+    });
+    return final_weights;
+  };
+
+  const auto ring = train(comm::AllReduceAlgo::kRing);
+  const auto autosel = train(comm::AllReduceAlgo::kAuto);
+  const auto hd = train(comm::AllReduceAlgo::kHalvingDoubling);
+  for (const auto& run : {ring, autosel, hd}) {
+    for (int r = 1; r < topo.world_size(); ++r) {
+      for (std::size_t l = 0; l < run[r].size(); ++l) {
+        EXPECT_EQ(tensor::max_abs_diff(run[r][l], run[0][l]), 0.0)
+            << "rank " << r << " layer " << l;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < ring[0].size(); ++l) {
+    EXPECT_TRUE(tensor::allclose(autosel[0][l], ring[0][l], 1e-8, 1e-10))
+        << "auto vs ring, layer " << l;
+    EXPECT_TRUE(tensor::allclose(hd[0][l], ring[0][l], 1e-8, 1e-10))
+        << "halving-doubling vs ring, layer " << l;
+  }
+}
+
 }  // namespace
 }  // namespace spdkfac::core

@@ -1,0 +1,154 @@
+// Cross-validation of the simulator against the collective cost models:
+// every gang all-reduce the event-sim schedules must be priced exactly at
+// the closed-form alpha + beta*m cost of the algorithm the selector chose,
+// the auto-selector must never price worse than the always-ring baseline,
+// and the breakdown accounting must keep summing to the makespan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+
+namespace spdkfac::sim {
+namespace {
+
+/// A deliberately small model: two conv layers plus the classifier head.
+models::ModelSpec tiny_model() {
+  models::ModelSpec spec;
+  spec.name = "tiny-cnn";
+  spec.input_channels = 3;
+  spec.input_hw = 32;
+  spec.default_batch = 8;
+  models::LayerSpec c1;
+  c1.name = "conv1";
+  c1.kind = models::LayerKind::kConv2d;
+  c1.in_channels = 3;
+  c1.out_channels = 16;
+  c1.kernel_h = c1.kernel_w = 3;
+  c1.out_h = c1.out_w = 32;
+  models::LayerSpec c2 = c1;
+  c2.name = "conv2";
+  c2.in_channels = 16;
+  c2.out_channels = 32;
+  c2.out_h = c2.out_w = 16;
+  models::LayerSpec fc;
+  fc.name = "fc";
+  fc.kind = models::LayerKind::kLinear;
+  fc.in_channels = 32;
+  fc.out_channels = 10;
+  fc.has_bias = true;
+  spec.layers = {c1, c2, fc};
+  return spec;
+}
+
+TEST(CollectiveCosts, SimTimingsEqualClosedFormOfSelectedAlgorithm) {
+  const comm::Topology topo = comm::Topology::multi_node(2, 2);
+  const auto cal = perf::ClusterCalibration::for_topology(topo);
+  AlgorithmConfig cfg = AlgorithmConfig::spd_kfac();
+  cfg.collective_algo = comm::AllReduceAlgo::kAuto;
+
+  const auto res = simulate_iteration(tiny_model(), 8, cal, cfg);
+  ASSERT_FALSE(res.collectives.empty());
+
+  for (const CollectiveChoice& c : res.collectives) {
+    // The charged duration is exactly the chosen algorithm's alpha+beta*m.
+    EXPECT_DOUBLE_EQ(c.seconds, cal.collectives.cost(c.algo, c.elements))
+        << c.label;
+    // The label exposes the choice and maps back to one schedule task of
+    // the same duration.
+    EXPECT_NE(c.label.find('@'), std::string::npos) << c.label;
+    const auto task = std::find_if(
+        res.schedule.tasks.begin(), res.schedule.tasks.end(),
+        [&](const ScheduledTask& t) { return t.label == c.label; });
+    ASSERT_NE(task, res.schedule.tasks.end()) << c.label;
+    // end = start + duration in the event sim; recovering the duration by
+    // subtraction is only ULP-exact, so allow a tiny absolute slack.
+    EXPECT_NEAR(task->end - task->start, c.seconds, 1e-12) << c.label;
+  }
+
+  // On a 2x2 hierarchy the default link models make the two-level
+  // algorithm strictly cheaper than the ring, so the selector must have
+  // moved off the ring somewhere.
+  EXPECT_TRUE(std::any_of(
+      res.collectives.begin(), res.collectives.end(),
+      [](const CollectiveChoice& c) {
+        return c.algo != comm::AllReduceAlgo::kRing;
+      }));
+}
+
+TEST(CollectiveCosts, RingDefaultKeepsSeedPricingAndLabels) {
+  const comm::Topology topo = comm::Topology::multi_node(2, 2);
+  const auto cal = perf::ClusterCalibration::for_topology(topo);
+  const AlgorithmConfig cfg = AlgorithmConfig::spd_kfac();  // default kRing
+
+  const auto res = simulate_iteration(tiny_model(), 8, cal, cfg);
+  ASSERT_FALSE(res.collectives.empty());
+  for (const CollectiveChoice& c : res.collectives) {
+    EXPECT_EQ(c.algo, comm::AllReduceAlgo::kRing);
+    EXPECT_EQ(c.label.find('@'), std::string::npos) << c.label;
+    EXPECT_DOUBLE_EQ(c.seconds, cal.allreduce.time(c.elements)) << c.label;
+  }
+}
+
+TEST(CollectiveCosts, BreakdownStillSumsToMakespan) {
+  const models::ModelSpec model = tiny_model();
+  for (const comm::Topology& topo :
+       {comm::Topology::flat(4), comm::Topology::multi_node(2, 2),
+        comm::Topology::multi_node(4, 2)}) {
+    const auto cal = perf::ClusterCalibration::for_topology(topo);
+    for (auto base : {AlgorithmConfig::dkfac(), AlgorithmConfig::spd_kfac()}) {
+      for (comm::AllReduceAlgo algo :
+           {comm::AllReduceAlgo::kRing, comm::AllReduceAlgo::kAuto,
+            comm::AllReduceAlgo::kHalvingDoubling}) {
+        AlgorithmConfig cfg = base;
+        cfg.collective_algo = algo;
+        const auto res = simulate_iteration(model, 8, cal, cfg);
+        EXPECT_NEAR(res.breakdown.total(), res.total, 1e-9)
+            << cfg.name << " @" << comm::to_string(algo) << " on "
+            << topo.nodes << "x" << topo.gpus_per_node;
+      }
+    }
+  }
+}
+
+// Acceptance: under the calibrated cost models the auto-selector is never
+// worse than the always-ring baseline — per collective at every swept
+// message size, and end-to-end for whole simulated iterations — on both
+// flat and hierarchical topologies.
+TEST(CollectiveCosts, AutoNeverWorseThanRingAtAnySweptSize) {
+  for (const comm::Topology& topo :
+       {comm::Topology::flat(4), comm::Topology::flat(16),
+        comm::Topology::flat(64), comm::Topology::multi_node(2, 2),
+        comm::Topology::multi_node(4, 8), comm::Topology::multi_node(8, 8)}) {
+    const auto cal = perf::ClusterCalibration::for_topology(topo);
+    for (std::size_t m = 1; m <= (std::size_t{1} << 27); m <<= 1) {
+      const auto algo = cal.collectives.choose(m);
+      EXPECT_LE(cal.collectives.cost(algo, m), cal.allreduce.time(m))
+          << topo.nodes << "x" << topo.gpus_per_node << " m=" << m;
+    }
+  }
+}
+
+TEST(CollectiveCosts, AutoIterationNeverSlowerThanRingIteration) {
+  const auto model = models::resnet50();
+  for (const comm::Topology& topo :
+       {comm::Topology::flat(16), comm::Topology::multi_node(4, 4)}) {
+    const auto cal = perf::ClusterCalibration::for_topology(topo);
+    for (auto base : {AlgorithmConfig::dkfac(), AlgorithmConfig::spd_kfac()}) {
+      AlgorithmConfig ring = base, autosel = base;
+      ring.collective_algo = comm::AllReduceAlgo::kRing;
+      autosel.collective_algo = comm::AllReduceAlgo::kAuto;
+      const double t_ring = iteration_time(model, 32, cal, ring);
+      const double t_auto = iteration_time(model, 32, cal, autosel);
+      // Shrinking task durations cannot delay anything in the event sim.
+      EXPECT_LE(t_auto, t_ring * (1.0 + 1e-12))
+          << base.name << " on " << topo.nodes << "x" << topo.gpus_per_node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spdkfac::sim
