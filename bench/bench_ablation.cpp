@@ -15,7 +15,7 @@ int main() {
   using namespace spdkfac;
   bench::print_header("Fig. 13", "Ablation of pipelining and LBP (64 GPUs)");
 
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   struct Variant {
     const char* name;
     sim::FactorCommMode fc;
@@ -59,8 +59,8 @@ int main() {
   for (const auto& spec : models::paper_models()) {
     std::vector<double> times;
     for (auto metric :
-         {core::BalanceMetric::kDim, core::BalanceMetric::kDimSquared,
-          core::BalanceMetric::kEstimatedTime}) {
+         {sched::BalanceMetric::kDim, sched::BalanceMetric::kDimSquared,
+          sched::BalanceMetric::kEstimatedTime}) {
       sim::AlgorithmConfig cfg = sim::AlgorithmConfig::spd_kfac();
       cfg.balance = metric;
       times.push_back(

@@ -34,7 +34,7 @@ bench::Table make_table() {
 }  // namespace
 
 int main() {
-  const auto cal64 = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal64 = bench::cal64();
   const auto cal1 = perf::ClusterCalibration::paper_fabric(1);
 
   bench::print_header(

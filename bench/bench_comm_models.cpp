@@ -50,7 +50,7 @@ int main() {
          perf::measure_broadcast_times(sizes, world, 3, 1));
 
   // --- the paper's fitted constants over its message grid ----------------
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   std::printf(
       "\n[Paper] 64x RTX2080Ti over 100Gb/s InfiniBand (published fits):\n"
       "  all-reduce: alpha = 1.22e-2 s, beta = 1.45e-9 s/element\n"

@@ -16,7 +16,7 @@ int main() {
   bench::print_header("Fig. 11",
                       "Inverse compute vs broadcast cost crossover");
 
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   const auto paper_inv = perf::ClusterCalibration::fig8_inverse_model();
 
   bench::Table table({"dim", "exp inv (ms)", "Fig7b bcast (ms)",

@@ -31,7 +31,7 @@ int main() {
   local.print();
 
   const auto paper_exp = perf::ClusterCalibration::fig8_inverse_model();
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   std::printf(
       "\n[Paper] RTX2080Ti fit: alpha_inv = 3.64e-3, beta_inv = 4.77e-4\n"
       "vs the simulator's cubic law (matched to the same d = 8192 endpoint;\n"

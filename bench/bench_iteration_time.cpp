@@ -19,7 +19,7 @@ int main() {
   bench::print_header("Table III",
                       "Average iteration time (s) and speedups, 64 GPUs");
 
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   bench::Table table(
       {"Model", "D-KFAC", "MPD-KFAC", "SPD-KFAC", "SP1", "SP2"});
   for (const auto& spec : models::paper_models()) {

@@ -2,9 +2,10 @@
 // collectives, and planning primitives everything else is built on.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "comm/cluster.hpp"
-#include "core/fusion.hpp"
-#include "core/placement.hpp"
+#include "sched/fusion.hpp"
+#include "sched/placement.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
 #include "sim/iteration.hpp"
@@ -70,34 +71,34 @@ BENCHMARK(BM_RingAllReduce)
 
 void BM_FusionPlanning(benchmark::State& state) {
   const auto spec = models::resnet152();
-  core::FusionPlanInput input;
+  sched::FusionPlanInput input;
   double clock = 0.0;
   for (const auto& layer : spec.layers) {
     clock += 1e-3;
     input.ready_times.push_back(clock);
     input.sizes.push_back(layer.a_elements());
   }
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::plan_fusion(input, cal.allreduce,
-                                               core::FusionPolicy::kOptimal));
+    benchmark::DoNotOptimize(sched::plan_fusion(input, cal.allreduce,
+                                               sched::FusionPolicy::kOptimal));
   }
 }
 BENCHMARK(BM_FusionPlanning);
 
 void BM_LbpPlacement(benchmark::State& state) {
   const auto dims = models::densenet201().factor_dims();
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::lbp_place(dims, 64, cal.inverse, cal.bcast_fabric));
+        sched::lbp_place(dims, 64, cal.inverse, cal.bcast_fabric));
   }
 }
 BENCHMARK(BM_LbpPlacement);
 
 void BM_SimulateIteration(benchmark::State& state) {
   const auto spec = models::resnet50();
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   const auto cfg = sim::AlgorithmConfig::spd_kfac();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::simulate_iteration(spec, 32, cal, cfg));

@@ -17,7 +17,7 @@ int main() {
       "Fig. 10",
       "Factor computation + non-overlapped factor communication (s)");
 
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   const std::vector<std::pair<const char*, sim::FactorCommMode>> variants{
       {"Naive", sim::FactorCommMode::kNaive},
       {"LW w/o TF", sim::FactorCommMode::kLayerWise},

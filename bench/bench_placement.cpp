@@ -5,7 +5,7 @@
 // InverseComp / InverseComm breakdown of the inverse phase plus Algorithm
 // 1's own Eq. (21) prediction and placement statistics.
 #include "bench_util.hpp"
-#include "core/placement.hpp"
+#include "sched/placement.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
 #include "sim/iteration.hpp"
@@ -14,7 +14,7 @@ int main() {
   using namespace spdkfac;
   bench::print_header("Fig. 12", "Inverse placement policies, 64 GPUs");
 
-  const auto cal = perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  const auto& cal = bench::cal64();
   const std::vector<std::pair<const char*, sim::InverseMode>> variants{
       {"Non-Dist", sim::InverseMode::kLocalAll},
       {"Seq-Dist", sim::InverseMode::kSeqDist},
@@ -47,9 +47,9 @@ int main() {
   for (const auto& spec : models::paper_models()) {
     const auto dims = spec.factor_dims();
     const auto placement =
-        core::lbp_place(dims, 64, cal.inverse, cal.bcast_fabric);
+        sched::lbp_place(dims, 64, cal.inverse, cal.bcast_fabric);
     const auto cost =
-        core::predict_cost(placement, dims, cal.inverse, cal.bcast_fabric);
+        sched::predict_cost(placement, dims, cal.inverse, cal.bcast_fabric);
     predict.add_row({spec.name, bench::seconds(cost.max_seconds),
                      bench::seconds(cost.bottleneck_comp),
                      bench::seconds(cost.bottleneck_comm)});

@@ -7,20 +7,12 @@
 // This is a mechanism demonstration, not a performance claim: the
 // in-process transport is memcpy-fast, so absolute gains are small; the
 // cluster-scale numbers live in bench_iteration_time (simulator).
-#include <chrono>
-#include <mutex>
-
 #include "bench_util.hpp"
-#include "comm/cluster.hpp"
-#include "core/dist_kfac.hpp"
-#include "nn/data.hpp"
-#include "nn/layers.hpp"
 
 using namespace spdkfac;
 
 namespace {
 
-constexpr int kWorld = 4;
 constexpr int kSteps = 5;
 
 struct Stats {
@@ -31,50 +23,23 @@ struct Stats {
 };
 
 Stats run(core::DistStrategy strategy, bool hooked) {
-  Stats stats;
-  std::mutex mu;
-  comm::Cluster::launch(kWorld, [&](comm::Communicator& comm) {
-    tensor::Rng init(99);
-    nn::Sequential model = nn::make_small_cnn(1, 12, 8, 16, 5, init);
-    auto layers = model.preconditioned_layers();
-    core::DistKfacOptions opts;
-    opts.strategy = strategy;
-    core::DistKfacOptimizer optimizer(layers, comm, opts);
-    nn::SyntheticClassification data(5, 1, 12, 3);
-    tensor::Rng shard(17 + comm.rank());
-    nn::SoftmaxCrossEntropy loss;
+  bench::DistTrainConfig cfg;
+  cfg.strategy = strategy;
+  cfg.hooked = hooked;
+  cfg.steps = kSteps;
+  const bench::DistTrainResult res = bench::dist_train(cfg);
 
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int s = 0; s < kSteps; ++s) {
-      nn::Batch batch = data.sample(8, shard);
-      if (hooked) {
-        const nn::PassHooks hooks = optimizer.pass_hooks();
-        loss.forward(model.forward(batch.inputs, hooks), batch.labels);
-        model.backward(loss.backward(), hooks);
-      } else {
-        loss.forward(model.forward(batch.inputs), batch.labels);
-        model.backward(loss.backward());
-      }
-      optimizer.step();
-    }
-    const double wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-    if (comm.rank() == 0) {
-      std::lock_guard lock(mu);
-      stats.wall_s = wall / kSteps;
-      const auto records = optimizer.comm_records();
-      stats.ops = records.size();
-      double delay = 0.0;
-      for (const auto& r : records) {
-        stats.comm_busy_s += r.end_s - r.start_s;
-        delay += r.start_s - r.submit_s;
-      }
-      if (!records.empty()) {
-        stats.mean_queue_delay_s = delay / static_cast<double>(records.size());
-      }
-    }
-  });
+  Stats stats;
+  stats.wall_s = res.wall_seconds / kSteps;
+  stats.ops = res.records.size();
+  double delay = 0.0;
+  for (const auto& r : res.records) {
+    stats.comm_busy_s += r.end_s - r.start_s;
+    delay += r.start_s - r.submit_s;
+  }
+  if (!res.records.empty()) {
+    stats.mean_queue_delay_s = delay / static_cast<double>(res.records.size());
+  }
   return stats;
 }
 
@@ -101,7 +66,7 @@ int main() {
   table.print();
   std::printf(
       "\nHooked SPD-KFAC submits its factor all-reduces during the passes\n"
-      "(the Fig. 6 architecture); post-hoc bulk strategies submit after.\n"
-      "All strategies end in numerically identical models (see tests).\n");
+      "(the Fig. 6 architecture); post-hoc steps replay the same plan after\n"
+      "them.  All strategies end in numerically identical models (tests).\n");
   return 0;
 }

@@ -1,11 +1,105 @@
-// Shared console-table helpers for the per-figure benchmark harnesses.
+// Shared helpers for the per-figure benchmark harnesses and the examples:
+// console tables, the paper-testbed calibrations, and the small-CNN
+// distributed-training harness (bench_runtime / examples use the same
+// cluster/model setup).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "comm/cluster.hpp"
+#include "core/dist_kfac.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+#include "perf/models.hpp"
+#include "tensor/matrix.hpp"
+
 namespace spdkfac::bench {
+
+/// The paper's 64x RTX2080Ti testbed calibration (shared instance — every
+/// figure bench prices against the same constants).
+inline const perf::ClusterCalibration& cal64() {
+  static const perf::ClusterCalibration cal =
+      perf::ClusterCalibration::paper_rtx2080ti_64gpu();
+  return cal;
+}
+
+/// Real distributed training of a small CNN on the in-process cluster —
+/// the shared harness behind bench_runtime and examples/distributed_training.
+struct DistTrainConfig {
+  int world = 4;
+  int steps = 5;
+  core::DistStrategy strategy = core::DistStrategy::kSpdKfac;
+  bool hooked = true;  ///< pass_hooks() in-pass submission (Fig. 6)
+  std::size_t image_hw = 12;
+  std::size_t conv1 = 8, conv2 = 16;
+  std::size_t classes = 5;
+  std::size_t batch = 8;
+  std::uint64_t init_seed = 99;   ///< shared across ranks => identical replicas
+  std::uint64_t data_seed = 3;
+  double noise = 0.0;
+  double lr = 0.05;
+  double damping = 3e-2;
+};
+
+struct DistTrainResult {
+  std::vector<tensor::Matrix> rank0_weights;
+  double rank0_loss = 0.0;
+  double wall_seconds = 0.0;                ///< whole run, rank 0
+  std::vector<comm::OpRecord> records;      ///< rank 0 engine records
+  std::size_t broadcast_cts = 0;            ///< CTs of the final placement
+};
+
+inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
+  DistTrainResult result;
+  std::mutex mu;
+  comm::Cluster::launch(cfg.world, [&](comm::Communicator& comm) {
+    tensor::Rng init(cfg.init_seed);
+    nn::Sequential model = nn::make_small_cnn(1, cfg.image_hw, cfg.conv1,
+                                              cfg.conv2, cfg.classes, init);
+    auto layers = model.preconditioned_layers();
+    core::DistKfacOptions opts;
+    opts.strategy = cfg.strategy;
+    opts.lr = cfg.lr;
+    opts.damping = cfg.damping;
+    core::DistKfacOptimizer optimizer(layers, comm, opts);
+    nn::SyntheticClassification data(cfg.classes, 1, cfg.image_hw,
+                                     cfg.data_seed, cfg.noise);
+    tensor::Rng shard(100 + comm.rank());
+    nn::SoftmaxCrossEntropy loss;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    double last_loss = 0.0;
+    for (int s = 0; s < cfg.steps; ++s) {
+      nn::Batch batch = data.sample(cfg.batch, shard);
+      if (cfg.hooked) {
+        const nn::PassHooks hooks = optimizer.pass_hooks();
+        last_loss =
+            loss.forward(model.forward(batch.inputs, hooks), batch.labels);
+        model.backward(loss.backward(), hooks);
+      } else {
+        last_loss = loss.forward(model.forward(batch.inputs), batch.labels);
+        model.backward(loss.backward());
+      }
+      optimizer.step();
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      for (auto* l : layers) result.rank0_weights.push_back(l->weight());
+      result.rank0_loss = last_loss;
+      result.wall_seconds = wall;
+      result.records = optimizer.comm_records();
+      result.broadcast_cts = optimizer.placement().num_cts();
+    }
+  });
+  return result;
+}
 
 inline void print_header(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

@@ -8,92 +8,52 @@
 //     (shown via the async engine's operation records).
 //
 //   $ ./examples/distributed_training
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
-#include <mutex>
 
-#include "comm/cluster.hpp"
-#include "core/dist_kfac.hpp"
-#include "nn/data.hpp"
-#include "nn/layers.hpp"
-#include "tensor/matrix.hpp"
+#include "bench_util.hpp"
+#include "tensor/linalg.hpp"
 
 using namespace spdkfac;
 
 namespace {
 
-constexpr int kWorld = 4;
-constexpr std::size_t kImage = 8, kClasses = 4, kBatch = 8;
 constexpr int kSteps = 6;
 
-struct RunResult {
-  std::vector<tensor::Matrix> rank0_weights;
-  double rank0_loss = 0.0;
-  double seconds = 0.0;
-  std::size_t comm_ops = 0;
-};
-
-RunResult train(core::DistStrategy strategy) {
-  RunResult result;
-  std::mutex mu;
-  comm::Cluster::launch(kWorld, [&](comm::Communicator& comm) {
-    tensor::Rng init_rng(1234);  // same seed => identical replicas
-    nn::Sequential model =
-        nn::make_small_cnn(1, kImage, 4, 8, kClasses, init_rng);
-    auto layers = model.preconditioned_layers();
-
-    core::DistKfacOptions options;
-    options.strategy = strategy;
-    options.lr = 0.1;
-    options.damping = 0.1;
-    core::DistKfacOptimizer optimizer(layers, comm, options);
-
-    nn::SyntheticClassification data(kClasses, 1, kImage, /*seed=*/5, 0.25);
-    tensor::Rng shard(100 + comm.rank());
-    nn::SoftmaxCrossEntropy loss;
-
-    const auto start = std::chrono::steady_clock::now();
-    double last_loss = 0.0;
-    for (int s = 0; s < kSteps; ++s) {
-      nn::Batch batch = data.sample(kBatch, shard);
-      // Hook mode (Fig. 6): factor and WFBP-gradient all-reduces are
-      // submitted to the background engine *during* the passes.
-      const nn::PassHooks hooks = optimizer.pass_hooks();
-      last_loss =
-          loss.forward(model.forward(batch.inputs, hooks), batch.labels);
-      model.backward(loss.backward(), hooks);
-      optimizer.step();
-    }
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-    if (comm.rank() == 0) {
-      std::lock_guard lock(mu);
-      for (auto* l : layers) result.rank0_weights.push_back(l->weight());
-      result.rank0_loss = last_loss;
-      result.seconds = secs;
-      result.comm_ops = optimizer.placement().num_cts();
-    }
-  });
-  return result;
+bench::DistTrainResult train(core::DistStrategy strategy) {
+  // Hook mode (Fig. 6): factor and WFBP-gradient all-reduces are submitted
+  // to the background engine *during* the passes.
+  bench::DistTrainConfig cfg;
+  cfg.strategy = strategy;
+  cfg.steps = kSteps;
+  cfg.image_hw = 8;
+  cfg.conv1 = 4;
+  cfg.conv2 = 8;
+  cfg.classes = 4;
+  cfg.init_seed = 1234;
+  cfg.data_seed = 5;
+  cfg.noise = 0.25;
+  cfg.lr = 0.1;
+  cfg.damping = 0.1;
+  return bench::dist_train(cfg);
 }
 
 }  // namespace
 
 int main() {
-  std::printf("Training a CNN on %d in-process workers, %d steps each...\n\n",
-              kWorld, kSteps);
-  const RunResult dkfac = train(core::DistStrategy::kDKfac);
-  const RunResult mpd = train(core::DistStrategy::kMpdKfac);
-  const RunResult spd = train(core::DistStrategy::kSpdKfac);
+  std::printf("Training a CNN on 4 in-process workers, %d steps each...\n\n",
+              kSteps);
+  const bench::DistTrainResult dkfac = train(core::DistStrategy::kDKfac);
+  const bench::DistTrainResult mpd = train(core::DistStrategy::kMpdKfac);
+  const bench::DistTrainResult spd = train(core::DistStrategy::kSpdKfac);
 
   std::printf("strategy   final-loss   wall(s)   broadcast-CTs\n");
   std::printf("D-KFAC     %9.2e   %7.3f   %zu\n", dkfac.rank0_loss,
-              dkfac.seconds, dkfac.comm_ops);
-  std::printf("MPD-KFAC   %9.2e   %7.3f   %zu\n", mpd.rank0_loss, mpd.seconds,
-              mpd.comm_ops);
-  std::printf("SPD-KFAC   %9.2e   %7.3f   %zu\n", spd.rank0_loss, spd.seconds,
-              spd.comm_ops);
+              dkfac.wall_seconds, dkfac.broadcast_cts);
+  std::printf("MPD-KFAC   %9.2e   %7.3f   %zu\n", mpd.rank0_loss,
+              mpd.wall_seconds, mpd.broadcast_cts);
+  std::printf("SPD-KFAC   %9.2e   %7.3f   %zu\n", spd.rank0_loss,
+              spd.wall_seconds, spd.broadcast_cts);
 
   double max_diff = 0.0;
   for (std::size_t l = 0; l < dkfac.rank0_weights.size(); ++l) {

@@ -12,7 +12,7 @@
 #include <cstdlib>
 #include <map>
 
-#include "core/placement.hpp"
+#include "sched/placement.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
 
@@ -29,15 +29,15 @@ int main(int argc, char** argv) {
               "GPUs\n\n",
               spec.name.c_str(), dims.size(), world);
 
-  const core::Placement lbp =
-      core::lbp_place(dims, world, cal.inverse, cal.bcast_fabric);
-  const core::Placement seq = core::seq_place(dims, world);
-  const core::Placement nondist = core::nondist_place(dims, world);
+  const sched::Placement lbp =
+      sched::lbp_place(dims, world, cal.inverse, cal.bcast_fabric);
+  const sched::Placement seq = sched::seq_place(dims, world);
+  const sched::Placement nondist = sched::nondist_place(dims, world);
 
   std::printf("policy     #NCT  #CT   Eq.(21) predicted max (ms)\n");
   for (const auto* p : {&nondist, &seq, &lbp}) {
     const auto cost =
-        core::predict_cost(*p, dims, cal.inverse, cal.bcast_fabric);
+        sched::predict_cost(*p, dims, cal.inverse, cal.bcast_fabric);
     std::printf("%-9s  %4zu  %4zu  %8.1f\n", p->policy.c_str(), p->num_ncts(),
                 p->num_cts(), cost.max_seconds * 1e3);
   }

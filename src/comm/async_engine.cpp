@@ -24,26 +24,29 @@ double AsyncCommEngine::now_s() const {
 
 CommHandle AsyncCommEngine::all_reduce_async(std::span<double> data,
                                              ReduceOp op, std::string name,
-                                             AllReduceAlgo algo) {
+                                             AllReduceAlgo algo,
+                                             int plan_task) {
   return submit(
       [data, op, algo](Communicator& comm) {
         comm.all_reduce(data, op, algo);
       },
-      std::move(name), data.size());
+      std::move(name), data.size(), plan_task);
 }
 
 CommHandle AsyncCommEngine::broadcast_async(std::span<double> data, int root,
-                                            std::string name) {
+                                            std::string name, int plan_task) {
   return submit(
       [data, root](Communicator& comm) { comm.broadcast(data, root); },
-      std::move(name), data.size());
+      std::move(name), data.size(), plan_task);
 }
 
 CommHandle AsyncCommEngine::submit(std::function<void(Communicator&)> fn,
-                                   std::string name, std::size_t elements) {
+                                   std::string name, std::size_t elements,
+                                   int plan_task) {
   CommHandle handle;
   handle.state_ = std::make_shared<CommHandle::State>();
-  Op op{std::move(fn), handle.state_, std::move(name), elements, now_s()};
+  Op op{std::move(fn), handle.state_, std::move(name), elements, now_s(),
+        plan_task};
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(op));
@@ -83,6 +86,7 @@ void AsyncCommEngine::worker_loop() {
     record.name = op.name;
     record.submit_s = op.submit_s;
     record.elements = op.elements;
+    record.plan_task = op.plan_task;
     record.start_s = now_s();
     op.fn(comm_);
     record.end_s = now_s();

@@ -60,13 +60,17 @@ class CommHandle {
   std::shared_ptr<State> state_;
 };
 
-/// Wall-clock record of one executed operation (for overlap diagnostics).
+/// Wall-clock record of one executed operation (for overlap diagnostics and
+/// the sched-plan equivalence suite).
 struct OpRecord {
   std::string name;
   double submit_s = 0.0;  ///< seconds since engine start, at submission
   double start_s = 0.0;   ///< when the background thread began executing
   double end_s = 0.0;     ///< when it finished
   std::size_t elements = 0;
+  /// Id of the sched::IterationPlan task this operation executes, or -1 for
+  /// out-of-plan traffic (e.g. the factor-time profile sync).
+  int plan_task = -1;
 };
 
 /// Per-rank background communication thread.
@@ -89,19 +93,23 @@ class AsyncCommEngine {
   /// underlying buffer alive and untouched until the handle completes.
   /// `algo` picks the collective algorithm (kAuto: per size/topology); all
   /// ranks must pass the same algorithm for the same operation.
+  /// `plan_task` tags the execution record with the schedule-plan task the
+  /// operation realizes (-1: out-of-plan traffic).
   CommHandle all_reduce_async(std::span<double> data,
                               ReduceOp op = ReduceOp::kAverage,
                               std::string name = "allreduce",
-                              AllReduceAlgo algo = AllReduceAlgo::kRing);
+                              AllReduceAlgo algo = AllReduceAlgo::kRing,
+                              int plan_task = -1);
 
   /// Queues an in-place broadcast from `root`.
   CommHandle broadcast_async(std::span<double> data, int root,
-                             std::string name = "broadcast");
+                             std::string name = "broadcast",
+                             int plan_task = -1);
 
   /// Queues an arbitrary operation on the engine thread (escape hatch used
   /// by tests and by fused multi-tensor operations).
   CommHandle submit(std::function<void(Communicator&)> fn, std::string name,
-                    std::size_t elements = 0);
+                    std::size_t elements = 0, int plan_task = -1);
 
   /// Blocks until every operation submitted so far has completed.
   void wait_all();
@@ -124,6 +132,7 @@ class AsyncCommEngine {
     std::string name;
     std::size_t elements = 0;
     double submit_s = 0.0;
+    int plan_task = -1;
   };
 
   void worker_loop();

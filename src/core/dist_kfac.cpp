@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <numeric>
 #include <stdexcept>
 
 #include "tensor/symmetric.hpp"
@@ -23,6 +22,23 @@ const char* to_string(DistStrategy strategy) noexcept {
   return "?";
 }
 
+void DistKfacOptions::validate() const {
+  if (factor_update_freq == 0) {
+    throw std::invalid_argument(
+        "DistKfacOptions: factor_update_freq must be >= 1");
+  }
+  if (inverse_update_freq == 0) {
+    throw std::invalid_argument(
+        "DistKfacOptions: inverse_update_freq must be >= 1");
+  }
+  if (!(lr > 0.0)) {
+    throw std::invalid_argument("DistKfacOptions: lr must be positive");
+  }
+  if (!(damping > 0.0)) {
+    throw std::invalid_argument("DistKfacOptions: damping must be positive");
+  }
+}
+
 namespace {
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -38,11 +54,14 @@ DistKfacOptimizer::DistKfacOptimizer(
     : layers_(std::move(layers)),
       comm_(comm),
       engine_(comm),
-      options_(options),
-      selector_(comm.topology()) {
+      options_(std::move(options)),
+      selector_(comm.topology()),
+      costs_{options_.allreduce_model, options_.broadcast_model,
+             options_.inverse_model, selector_} {
   if (layers_.empty()) {
     throw std::invalid_argument("DistKfacOptimizer: no preconditioned layers");
   }
+  options_.validate();
   const std::size_t L = layers_.size();
   state_.resize(L);
   fresh_a_.resize(L);
@@ -78,314 +97,256 @@ void DistKfacOptimizer::sync_measured_times() {
   std::copy(buffer.begin() + L, buffer.end(), g_comp_seconds_.begin());
 }
 
-void DistKfacOptimizer::plan_factor_groups() {
+sched::PassTiming DistKfacOptimizer::planning_timing() const {
+  if (!options_.profile.empty()) return options_.profile;
+  // Lay the measured factor times along the pass walk on one global clock.
+  // The forward/backward kernels themselves are not timed; a tiny epsilon
+  // stands in for each backward step so the readiness order stays strictly
+  // the per-layer event order (gradient before G factor at every layer).
+  constexpr double kEps = 1e-9;
   const std::size_t L = layers_.size();
-  // Step 0 has no measurements yet: communicate layer-wise.  Later steps
-  // plan with the optimal-fusion DP over the *rank-averaged* measured
-  // factor computation times (the paper profiles the layer-wise factor
-  // times over a few iterations, Section IV-A); averaging keeps every
-  // rank's plan identical, which the collective ordering contract needs.
-  const FusionPolicy policy =
-      step_count_ == 0 ? FusionPolicy::kNoFusion : FusionPolicy::kOptimal;
-  sync_measured_times();
-
-  FusionPlanInput a_input;
-  a_input.sizes = a_sizes_;
-  a_input.ready_times.resize(L);
+  sched::PassTiming timing;
+  timing.a_ready.resize(L);
+  timing.g_ready.resize(L);
+  timing.grad_ready.resize(L);
   double clock = 0.0;
   for (std::size_t l = 0; l < L; ++l) {
-    clock += a_comp_seconds_[l];
-    a_input.ready_times[l] = clock;
+    clock += std::max(a_comp_seconds_[l], kEps);
+    timing.a_ready[l] = clock;
   }
-  a_groups_ = plan_fusion(a_input, options_.allreduce_model, policy);
-
-  FusionPlanInput g_input;
-  g_input.sizes = g_sizes_;
-  g_input.ready_times.resize(L);
-  g_input.stream_free_at = a_groups_.empty() ? 0.0 : a_groups_.back().comm_end;
-  clock = 0.0;
-  for (std::size_t i = 0; i < L; ++i) {
-    clock += g_comp_seconds_[L - 1 - i];
-    g_input.ready_times[i] = clock;
-  }
-  g_groups_ = plan_fusion(g_input, options_.allreduce_model, policy);
-}
-
-void DistKfacOptimizer::plan_grad_groups() {
-  // WFBP gradient fusion: accumulate consecutive layers (backward order,
-  // deepest first) until the element threshold, then flush — Horovod's
-  // scheme, used identically by every strategy in the paper.
-  const std::size_t L = layers_.size();
-  grad_group_layers_.clear();
-  std::vector<std::size_t> group;
-  std::size_t acc = 0;
   for (std::size_t i = 0; i < L; ++i) {
     const std::size_t l = L - 1 - i;
-    group.push_back(l);
-    acc += layers_[l]->weight_grad().size();
-    if (acc >= core::kHorovodThresholdElements || l == 0) {
-      grad_group_layers_.push_back(group);
-      group.clear();
-      acc = 0;
-    }
+    clock += kEps;
+    timing.grad_ready[l] = clock;
+    clock += std::max(g_comp_seconds_[l], kEps);
+    timing.g_ready[i] = clock;
   }
+  timing.backward_end = clock;
+  return timing;
+}
+
+void DistKfacOptimizer::begin_step() {
+  sched::ScheduleOptions opt;
+  opt.second_order = true;
+  opt.factor_update = factors_due();
+  opt.inverse_update = step_count_ % options_.inverse_update_freq == 0;
+  opt.balance = options_.balance;
+  opt.grad_fusion_threshold = options_.grad_fusion_threshold;
+  opt.collective_algo = options_.collective_algo;
+  switch (options_.strategy) {
+    case DistStrategy::kDKfac:
+      opt.factor_comm = sched::FactorCommMode::kBulk;
+      opt.inverse = sched::InverseMode::kLocalAll;
+      break;
+    case DistStrategy::kMpdKfac:
+      opt.factor_comm = sched::FactorCommMode::kBulk;
+      opt.inverse = sched::InverseMode::kSeqDist;
+      break;
+    case DistStrategy::kSpdKfac:
+      opt.factor_comm = options_.factor_comm;
+      opt.inverse = sched::InverseMode::kLBP;
+      break;
+  }
+
+  const bool measured_fusion =
+      options_.profile.empty() &&
+      opt.factor_comm != sched::FactorCommMode::kBulk &&
+      opt.factor_comm != sched::FactorCommMode::kNaive;
+  if (opt.factor_update && measured_fusion) {
+    // The Eq. (15) objective needs layer timing; without measurements yet
+    // (first factor step) fall back to layer-wise communication, exactly
+    // like the paper's warm-up profiling iterations.
+    if (!have_measurements_ &&
+        opt.factor_comm == sched::FactorCommMode::kOptimalFuse) {
+      opt.factor_comm = sched::FactorCommMode::kLayerWise;
+    }
+    // Rank-average the measurements so every rank plans the same groups.
+    sync_measured_times();
+  }
+
+  sched::ScheduleInputs inputs;
+  inputs.world_size = comm_.size();
+  inputs.layers.reserve(layers_.size());
+  for (const nn::PreconditionedLayer* layer : layers_) {
+    sched::LayerShape shape;
+    shape.dim_a = layer->dim_a();
+    shape.dim_g = layer->dim_g();
+    shape.a_elements = tensor::packed_size(layer->dim_a());
+    shape.g_elements = tensor::packed_size(layer->dim_g());
+    shape.grad_elements = layer->weight_grad().size();
+    inputs.layers.push_back(shape);
+  }
+  inputs.timing = planning_timing();
+
+  plan_ = sched::plan_iteration(inputs, opt, costs_);
+  if (!plan_.placement.assignments.empty()) placement_ = plan_.placement;
+
+  a_state_.reset(plan_.a_comm.size());
+  g_state_.reset(plan_.g_comm.size());
+  grad_buffers_.assign(plan_.grad_comm.size(), {});
+  grad_handles_.assign(plan_.grad_comm.size(), {});
+  grad_group_index_ = 0;
+  grad_offset_ = 0;
 }
 
 // ---------------------------------------------------------------------------
-// Post-hoc aggregation paths (no hooks)
+// Plan execution: per-layer pass events (hooked and post-hoc paths share
+// these handlers, so both submit the plan's collectives in plan order)
 // ---------------------------------------------------------------------------
 
-void DistKfacOptimizer::aggregate_factors_bulk(bool compute_factors) {
+void DistKfacOptimizer::pack_factor(sched::Family family,
+                                    std::size_t pass_index) {
+  FamilyState& st = family == sched::Family::kA ? a_state_ : g_state_;
+  const std::vector<int>& tasks =
+      family == sched::Family::kA ? plan_.a_comm : plan_.g_comm;
+  if (st.current >= tasks.size()) return;  // nothing communicated (P == 1)
+  const sched::Task& task = plan_.task(tasks[st.current]);
+  std::vector<double>& buffer = st.buffers[st.current];
+  if (buffer.empty()) {
+    buffer.resize(task.elements);
+    st.offset = 0;
+  }
+  const std::size_t n = family == sched::Family::kA ? a_sizes_[pass_index]
+                                                    : g_sizes_[pass_index];
+  const std::size_t layer = family == sched::Family::kA
+                                ? pass_index
+                                : layers_.size() - 1 - pass_index;
+  const Matrix& fresh =
+      family == sched::Family::kA ? fresh_a_[layer] : fresh_g_[layer];
+  tensor::pack_upper(fresh,
+                     std::span<double>(buffer).subspan(st.offset, n));
+  st.offset += n;
+  if (pass_index == task.last) {
+    if (!task.deferred) {
+      st.handles[st.current] = engine_.all_reduce_async(
+          buffer, comm::ReduceOp::kAverage, task.label, task.algo, task.id);
+    }
+    ++st.current;
+  }
+}
+
+void DistKfacOptimizer::handle_forward(std::size_t layer) {
+  if (!plan_.factor_update) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  fresh_a_[layer] = compute_factor_a(*layers_[layer]);
+  a_comp_seconds_[layer] = seconds_since(t0);
+  pack_factor(sched::Family::kA, layer);
+}
+
+void DistKfacOptimizer::handle_backward_grad(std::size_t layer) {
+  if (grad_group_index_ >= plan_.grad_comm.size()) return;  // P == 1
+  const sched::Task& task = plan_.task(plan_.grad_comm[grad_group_index_]);
+  std::vector<double>& buffer = grad_buffers_[grad_group_index_];
+  if (buffer.empty()) {
+    buffer.resize(task.elements);
+    grad_offset_ = 0;
+  }
+  const auto grad = layers_[layer]->weight_grad().data();
+  std::copy(grad.begin(), grad.end(), buffer.begin() + grad_offset_);
+  grad_offset_ += grad.size();
+  if (layer == task.first) {  // the group's flush layer
+    grad_handles_[grad_group_index_] = engine_.all_reduce_async(
+        buffer, comm::ReduceOp::kAverage, task.label, task.algo, task.id);
+    ++grad_group_index_;
+  }
+}
+
+void DistKfacOptimizer::handle_backward_factor(std::size_t layer) {
+  if (!plan_.factor_update) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  fresh_g_[layer] = compute_factor_g(*layers_[layer]);
+  g_comp_seconds_[layer] = seconds_since(t0);
+  pack_factor(sched::Family::kG, layers_.size() - 1 - layer);
+}
+
+void DistKfacOptimizer::drain_comm() {
   const std::size_t L = layers_.size();
-  // Compute all local factors first (no overlap — this is the D-KFAC /
-  // MPD-KFAC behaviour the paper improves on), then one fused all-reduce.
-  if (compute_factors) {
+
+  // Deferred bulk collectives are submitted now, in the plan's canonical
+  // order (after every in-pass submission).
+  for (int id : plan_.comm_order) {
+    const sched::Task& task = plan_.task(id);
+    if (task.kind != sched::TaskKind::kFusedAllReduce || !task.deferred) {
+      continue;
+    }
+    FamilyState& st =
+        task.family == sched::Family::kA ? a_state_ : g_state_;
+    const std::vector<int>& tasks =
+        task.family == sched::Family::kA ? plan_.a_comm : plan_.g_comm;
+    const std::size_t gi = static_cast<std::size_t>(
+        std::find(tasks.begin(), tasks.end(), id) - tasks.begin());
+    st.handles[gi] = engine_.all_reduce_async(
+        st.buffers[gi], comm::ReduceOp::kAverage, task.label, task.algo,
+        task.id);
+  }
+
+  // Aggregated gradients: wait each group and scatter back per layer.
+  if (!plan_.grad_comm.empty()) {
+    for (std::size_t gi = 0; gi < plan_.grad_comm.size(); ++gi) {
+      grad_handles_[gi].wait();
+      std::size_t offset = 0;
+      for (std::size_t l : plan_.grad_groups[gi]) {
+        const Matrix& grad = layers_[l]->weight_grad();
+        agg_grads_[l] = Matrix(grad.rows(), grad.cols());
+        auto dst = agg_grads_[l].data();
+        std::copy(grad_buffers_[gi].begin() + offset,
+                  grad_buffers_[gi].begin() + offset + dst.size(),
+                  dst.begin());
+        offset += dst.size();
+      }
+    }
+  } else {
     for (std::size_t l = 0; l < L; ++l) {
-      const auto t0 = std::chrono::steady_clock::now();
-      fresh_a_[l] = compute_factor_a(*layers_[l]);
-      a_comp_seconds_[l] = seconds_since(t0);
-      const auto t1 = std::chrono::steady_clock::now();
-      fresh_g_[l] = compute_factor_g(*layers_[l]);
-      g_comp_seconds_[l] = seconds_since(t1);
+      agg_grads_[l] = layers_[l]->weight_grad();
     }
   }
 
-  std::size_t total = 0;
-  for (std::size_t l = 0; l < L; ++l) {
-    total += tensor::packed_size(fresh_a_[l].rows()) +
-             tensor::packed_size(fresh_g_[l].rows());
-  }
-  std::vector<double> buffer(total);
-  std::size_t offset = 0;
-  for (std::size_t l = 0; l < L; ++l) {
-    const std::size_t na = tensor::packed_size(fresh_a_[l].rows());
-    tensor::pack_upper(fresh_a_[l],
-                       std::span<double>(buffer).subspan(offset, na));
-    offset += na;
-    const std::size_t ng = tensor::packed_size(fresh_g_[l].rows());
-    tensor::pack_upper(fresh_g_[l],
-                       std::span<double>(buffer).subspan(offset, ng));
-    offset += ng;
-  }
-
-  engine_
-      .all_reduce_async(buffer, comm::ReduceOp::kAverage, "factors-bulk",
-                        collective_algo(buffer.size()))
-      .wait();
-
-  offset = 0;
-  for (std::size_t l = 0; l < L; ++l) {
-    const std::size_t na = tensor::packed_size(fresh_a_[l].rows());
-    tensor::unpack_upper(std::span<const double>(buffer).subspan(offset, na),
-                         fresh_a_[l]);
-    offset += na;
-    const std::size_t ng = tensor::packed_size(fresh_g_[l].rows());
-    tensor::unpack_upper(std::span<const double>(buffer).subspan(offset, ng),
-                         fresh_g_[l]);
-    offset += ng;
-  }
-
-  a_groups_.assign(1, FusionGroup{0, L - 1, 0, 0, 0, 0});
-  g_groups_.assign(1, FusionGroup{0, L - 1, 0, 0, 0, 0});
-}
-
-void DistKfacOptimizer::aggregate_factors_pipelined() {
-  const std::size_t L = layers_.size();
-  plan_factor_groups();
-  hooked_a_.reset(a_groups_.size());
-  hooked_g_.reset(g_groups_.size());
-
-  // A pass: compute the factor, pack it into the group buffer, and fire the
-  // group's async all-reduce as soon as its last member is packed; the
-  // engine overlaps it with the next factor computation.
-  for (std::size_t l = 0; l < L; ++l) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fresh_a_[l] = compute_factor_a(*layers_[l]);
-    a_comp_seconds_[l] = seconds_since(t0);
-    on_after_forward(l);  // pack + submit (hook-mode shares this path)
-  }
-  // G pass (reverse layer order), overlapping with the tail of the A
-  // communications still in flight.
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::size_t l = L - 1 - i;
-    const auto t0 = std::chrono::steady_clock::now();
-    fresh_g_[l] = compute_factor_g(*layers_[l]);
-    g_comp_seconds_[l] = seconds_since(t0);
-    on_after_backward(l);
-  }
-  finish_hooked_comm();
-}
-
-void DistKfacOptimizer::aggregate_gradients() {
-  // Uses the exact WFBP grouping of the hooked path (same buffers, same
-  // boundaries) so post-hoc and hooked steps are bitwise identical.
-  plan_grad_groups();
-  for (const auto& group : grad_group_layers_) {
-    std::size_t total = 0;
-    for (std::size_t l : group) total += layers_[l]->weight_grad().size();
-    std::vector<double> buffer(total);
+  // Aggregated factors: wait each fused group and unpack its members.
+  for (std::size_t gi = 0; gi < plan_.a_comm.size(); ++gi) {
+    a_state_.handles[gi].wait();
+    const sched::Task& task = plan_.task(plan_.a_comm[gi]);
     std::size_t offset = 0;
-    for (std::size_t l : group) {
-      auto grad = layers_[l]->weight_grad().data();
-      std::copy(grad.begin(), grad.end(), buffer.begin() + offset);
-      offset += grad.size();
+    for (std::size_t l = task.first; l <= task.last; ++l) {
+      tensor::unpack_upper(std::span<const double>(a_state_.buffers[gi])
+                               .subspan(offset, a_sizes_[l]),
+                           fresh_a_[l]);
+      offset += a_sizes_[l];
     }
-    engine_
-        .all_reduce_async(buffer, comm::ReduceOp::kAverage, "gradients",
-                          collective_algo(buffer.size()))
-        .wait();
-    offset = 0;
-    for (std::size_t l : group) {
-      const Matrix& grad = layers_[l]->weight_grad();
-      agg_grads_[l] = Matrix(grad.rows(), grad.cols());
-      auto dst = agg_grads_[l].data();
-      std::copy(buffer.begin() + offset,
-                buffer.begin() + offset + dst.size(), dst.begin());
-      offset += dst.size();
+  }
+  for (std::size_t gi = 0; gi < plan_.g_comm.size(); ++gi) {
+    g_state_.handles[gi].wait();
+    const sched::Task& task = plan_.task(plan_.g_comm[gi]);
+    std::size_t offset = 0;
+    for (std::size_t i = task.first; i <= task.last; ++i) {
+      tensor::unpack_upper(std::span<const double>(g_state_.buffers[gi])
+                               .subspan(offset, g_sizes_[i]),
+                           fresh_g_[L - 1 - i]);
+      offset += g_sizes_[i];
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Hook mode (Fig. 6): factor/gradient communication inline with the passes
+// Hook mode (Fig. 6): the plan executed inline with the passes
 // ---------------------------------------------------------------------------
 
 nn::PassHooks DistKfacOptimizer::pass_hooks() {
   nn::PassHooks hooks;
   hooks.after_forward = [this](std::size_t l, nn::PreconditionedLayer&) {
     if (l == 0) {
-      // Step begins: plan this step's communication schedule.
       hooked_active_ = true;
-      plan_grad_groups();
-      grad_buffers_.assign(grad_group_layers_.size(), {});
-      grad_handles_.assign(grad_group_layers_.size(), {});
-      grad_group_index_ = 0;
-      grad_offset_ = 0;
-      if (factors_due()) {
-        if (pipelined()) {
-          plan_factor_groups();
-        } else {
-          // Bulk strategies: single conceptual group per family; factors
-          // are computed here but communicated after the pass (step()).
-          a_groups_.assign(1, FusionGroup{0, layers_.size() - 1, 0, 0, 0, 0});
-          g_groups_.assign(1, FusionGroup{0, layers_.size() - 1, 0, 0, 0, 0});
-        }
-        hooked_a_.reset(pipelined() ? a_groups_.size() : 0);
-        hooked_g_.reset(pipelined() ? g_groups_.size() : 0);
-      }
+      begin_step();
     }
-    if (factors_due()) {
-      const auto t0 = std::chrono::steady_clock::now();
-      fresh_a_[l] = compute_factor_a(*layers_[l]);
-      a_comp_seconds_[l] = seconds_since(t0);
-      if (pipelined()) on_after_forward(l);
-    }
+    handle_forward(l);
   };
   hooks.after_backward = [this](std::size_t l, nn::PreconditionedLayer&) {
-    if (factors_due()) {
-      const auto t0 = std::chrono::steady_clock::now();
-      fresh_g_[l] = compute_factor_g(*layers_[l]);
-      g_comp_seconds_[l] = seconds_since(t0);
-      if (pipelined()) on_after_backward(l);
-    }
-    // WFBP: stage this layer's gradient; flush the group when complete.
-    if (comm_.size() > 1) {
-      auto& group_layers = grad_group_layers_[grad_group_index_];
-      auto& buffer = grad_buffers_[grad_group_index_];
-      if (buffer.empty()) {
-        std::size_t total = 0;
-        for (std::size_t gl : group_layers) {
-          total += layers_[gl]->weight_grad().size();
-        }
-        buffer.resize(total);
-        grad_offset_ = 0;
-      }
-      auto grad = layers_[l]->weight_grad().data();
-      std::copy(grad.begin(), grad.end(), buffer.begin() + grad_offset_);
-      grad_offset_ += grad.size();
-      if (l == group_layers.back()) {
-        grad_handles_[grad_group_index_] = engine_.all_reduce_async(
-            buffer, comm::ReduceOp::kAverage,
-            "wfbp-grad" + std::to_string(grad_group_index_),
-            collective_algo(buffer.size()));
-        ++grad_group_index_;
-      }
-    }
+    // The plan orders each layer's gradient flush before its G-factor
+    // flush (the gradient is ready the moment the backward kernel ends,
+    // the factor only after its own computation).
+    handle_backward_grad(l);
+    handle_backward_factor(l);
   };
   return hooks;
-}
-
-void DistKfacOptimizer::on_after_forward(std::size_t l) {
-  if (comm_.size() == 1) return;
-  // Find the group containing layer l (groups are consecutive, so this is
-  // the current one).
-  const FusionGroup& group = a_groups_[hooked_a_.current];
-  auto& buffer = hooked_a_.buffers[hooked_a_.current];
-  if (buffer.empty()) {
-    buffer.resize(group.elements);
-    hooked_a_.offset = 0;
-  }
-  const std::size_t n = a_sizes_[l];
-  tensor::pack_upper(fresh_a_[l],
-                     std::span<double>(buffer).subspan(hooked_a_.offset, n));
-  hooked_a_.offset += n;
-  if (l == group.last) {
-    hooked_a_.handles[hooked_a_.current] = engine_.all_reduce_async(
-        buffer, comm::ReduceOp::kAverage,
-        "A-group" + std::to_string(hooked_a_.current),
-        collective_algo(buffer.size()));
-    ++hooked_a_.current;
-  }
-}
-
-void DistKfacOptimizer::on_after_backward(std::size_t l) {
-  if (comm_.size() == 1) return;
-  const std::size_t i = layers_.size() - 1 - l;  // index in pass order
-  const FusionGroup& group = g_groups_[hooked_g_.current];
-  auto& buffer = hooked_g_.buffers[hooked_g_.current];
-  if (buffer.empty()) {
-    buffer.resize(group.elements);
-    hooked_g_.offset = 0;
-  }
-  const std::size_t n = g_sizes_[i];
-  tensor::pack_upper(fresh_g_[l],
-                     std::span<double>(buffer).subspan(hooked_g_.offset, n));
-  hooked_g_.offset += n;
-  if (i == group.last) {
-    hooked_g_.handles[hooked_g_.current] = engine_.all_reduce_async(
-        buffer, comm::ReduceOp::kAverage,
-        "G-group" + std::to_string(hooked_g_.current),
-        collective_algo(buffer.size()));
-    ++hooked_g_.current;
-  }
-}
-
-void DistKfacOptimizer::finish_hooked_comm() {
-  if (comm_.size() == 1) return;
-  const std::size_t L = layers_.size();
-  for (std::size_t gi = 0; gi < a_groups_.size(); ++gi) {
-    hooked_a_.handles[gi].wait();
-    std::size_t offset = 0;
-    for (std::size_t l = a_groups_[gi].first; l <= a_groups_[gi].last; ++l) {
-      const std::size_t n = a_sizes_[l];
-      tensor::unpack_upper(
-          std::span<const double>(hooked_a_.buffers[gi]).subspan(offset, n),
-          fresh_a_[l]);
-      offset += n;
-    }
-  }
-  for (std::size_t gi = 0; gi < g_groups_.size(); ++gi) {
-    hooked_g_.handles[gi].wait();
-    std::size_t offset = 0;
-    for (std::size_t i = g_groups_[gi].first; i <= g_groups_[gi].last; ++i) {
-      const std::size_t l = L - 1 - i;
-      const std::size_t n = g_sizes_[i];
-      tensor::unpack_upper(
-          std::span<const double>(hooked_g_.buffers[gi]).subspan(offset, n),
-          fresh_g_[l]);
-      offset += n;
-    }
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -394,28 +355,6 @@ void DistKfacOptimizer::finish_hooked_comm() {
 
 void DistKfacOptimizer::compute_inverses() {
   const std::size_t L = layers_.size();
-  // Tensor order T_{2l} = A_l, T_{2l+1} = G_l, matching the paper.
-  std::vector<std::size_t> dims(2 * L);
-  for (std::size_t l = 0; l < L; ++l) {
-    dims[2 * l] = layers_[l]->dim_a();
-    dims[2 * l + 1] = layers_[l]->dim_g();
-  }
-  if (!placement_ready_) {
-    switch (options_.strategy) {
-      case DistStrategy::kDKfac:
-        placement_ = nondist_place(dims, comm_.size());
-        break;
-      case DistStrategy::kMpdKfac:
-        placement_ = seq_place(dims, comm_.size());
-        break;
-      case DistStrategy::kSpdKfac:
-        placement_ = lbp_place(dims, comm_.size(), options_.inverse_model,
-                               options_.broadcast_model, options_.balance);
-        break;
-    }
-    placement_ready_ = true;
-  }
-
   auto factor_of = [&](std::size_t t) -> const Matrix& {
     return t % 2 == 0 ? state_[t / 2].a : state_[t / 2].g;
   };
@@ -425,7 +364,7 @@ void DistKfacOptimizer::compute_inverses() {
 
   // Per-tensor damping (identical on every rank: derived from the
   // aggregated factors).
-  std::vector<double> gamma(dims.size(), options_.damping);
+  std::vector<double> gamma(2 * L, options_.damping);
   if (options_.pi_damping) {
     for (std::size_t l = 0; l < L; ++l) {
       const auto [ga, gg] =
@@ -435,49 +374,47 @@ void DistKfacOptimizer::compute_inverses() {
     }
   }
 
-  // CT tensors: the owner inverts and broadcasts the packed result; every
-  // rank submits the broadcasts in the same deterministic order.  For LBP
-  // that order is descending dimension (the order Algorithm 1 assigned);
-  // Seq-Dist uses tensor index order.
-  std::vector<std::size_t> ct_order;
-  for (std::size_t t = 0; t < dims.size(); ++t) {
-    if (!placement_.assignments[t].nct) ct_order.push_back(t);
-  }
-  if (options_.strategy == DistStrategy::kSpdKfac) {
-    std::stable_sort(ct_order.begin(), ct_order.end(),
-                     [&](std::size_t x, std::size_t y) {
-                       return dims[x] > dims[y];
-                     });
-  }
-
-  std::vector<std::vector<double>> bcast_buffers(dims.size());
-  std::vector<comm::CommHandle> handles(dims.size());
-  for (std::size_t t : ct_order) {
-    const int owner = placement_.assignments[t].owner;
-    bcast_buffers[t].resize(tensor::packed_size(dims[t]));
-    if (owner == comm_.rank()) {
-      Matrix inv =
-          damped_inverse_by(factor_of(t), gamma[t], options_.inverse_method);
-      tensor::pack_upper(inv, bcast_buffers[t]);
+  // CT tensors, in plan order: the owner inverts and the packed result is
+  // broadcast; every rank submits the broadcasts in the same order.
+  std::vector<std::vector<double>> bcast_buffers(2 * L);
+  std::vector<comm::CommHandle> handles(2 * L);
+  std::size_t bcast_pos = 0;
+  for (int id : plan_.inverse_tasks) {
+    const sched::Task& task = plan_.task(id);
+    if (task.rank < 0) continue;  // NCT: replicated below
+    const std::size_t t = task.tensor;
+    if (comm_.size() > 1) {
+      bcast_buffers[t].resize(task.elements);
+      if (task.rank == comm_.rank()) {
+        Matrix inv = damped_inverse_by(factor_of(t), gamma[t],
+                                       options_.inverse_method);
+        tensor::pack_upper(inv, bcast_buffers[t]);
+      }
+      const sched::Task& bc =
+          plan_.task(plan_.broadcast_tasks[bcast_pos++]);
+      handles[t] =
+          engine_.broadcast_async(bcast_buffers[t], bc.rank, bc.label, bc.id);
+    } else {
+      inverse_slot(t) = damped_inverse_by(factor_of(t), gamma[t],
+                                          options_.inverse_method);
     }
-    handles[t] = engine_.broadcast_async(bcast_buffers[t], owner,
-                                         "inv-T" + std::to_string(t));
   }
 
   // NCT tensors: every rank inverts locally while the broadcasts drain on
   // the background engine (real compute/communication overlap).
-  for (std::size_t t = 0; t < dims.size(); ++t) {
-    if (placement_.assignments[t].nct) {
-      inverse_slot(t) =
-          damped_inverse_by(factor_of(t), gamma[t], options_.inverse_method);
-    }
+  for (int id : plan_.inverse_tasks) {
+    const sched::Task& task = plan_.task(id);
+    if (task.rank >= 0) continue;
+    inverse_slot(task.tensor) = damped_inverse_by(
+        factor_of(task.tensor), gamma[task.tensor], options_.inverse_method);
   }
 
-  for (std::size_t t : ct_order) {
-    handles[t].wait();
-    Matrix inv(dims[t], dims[t]);
-    tensor::unpack_upper(bcast_buffers[t], inv);
-    inverse_slot(t) = std::move(inv);
+  for (int id : plan_.broadcast_tasks) {
+    const sched::Task& bc = plan_.task(id);
+    handles[bc.tensor].wait();
+    Matrix inv(bc.dim, bc.dim);
+    tensor::unpack_upper(bcast_buffers[bc.tensor], inv);
+    inverse_slot(bc.tensor) = std::move(inv);
   }
 }
 
@@ -496,69 +433,38 @@ void DistKfacOptimizer::apply_updates() {
 }
 
 void DistKfacOptimizer::step() {
-  const bool update_factors = factors_due();
-  const bool update_inverses =
-      step_count_ % options_.inverse_update_freq == 0;
-
+  const std::size_t L = layers_.size();
   if (hooked_active_) {
-    // Hooked step: local factors were computed (and, under SPD-KFAC,
-    // submitted) during the passes; drain the in-flight communication.
-    if (comm_.size() > 1 &&
-        grad_group_index_ != grad_group_layers_.size()) {
+    // Hooked step: the passes already executed the in-pass plan events;
+    // verify completeness and drain what is in flight.
+    if (grad_group_index_ != plan_.grad_comm.size()) {
       throw std::logic_error(
           "DistKfacOptimizer: hooked step incomplete — pass_hooks() must be "
           "given to both forward() and backward() of the same step");
     }
-    if (update_factors) {
-      if (pipelined()) {
-        finish_hooked_comm();
-      } else {
-        aggregate_factors_bulk(/*compute_factors=*/false);
-      }
-    }
-    if (comm_.size() > 1) {
-      const std::size_t L = layers_.size();
-      std::size_t group = 0, offset = 0;
-      for (std::size_t i = 0; i < L; ++i) {
-        const std::size_t l = L - 1 - i;
-        if (offset == 0) grad_handles_[group].wait();
-        const Matrix& grad = layers_[l]->weight_grad();
-        agg_grads_[l] = Matrix(grad.rows(), grad.cols());
-        auto dst = agg_grads_[l].data();
-        std::copy(grad_buffers_[group].begin() + offset,
-                  grad_buffers_[group].begin() + offset + dst.size(),
-                  dst.begin());
-        offset += dst.size();
-        if (l == grad_group_layers_[group].back()) {
-          ++group;
-          offset = 0;
-        }
-      }
-    } else {
-      for (std::size_t l = 0; l < layers_.size(); ++l) {
-        agg_grads_[l] = layers_[l]->weight_grad();
-      }
-    }
     hooked_active_ = false;
   } else {
-    if (update_factors) {
-      if (pipelined()) {
-        aggregate_factors_pipelined();
-      } else {
-        aggregate_factors_bulk(/*compute_factors=*/true);
-      }
+    // Post-hoc step: replay the identical per-layer event sequence.
+    begin_step();
+    for (std::size_t l = 0; l < L; ++l) handle_forward(l);
+    for (std::size_t i = 0; i < L; ++i) {
+      const std::size_t l = L - 1 - i;
+      handle_backward_grad(l);
+      handle_backward_factor(l);
     }
-    aggregate_gradients();
   }
 
-  if (update_factors) {
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
+  drain_comm();
+
+  if (plan_.factor_update) {
+    for (std::size_t l = 0; l < L; ++l) {
       update_running_average(state_[l].a, fresh_a_[l], options_.stat_decay);
       update_running_average(state_[l].g, fresh_g_[l], options_.stat_decay);
     }
+    have_measurements_ = true;
   }
 
-  if (update_inverses) {
+  if (plan_.inverse_update) {
     compute_inverses();
   }
 

@@ -5,9 +5,9 @@
 // Strategies (Eq. (13) in all cases — identical updates up to floating-point
 // reassociation of the all-reduce):
 //
-//   kDKfac    — local factors are computed for all layers, aggregated in one
-//               bulk fused all-reduce after the pass, and every worker
-//               inverts every factor locally (Non-Dist).
+//   kDKfac    — local factors are computed for all layers, aggregated in
+//               per-family bulk fused all-reduces after the pass, and every
+//               worker inverts every factor locally (Non-Dist).
 //   kMpdKfac  — as kDKfac, but the 2L damped inverses are distributed
 //               round-robin across workers (tensor i on rank i % P) and each
 //               result is broadcast to the rest (Seq-Dist, all CT)
@@ -17,12 +17,21 @@
 //               asynchronous engine, and inverses are placed by Algorithm 1
 //               (LBP) with CT/NCT typing.
 //
+// Every step the optimizer asks the sched::SchedulePlanner for the
+// iteration's task-graph and *executes* it: factors are computed and packed
+// in plan order, every collective is submitted to the AsyncCommEngine with
+// the plan task's label/algorithm/id in the plan's canonical order, and the
+// inverse phase follows the plan's placement and broadcast order.  The
+// simulator prices the same plan, so the two cannot drift (see
+// tests/sched/test_equivalence.cpp).
+//
 // Every rank constructs one optimizer around its own model replica and
-// Communicator; collective submission order is derived deterministically
-// from the (identical) model structure, satisfying the engine's ordering
-// contract.  Per-step factor computation times are measured and feed the
-// next step's fusion plan, mirroring the paper's profiling-driven
-// TensorFusionController (Section V-A).
+// Communicator; the plan is derived deterministically from the (identical)
+// model structure and rank-averaged timing, satisfying the engine's
+// ordering contract.  Per-step factor computation times are measured and
+// feed the next step's plan, mirroring the paper's profiling-driven
+// TensorFusionController (Section V-A); a fixed `profile` replaces the
+// measurements for reproducible schedules.
 #pragma once
 
 #include <cstddef>
@@ -31,11 +40,11 @@
 #include "comm/async_engine.hpp"
 #include "comm/cluster.hpp"
 #include "comm/collectives.hpp"
-#include "core/fusion.hpp"
 #include "core/kfac_optimizer.hpp"
-#include "core/placement.hpp"
 #include "nn/layers.hpp"
 #include "perf/models.hpp"
+#include "sched/plan.hpp"
+#include "sched/planner.hpp"
 
 namespace spdkfac::core {
 
@@ -55,7 +64,15 @@ struct DistKfacOptions {
   InverseMethod inverse_method = InverseMethod::kCholesky;
   bool pi_damping = false;  ///< see KfacOptions::pi_damping
   DistStrategy strategy = DistStrategy::kSpdKfac;
-  BalanceMetric balance = BalanceMetric::kEstimatedTime;
+  sched::BalanceMetric balance = sched::BalanceMetric::kEstimatedTime;
+
+  /// Factor aggregation mode under kSpdKfac — the Fig. 10 pipelining
+  /// variants (kOptimalFuse is the paper's Eq. (15) schedule).  The bulk
+  /// strategies always aggregate one op per factor family.
+  sched::FactorCommMode factor_comm = sched::FactorCommMode::kOptimalFuse;
+
+  /// WFBP gradient fusion threshold (elements), Horovod's 64 MiB default.
+  std::size_t grad_fusion_threshold = sched::kHorovodThresholdElements;
 
   /// All-reduce algorithm for every factor/gradient aggregation.  kRing
   /// reproduces the seed's collectives; kAuto picks per message size and
@@ -71,12 +88,24 @@ struct DistKfacOptions {
   perf::BroadcastModel broadcast_model{{1.0e-5, 5.0e-10}};
   perf::InverseModel inverse_model =
       perf::InverseModel::cubic(2.0e-6, 5.0e-10);
+
+  /// Fixed pass timing used for planning instead of live measurements (the
+  /// paper's offline-profiling workflow; also what the equivalence suite
+  /// feeds both the runtime and the simulator).  Empty: measure factor
+  /// times online, rank-average them, and plan layer-wise on the first
+  /// factor step.
+  sched::PassTiming profile;
+
+  /// Throws std::invalid_argument on nonsensical settings (zero update
+  /// frequencies, non-positive lr/damping).
+  void validate() const;
 };
 
 class DistKfacOptimizer {
  public:
   /// `layers` is this rank's model replica (weights must already be
-  /// identical across ranks — use a shared initialization seed).
+  /// identical across ranks — use a shared initialization seed).  Throws
+  /// std::invalid_argument on an empty layer list or invalid options.
   DistKfacOptimizer(std::vector<nn::PreconditionedLayer*> layers,
                     comm::Communicator& comm, DistKfacOptions options = {});
 
@@ -95,10 +124,9 @@ class DistKfacOptimizer {
   ///   model.backward(grad, optimizer.pass_hooks());
   ///   optimizer.step();   // drains in-flight comm, inverts, updates
   ///
-  /// Factor all-reduces are pipelined only under the SPD-KFAC strategy (the
-  /// bulk strategies keep their after-the-pass aggregation semantics);
-  /// gradient WFBP groups are pipelined for every strategy, as in the
-  /// paper.  Every rank must use hooks for the same steps.
+  /// Hooked and post-hoc steps execute the identical plan (same buffers,
+  /// same collective order), so they are numerically interchangeable; every
+  /// rank must use hooks for the same steps.
   nn::PassHooks pass_hooks();
 
   std::size_t steps() const noexcept { return step_count_; }
@@ -112,22 +140,27 @@ class DistKfacOptimizer {
                : options_.collective_algo;
   }
 
-  /// Inverse placement in effect (fixed after the first step).
-  const Placement& placement() const noexcept { return placement_; }
+  /// The task-graph of the current/last step.
+  const sched::IterationPlan& plan() const noexcept { return plan_; }
+
+  /// Inverse placement in effect (from the last step that planned an
+  /// inverse phase).
+  const sched::Placement& placement() const noexcept { return placement_; }
 
   /// Execution records of this rank's background communication engine
-  /// (submit/start/end timestamps per collective) — the observable overlap.
+  /// (submit/start/end timestamps per collective, tagged with plan-task
+  /// ids) — the observable overlap.
   std::vector<comm::OpRecord> comm_records() const {
     return engine_.records();
   }
 
-  /// Fusion groups used for the A/G factor aggregation of the last step
-  /// (SPD strategy; bulk strategies report one group per family).
-  const std::vector<FusionGroup>& last_a_groups() const noexcept {
-    return a_groups_;
+  /// Fusion groups used for the A/G factor aggregation of the last factor
+  /// step (empty on a single worker, where nothing is communicated).
+  const std::vector<sched::FusionGroup>& last_a_groups() const noexcept {
+    return plan_.a_groups;
   }
-  const std::vector<FusionGroup>& last_g_groups() const noexcept {
-    return g_groups_;
+  const std::vector<sched::FusionGroup>& last_g_groups() const noexcept {
+    return plan_.g_groups;
   }
 
   // Introspection for the equivalence tests.
@@ -149,8 +182,8 @@ class DistKfacOptimizer {
     tensor::Matrix a_inv, g_inv;
   };
 
-  /// In-flight fused all-reduce groups of one factor pass.
-  struct PendingGroups {
+  /// In-flight fused all-reduce groups of one factor family.
+  struct FamilyState {
     std::vector<std::vector<double>> buffers;
     std::vector<comm::CommHandle> handles;
     std::size_t current = 0;  ///< group being filled
@@ -167,51 +200,54 @@ class DistKfacOptimizer {
   bool factors_due() const noexcept {
     return step_count_ % options_.factor_update_freq == 0;
   }
-  bool pipelined() const noexcept {
-    return options_.strategy == DistStrategy::kSpdKfac && comm_.size() > 1;
-  }
 
   /// All-reduces the locally measured factor-computation times so every
   /// rank plans identical fusion groups (a rank-divergent plan would make
   /// the collectives mismatch).
   void sync_measured_times();
-  /// Plans a_groups_/g_groups_ from the synced measurements (layer-wise on
-  /// the first step, Eq. (15)-objective DP afterwards).
-  void plan_factor_groups();
-  /// Plans grad_group_layers_ (threshold WFBP groups in backward order).
-  void plan_grad_groups();
+  /// Timing the planner sees: the fixed profile, or the synced measurements
+  /// laid out along the pass walk.
+  sched::PassTiming planning_timing() const;
+  /// Builds this step's plan and resets the execution state.
+  void begin_step();
 
-  void aggregate_factors_bulk(bool compute_factors);
-  void aggregate_factors_pipelined();
-  void aggregate_gradients();
+  // Per-layer plan execution, shared verbatim by the hooked and post-hoc
+  // paths (post-hoc replays the same event sequence after the passes).
+  void handle_forward(std::size_t layer);
+  void handle_backward_grad(std::size_t layer);
+  void handle_backward_factor(std::size_t layer);
+  /// Packs one factor into its group's buffer; submits the group's
+  /// all-reduce when the last member is packed (unless the plan deferred
+  /// it to the drain).
+  void pack_factor(sched::Family family, std::size_t pass_index);
+  /// Submits deferred bulk collectives in plan order, waits for everything
+  /// in flight, and unpacks factors and aggregated gradients.
+  void drain_comm();
+
   void compute_inverses();
   void apply_updates();
-
-  // Hook-mode callbacks (pass_hooks()).
-  void on_after_forward(std::size_t layer);
-  void on_after_backward(std::size_t layer);
-  void finish_hooked_comm();
 
   std::vector<nn::PreconditionedLayer*> layers_;
   comm::Communicator& comm_;
   comm::AsyncCommEngine engine_;
   DistKfacOptions options_;
   comm::AlgorithmSelector selector_;  ///< kAuto resolution (rank-identical)
+  sched::ScheduleCosts costs_;
 
   std::vector<LayerState> state_;
   std::vector<tensor::Matrix> fresh_a_, fresh_g_;
   std::vector<tensor::Matrix> agg_grads_;
   std::vector<double> a_comp_seconds_, g_comp_seconds_;  // last measured
-  std::vector<FusionGroup> a_groups_, g_groups_;
   std::vector<std::size_t> a_sizes_, g_sizes_;  // packed sizes, pass order
-  Placement placement_;
-  bool placement_ready_ = false;
+  bool have_measurements_ = false;
   std::size_t step_count_ = 0;
 
-  // Hook-mode state.
+  sched::IterationPlan plan_;
+  sched::Placement placement_;
+
+  // Per-step execution state.
   bool hooked_active_ = false;
-  PendingGroups hooked_a_, hooked_g_;
-  std::vector<std::vector<std::size_t>> grad_group_layers_;
+  FamilyState a_state_, g_state_;
   std::vector<std::vector<double>> grad_buffers_;
   std::vector<comm::CommHandle> grad_handles_;
   std::size_t grad_group_index_ = 0;

@@ -361,6 +361,27 @@ ModelSpec vgg19() {
                    /*batch=*/32);
 }
 
+ModelSpec mlp_spec(std::span<const std::size_t> widths) {
+  if (widths.size() < 2) {
+    throw std::invalid_argument("mlp_spec: need at least input and output");
+  }
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_channels = widths[0];
+  spec.input_hw = 1;
+  spec.default_batch = 8;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    LayerSpec layer;
+    layer.name = "fc" + std::to_string(i + 1);
+    layer.kind = LayerKind::kLinear;
+    layer.in_channels = widths[i];
+    layer.out_channels = widths[i + 1];
+    layer.has_bias = true;
+    spec.layers.push_back(layer);
+  }
+  return spec;
+}
+
 std::vector<ModelSpec> paper_models() {
   return {resnet50(), resnet152(), densenet201(), inceptionv4()};
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,12 @@ ModelSpec inceptionv4();
 /// VGG's enormous fully-connected factors stress the CT path.
 ModelSpec vgg16();
 ModelSpec vgg19();
+
+/// Fully-connected spec mirroring nn::make_mlp(widths): one biased linear
+/// layer per consecutive width pair.  Gives schedule-level tooling (the
+/// planner, the simulator, the sched equivalence suite) the exact shape of
+/// the runtime MLPs used by tests and examples.
+ModelSpec mlp_spec(std::span<const std::size_t> widths);
 
 /// All four Table II models, in the paper's presentation order.
 std::vector<ModelSpec> paper_models();

@@ -1,11 +1,11 @@
-#include "core/fusion.hpp"
+#include "sched/fusion.hpp"
 
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
-namespace spdkfac::core {
+namespace spdkfac::sched {
 
 namespace {
 
@@ -137,4 +137,4 @@ double non_overlapped_tail(std::span<const FusionGroup> groups,
   return std::max(0.0, groups.back().comm_end - last_compute_end);
 }
 
-}  // namespace spdkfac::core
+}  // namespace spdkfac::sched

@@ -29,7 +29,7 @@
 
 #include "perf/models.hpp"
 
-namespace spdkfac::core {
+namespace spdkfac::sched {
 
 /// One fused all-reduce: factors [first, last] communicated together.
 struct FusionGroup {
@@ -83,4 +83,4 @@ std::vector<FusionGroup> plan_fusion(const FusionPlanInput& input,
 double non_overlapped_tail(std::span<const FusionGroup> groups,
                            double last_compute_end);
 
-}  // namespace spdkfac::core
+}  // namespace spdkfac::sched

@@ -1,10 +1,10 @@
-#include "core/placement.hpp"
+#include "sched/placement.hpp"
 
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
-namespace spdkfac::core {
+namespace spdkfac::sched {
 
 std::size_t Placement::num_ncts() const noexcept {
   std::size_t n = 0;
@@ -167,4 +167,4 @@ PlacementCost predict_cost(const Placement& placement,
   return cost;
 }
 
-}  // namespace spdkfac::core
+}  // namespace spdkfac::sched

@@ -23,7 +23,7 @@
 
 #include "perf/models.hpp"
 
-namespace spdkfac::core {
+namespace spdkfac::sched {
 
 /// Where one tensor's inverse is computed.
 struct TensorAssignment {
@@ -81,4 +81,4 @@ PlacementCost predict_cost(const Placement& placement,
                            const perf::InverseModel& inverse,
                            const perf::BroadcastModel& broadcast);
 
-}  // namespace spdkfac::core
+}  // namespace spdkfac::sched

@@ -1,0 +1,43 @@
+#include "sched/plan.hpp"
+
+namespace spdkfac::sched {
+
+const char* to_string(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kFactorCompute:
+      return "FactorCompute";
+    case TaskKind::kFusedAllReduce:
+      return "FusedAllReduce";
+    case TaskKind::kGradAllReduce:
+      return "GradAllReduce";
+    case TaskKind::kInverse:
+      return "Inverse";
+    case TaskKind::kBroadcast:
+      return "Broadcast";
+    case TaskKind::kUpdate:
+      return "Update";
+  }
+  return "?";
+}
+
+const char* to_string(Family family) noexcept {
+  switch (family) {
+    case Family::kNone:
+      return "-";
+    case Family::kA:
+      return "A";
+    case Family::kG:
+      return "G";
+    case Family::kGrad:
+      return "grad";
+  }
+  return "?";
+}
+
+std::vector<int> IterationPlan::collective_order() const {
+  std::vector<int> order = comm_order;
+  order.insert(order.end(), broadcast_tasks.begin(), broadcast_tasks.end());
+  return order;
+}
+
+}  // namespace spdkfac::sched

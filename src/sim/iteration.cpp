@@ -1,8 +1,8 @@
 #include "sim/iteration.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace spdkfac::sim {
 
@@ -45,68 +45,39 @@ AlgorithmConfig AlgorithmConfig::spd_kfac() {
 
 namespace {
 
-/// Pending communication op, gathered from all passes and then submitted to
-/// the communication streams in readiness order (mirroring the async
-/// engine's FIFO queue).
-struct CommOp {
-  double ready = 0.0;
-  TaskKind kind = TaskKind::kOther;
-  double duration = 0.0;
-  std::vector<int> deps;
-  std::string label;
-  std::size_t elements = 0;
-  comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
-};
-
-/// Prices one gang all-reduce under the config's algorithm policy: kRing
-/// keeps the seed's Eq. (14) pricing; otherwise the calibration's selector
-/// supplies (or picks, for kAuto) the algorithm and its alpha+beta*m cost.
+/// Prices one gang all-reduce of the plan: kRing policy keeps the seed's
+/// Eq. (14) pricing; otherwise the calibration's selector prices the
+/// algorithm the planner resolved.
 class CollectivePricer {
  public:
   CollectivePricer(const perf::ClusterCalibration& cal,
                    const AlgorithmConfig& cfg)
-      : cal_(cal), policy_(cfg.collective_algo) {
-    if (policy_ != comm::AllReduceAlgo::kRing) {
-      selector_ = cal.effective_selector();
-    }
+      : cal_(cal), ring_only_(cfg.collective_algo == comm::AllReduceAlgo::kRing) {
+    if (!ring_only_) selector_ = cal.effective_selector();
   }
 
-  std::pair<double, comm::AllReduceAlgo> price(std::size_t elements) const {
-    if (policy_ == comm::AllReduceAlgo::kRing) {
-      return {cal_.allreduce.time(elements), comm::AllReduceAlgo::kRing};
-    }
-    const comm::AllReduceAlgo algo = policy_ == comm::AllReduceAlgo::kAuto
-                                         ? selector_.choose(elements)
-                                         : policy_;
-    return {selector_.cost(algo, elements), algo};
-  }
-
-  /// Trace labels carry the algorithm only when the config departs from
-  /// the seed's implicit ring (keeps seed-era golden labels stable).
-  std::string decorate(std::string label, comm::AllReduceAlgo algo) const {
-    if (policy_ == comm::AllReduceAlgo::kRing) return label;
-    return label + "@" + comm::to_string(algo);
+  double price(const sched::Task& task) const {
+    if (ring_only_) return cal_.allreduce.time(task.elements);
+    return selector_.cost(task.algo, task.elements);
   }
 
  private:
   const perf::ClusterCalibration& cal_;
-  comm::AllReduceAlgo policy_;
+  bool ring_only_;
   comm::AlgorithmSelector selector_;
 };
 
-core::FusionPolicy to_policy(FactorCommMode mode) {
-  switch (mode) {
-    case FactorCommMode::kLayerWise:
-      return core::FusionPolicy::kNoFusion;
-    case FactorCommMode::kThresholdFuse:
-      return core::FusionPolicy::kThreshold;
-    case FactorCommMode::kOptimalFuse:
-      return core::FusionPolicy::kOptimal;
-    case FactorCommMode::kBulk:
-    case FactorCommMode::kNaive:
-      return core::FusionPolicy::kSingleBulk;
+TaskKind sim_kind(sched::TaskKind kind) noexcept {
+  switch (kind) {
+    case sched::TaskKind::kFusedAllReduce:
+      return TaskKind::kFactorComm;
+    case sched::TaskKind::kGradAllReduce:
+      return TaskKind::kGradComm;
+    case sched::TaskKind::kBroadcast:
+      return TaskKind::kInverseComm;
+    default:
+      return TaskKind::kOther;
   }
-  return core::FusionPolicy::kSingleBulk;
 }
 
 }  // namespace
@@ -118,6 +89,24 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   const int world = cal.world_size;
   const std::size_t L = model.layers.size();
   if (L == 0) throw std::invalid_argument("simulate_iteration: empty model");
+
+  // -------------------------------------------------------------------
+  // Build the iteration task-graph with the shared planner — the same
+  // schedule the runtime optimizer executes.
+  // -------------------------------------------------------------------
+  sched::ScheduleOptions opt;
+  opt.second_order = cfg.second_order;
+  opt.factor_comm = cfg.factor_comm;
+  opt.inverse = cfg.inverse;
+  opt.balance = cfg.balance;
+  opt.grad_fusion_threshold = cfg.grad_fusion_threshold;
+  opt.collective_algo = cfg.collective_algo;
+  IterationResult result;
+  result.plan = sched::plan_iteration(
+      sched::inputs_from_model(model, batch, cal.compute, world,
+                               cfg.second_order),
+      opt, sched::costs_from(cal));
+  const sched::IterationPlan& plan = result.plan;
 
   EventSim es;
   // Streams per GPU: one compute stream, one communication stream for the
@@ -145,232 +134,100 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   factor_comm_streams.push_back(fabric);
   std::vector<int> grad_comm_streams(gcomm.begin(), gcomm.end());
 
-  // Per-layer task durations from the compute model.
-  std::vector<double> t_fwd(L), t_bwd(L), t_a(L), t_g(L);
+  // -------------------------------------------------------------------
+  // Compute passes on the representative GPU 0 (all workers are symmetric
+  // until the inverse phase): A_0 F_1 ... A_{L-1} F_L, then B_L G_L ...
+  // B_1 G_1 (Fig. 1b).  Factor-compute tasks come from the plan.
+  // -------------------------------------------------------------------
+  std::vector<int> es_of(plan.tasks.size(), -1);
+  std::vector<int> b_id(L, -1);
   for (std::size_t l = 0; l < L; ++l) {
     const auto& layer = model.layers[l];
-    t_fwd[l] = cal.compute.fwd_time(layer.fwd_flops(batch));
-    t_bwd[l] = cal.compute.bwd_time(layer.bwd_flops(batch));
-    if (cfg.second_order) {
-      t_a[l] = cal.compute.factor_time(layer.factor_a_flops(batch));
-      t_g[l] = cal.compute.factor_time(layer.factor_g_flops(batch));
+    if (plan.factor_update) {
+      const int id = plan.a_compute[l];
+      es_of[id] = es.add_task(TaskKind::kFactorComp,
+                              cal.compute.factor_time(layer.factor_a_flops(batch)),
+                              comp[0], {}, plan.task(id).label);
     }
+    es.add_task(TaskKind::kForward, cal.compute.fwd_time(layer.fwd_flops(batch)),
+                comp[0], {}, "F" + std::to_string(l + 1));
   }
-
-  // -------------------------------------------------------------------
-  // Forward pass on the representative GPU 0 (all workers are symmetric
-  // until the inverse phase):  A_0 F_1 A_1 F_2 ... A_{L-1} F_L (Fig. 1b).
-  // -------------------------------------------------------------------
-  std::vector<int> a_comp_id(L, -1), g_comp_id(L, -1), b_id(L, -1);
-  std::vector<double> a_ready(L, 0.0), g_ready(L, 0.0), grad_ready(L, 0.0);
-  double clock = 0.0;
-  for (std::size_t l = 0; l < L; ++l) {
-    if (cfg.second_order) {
-      a_comp_id[l] = es.add_task(TaskKind::kFactorComp, t_a[l], comp[0], {},
-                                 "A" + std::to_string(l));
-      clock += t_a[l];
-      a_ready[l] = clock;
-    }
-    es.add_task(TaskKind::kForward, t_fwd[l], comp[0], {},
-                "F" + std::to_string(l + 1));
-    clock += t_fwd[l];
-  }
-
-  // -------------------------------------------------------------------
-  // Backward pass: B_L G_L ... B_1 G_1; gradients ready after each B.
-  // -------------------------------------------------------------------
   for (std::size_t i = 0; i < L; ++i) {
     const std::size_t l = L - 1 - i;
-    b_id[l] = es.add_task(TaskKind::kBackward, t_bwd[l], comp[0], {},
-                          "B" + std::to_string(l + 1));
-    clock += t_bwd[l];
-    grad_ready[l] = clock;
-    if (cfg.second_order) {
-      g_comp_id[l] = es.add_task(TaskKind::kFactorComp, t_g[l], comp[0], {},
-                                 "G" + std::to_string(l + 1));
-      clock += t_g[l];
-      g_ready[l] = clock;
+    const auto& layer = model.layers[l];
+    b_id[l] = es.add_task(TaskKind::kBackward,
+                          cal.compute.bwd_time(layer.bwd_flops(batch)),
+                          comp[0], {}, "B" + std::to_string(l + 1));
+    if (plan.factor_update) {
+      const int id = plan.g_compute[i];
+      es_of[id] = es.add_task(TaskKind::kFactorComp,
+                              cal.compute.factor_time(layer.factor_g_flops(batch)),
+                              comp[0], {}, plan.task(id).label);
     }
   }
-  const double bwd_end = clock;
-  const int last_comp_id =
-      cfg.second_order ? g_comp_id[0] : b_id[0];
+
+  auto translate_deps = [&es_of](const std::vector<int>& deps) {
+    std::vector<int> out;
+    out.reserve(deps.size());
+    for (int d : deps) {
+      if (es_of[d] >= 0) out.push_back(es_of[d]);
+    }
+    return out;
+  };
 
   // -------------------------------------------------------------------
-  // Communication plan (world > 1): gradient WFBP groups plus the factor
-  // aggregation ops of the configured mode, submitted in readiness order.
+  // Collectives: gang each all-reduce of the plan, in plan order, priced
+  // by the calibration.
   // -------------------------------------------------------------------
-  std::vector<CommOp> comm_ops;
-  double factor_comm_busy = 0.0;
   const CollectivePricer pricer(cal, cfg);
-
-  if (world > 1) {
-    // Gradients: threshold fusion over backward order (Horovod default in
-    // every algorithm of the paper).
-    {
-      std::size_t acc = 0;
-      std::size_t group_tail_layer = L;  // first (deepest) member
-      for (std::size_t i = 0; i < L; ++i) {
-        const std::size_t l = L - 1 - i;
-        if (acc == 0) group_tail_layer = l;
-        acc += model.layers[l].params();
-        const bool flush =
-            acc >= cfg.grad_fusion_threshold || l == 0;
-        if (flush) {
-          CommOp op;
-          op.ready = grad_ready[l];
-          op.kind = TaskKind::kGradComm;
-          std::tie(op.duration, op.algo) = pricer.price(acc);
-          op.elements = acc;
-          op.deps = {b_id[l]};
-          op.label = pricer.decorate("grad[" + std::to_string(l) + ".." +
-                                         std::to_string(group_tail_layer) +
-                                         "]",
-                                     op.algo);
-          comm_ops.push_back(std::move(op));
-          acc = 0;
-        }
-      }
-    }
-
-    if (cfg.second_order) {
-      std::vector<std::size_t> a_sizes(L), g_sizes_rev(L);
-      for (std::size_t l = 0; l < L; ++l) {
-        a_sizes[l] = model.layers[l].a_elements();
-        g_sizes_rev[l] = model.layers[L - 1 - l].g_elements();
-      }
-
-      if (cfg.factor_comm == FactorCommMode::kBulk ||
-          cfg.factor_comm == FactorCommMode::kNaive) {
-        const std::size_t a_total =
-            std::accumulate(a_sizes.begin(), a_sizes.end(), std::size_t{0});
-        const std::size_t g_total = std::accumulate(
-            g_sizes_rev.begin(), g_sizes_rev.end(), std::size_t{0});
-        CommOp a_op;
-        a_op.kind = TaskKind::kFactorComm;
-        std::tie(a_op.duration, a_op.algo) = pricer.price(a_total);
-        a_op.elements = a_total;
-        a_op.label = pricer.decorate("A-bulk", a_op.algo);
-        if (cfg.factor_comm == FactorCommMode::kNaive) {
-          // Naive pipelining: ship all A factors while the backward pass
-          // computes the G factors.
-          a_op.ready = a_ready[L - 1];
-          a_op.deps = {a_comp_id[L - 1]};
-        } else {
-          a_op.ready = bwd_end;
-          a_op.deps = {last_comp_id};
-        }
-        CommOp g_op;
-        g_op.kind = TaskKind::kFactorComm;
-        std::tie(g_op.duration, g_op.algo) = pricer.price(g_total);
-        g_op.elements = g_total;
-        g_op.ready = bwd_end;
-        g_op.deps = {last_comp_id};
-        g_op.label = pricer.decorate("G-bulk", g_op.algo);
-        factor_comm_busy += a_op.duration + g_op.duration;
-        comm_ops.push_back(std::move(a_op));
-        comm_ops.push_back(std::move(g_op));
-      } else {
-        // Layer-wise pipelined aggregation: plan fused groups for the A pass
-        // (forward) and the G pass (backward, deepest layer first).
-        const core::FusionPolicy policy = to_policy(cfg.factor_comm);
-        core::FusionPlanInput a_input{a_ready, a_sizes, 0.0};
-        const auto a_groups =
-            core::plan_fusion(a_input, cal.allreduce, policy);
-        double stream_free = a_groups.empty() ? 0.0 : a_groups.back().comm_end;
-        std::vector<double> g_ready_rev(L);
-        for (std::size_t i = 0; i < L; ++i) g_ready_rev[i] = g_ready[L - 1 - i];
-        core::FusionPlanInput g_input{g_ready_rev, g_sizes_rev, stream_free};
-        const auto g_groups =
-            core::plan_fusion(g_input, cal.allreduce, policy);
-
-        for (const auto& g : a_groups) {
-          CommOp op;
-          op.ready = g.ready_time;
-          op.kind = TaskKind::kFactorComm;
-          std::tie(op.duration, op.algo) = pricer.price(g.elements);
-          op.elements = g.elements;
-          op.deps = {a_comp_id[g.last]};
-          op.label = pricer.decorate("A[" + std::to_string(g.first) + ".." +
-                                         std::to_string(g.last) + "]",
-                                     op.algo);
-          factor_comm_busy += op.duration;
-          comm_ops.push_back(std::move(op));
-        }
-        for (const auto& g : g_groups) {
-          CommOp op;
-          op.ready = g.ready_time;
-          op.kind = TaskKind::kFactorComm;
-          std::tie(op.duration, op.algo) = pricer.price(g.elements);
-          op.elements = g.elements;
-          // Index i in the reversed G sequence maps to layer L-1-i.
-          op.deps = {g_comp_id[L - 1 - g.last]};
-          op.label = pricer.decorate("G[" + std::to_string(g.first) + ".." +
-                                         std::to_string(g.last) + "]",
-                                     op.algo);
-          factor_comm_busy += op.duration;
-          comm_ops.push_back(std::move(op));
-        }
-      }
-    }
-
-    std::stable_sort(comm_ops.begin(), comm_ops.end(),
-                     [](const CommOp& a, const CommOp& b) {
-                       return a.ready < b.ready;
-                     });
-  }
-
-  IterationResult result;
   std::vector<int> factor_comm_ids;
-  for (const CommOp& op : comm_ops) {
-    const auto& streams = op.kind == TaskKind::kGradComm
+  for (int id : plan.comm_order) {
+    const sched::Task& task = plan.task(id);
+    const double duration = pricer.price(task);
+    std::vector<int> deps = translate_deps(task.deps);
+    if (task.kind == sched::TaskKind::kGradAllReduce) {
+      deps.push_back(b_id[task.first]);  // flush-layer gradient dependency
+    }
+    const auto& streams = task.kind == sched::TaskKind::kGradAllReduce
                               ? grad_comm_streams
                               : factor_comm_streams;
-    const int id =
-        es.add_gang_task(op.kind, op.duration, streams, op.deps, op.label);
-    if (op.kind == TaskKind::kFactorComm) factor_comm_ids.push_back(id);
-    result.collectives.push_back(
-        {op.label, op.kind, op.elements, op.algo, op.duration});
+    es_of[id] =
+        es.add_gang_task(sim_kind(task.kind), duration, streams, deps,
+                         task.label);
+    if (task.kind == sched::TaskKind::kFusedAllReduce) {
+      factor_comm_ids.push_back(es_of[id]);
+      result.factor_comm_busy += duration;
+    }
+    result.collectives.push_back({task.label, sim_kind(task.kind),
+                                  task.elements, task.algo, duration, task.id,
+                                  -1});
   }
 
   result.algorithm = cfg.name;
-  result.factor_comm_busy = factor_comm_busy;
 
   // -------------------------------------------------------------------
-  // Inverse phase: place the 2L damped inverses per the configured policy
-  // and schedule comp (+ broadcast for CTs) on every GPU.  Tensor order:
-  // T_{2l} = A_l, T_{2l+1} = G_l, matching the paper's T_1..T_2L.
+  // Inverse phase: the plan's placement, scheduled per GPU.  Worklists are
+  // the owned CTs plus every NCT; LBP keeps its largest-first order and
+  // merges NCTs in descending dimension so small replicated inverses fill
+  // the tail while broadcasts drain.  Submission is round-robin across
+  // GPUs so the fabric stream's FIFO order matches actual readiness.
   // -------------------------------------------------------------------
-  if (cfg.second_order) {
+  if (plan.inverse_update) {
+    result.placement = plan.placement;
     std::vector<std::size_t> dims(2 * L);
     for (std::size_t l = 0; l < L; ++l) {
       dims[2 * l] = model.layers[l].dim_a();
       dims[2 * l + 1] = model.layers[l].dim_g();
     }
 
-    switch (cfg.inverse) {
-      case InverseMode::kLocalAll:
-        result.placement = core::nondist_place(dims, world);
-        break;
-      case InverseMode::kSeqDist:
-        result.placement = core::seq_place(dims, world);
-        break;
-      case InverseMode::kLBP:
-        // CT/NCT decisions compare against the fabric broadcast cost the
-        // tensor would actually pay.
-        result.placement = core::lbp_place(dims, world, cal.inverse,
-                                           cal.bcast_fabric, cfg.balance);
-        break;
-    }
-
     // All GPUs hold consistent global factors only after every factor
-    // aggregation finished (the barrier of Fig. 1b).
-    std::vector<int> barrier = factor_comm_ids;
-    if (barrier.empty()) barrier.push_back(last_comp_id);
+    // aggregation finished (the barrier of Fig. 1b) — encoded in the
+    // plan's inverse-task dependencies.
+    const std::vector<int> barrier =
+        plan.inverse_tasks.empty()
+            ? std::vector<int>{}
+            : translate_deps(plan.task(plan.inverse_tasks.front()).deps);
 
-    // Worklist per GPU: owned CTs plus every NCT.  LBP emits CTs
-    // largest-first; keep that order and merge NCTs in descending dimension
-    // so small replicated inverses fill the tail while broadcasts drain.
     std::vector<std::vector<std::size_t>> worklists(world);
     for (int p = 0; p < world; ++p) {
       worklists[p] = result.placement.per_gpu[p];
@@ -384,9 +241,6 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
                          });
       }
     }
-    // Submit round-robin across GPUs so the fabric stream's FIFO order
-    // matches actual readiness (all GPUs start their r-th inverse at about
-    // the same time); per-GPU task order is preserved.
     std::size_t max_len = 0;
     for (const auto& wl : worklists) max_len = std::max(max_len, wl.size());
     for (std::size_t r = 0; r < max_len; ++r) {
@@ -404,12 +258,23 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
         }
       }
     }
+
+    // Record the broadcasts in the plan's canonical submission order (what
+    // the runtime's engine executes), priced identically to the fabric
+    // gang tasks above.
+    for (int id : plan.broadcast_tasks) {
+      const sched::Task& task = plan.task(id);
+      result.collectives.push_back({task.label, TaskKind::kInverseComm,
+                                    task.elements, task.algo,
+                                    cal.bcast_fabric.time_dim(task.dim),
+                                    task.id, task.rank});
+    }
   }
 
   result.schedule = es.run();
   result.total = result.schedule.makespan;
   result.breakdown = compute_breakdown(result.schedule);
-  result.stream_names = stream_names;
+  result.stream_names = std::move(stream_names);
   return result;
 }
 

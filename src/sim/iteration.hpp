@@ -1,4 +1,4 @@
-// Builds and simulates one training iteration's task DAG for each algorithm
+// Prices one training iteration's sched::IterationPlan for each algorithm
 // the paper evaluates (Fig. 1 structure, priced by the perf models):
 //
 //   SGD / S-SGD       — forward, backward, WFBP gradient aggregation;
@@ -11,9 +11,14 @@
 //                        dynamic tensor fusion (Eq. 15) + LBP placement
 //                        (Algorithm 1) with CT/NCT typing.
 //
-// The pipelining baselines of Fig. 10 (Naive, LW w/o TF, LW w/ TTF) and the
-// placement baselines of Fig. 12 (Non-Dist, Seq-Dist) are expressible
-// through AlgorithmConfig, which is how the ablation of Fig. 13 is produced.
+// The schedule itself — fusion groups, gradient groups, algorithm choices,
+// inverse placement, submission order — is built by sched::plan_iteration,
+// the same planner the runtime optimizer executes; this module only maps
+// the plan onto simulated streams and charges each task its cost-model
+// duration.  The pipelining baselines of Fig. 10 (Naive, LW w/o TF, LW w/
+// TTF) and the placement baselines of Fig. 12 (Non-Dist, Seq-Dist) are
+// expressible through AlgorithmConfig, which is how the ablation of Fig. 13
+// is produced.
 #pragma once
 
 #include <cstddef>
@@ -21,39 +26,27 @@
 #include <vector>
 
 #include "comm/collectives.hpp"
-#include "core/fusion.hpp"
-#include "core/placement.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
+#include "sched/plan.hpp"
+#include "sched/planner.hpp"
 #include "sim/event_sim.hpp"
 
 namespace spdkfac::sim {
 
-/// How Kronecker factors are aggregated across workers.
-enum class FactorCommMode {
-  kBulk,           ///< one fused op per factor family after backward (-Pipe)
-  kNaive,          ///< A factors bulk-overlapped with backward, G bulk after
-  kLayerWise,      ///< per-factor all-reduce as computed (LW w/o TF)
-  kThresholdFuse,  ///< layer-wise with Horovod 64 MiB threshold (LW w/ TTF)
-  kOptimalFuse,    ///< Eq. (15) dynamic fusion (SP w/ OTF, +Pipe)
-};
-
-/// How the 2L damped inverses are computed and shared.
-enum class InverseMode {
-  kLocalAll,  ///< every GPU inverts everything (Non-Dist, D-KFAC)
-  kSeqDist,   ///< round-robin ownership, all CT (Seq-Dist, MPD-KFAC)
-  kLBP,       ///< Algorithm 1 with CT/NCT typing (SPD-KFAC)
-};
+/// Schedule-shape knobs, shared with the planner (and hence the runtime).
+using sched::FactorCommMode;
+using sched::InverseMode;
 
 struct AlgorithmConfig {
   std::string name;
   bool second_order = true;  ///< false: plain (S-)SGD
   FactorCommMode factor_comm = FactorCommMode::kBulk;
   InverseMode inverse = InverseMode::kLocalAll;
-  core::BalanceMetric balance = core::BalanceMetric::kEstimatedTime;
+  sched::BalanceMetric balance = sched::BalanceMetric::kEstimatedTime;
   /// Gradient aggregation is always WFBP + threshold fusion (the Horovod
   /// default the paper keeps for gradients in every algorithm).
-  std::size_t grad_fusion_threshold = core::kHorovodThresholdElements;
+  std::size_t grad_fusion_threshold = sched::kHorovodThresholdElements;
   /// All-reduce algorithm used to price every gang collective (gradients
   /// and factors).  kRing reproduces the seed exactly; kAuto selects per
   /// message size/topology via the calibration's AlgorithmSelector
@@ -67,15 +60,17 @@ struct AlgorithmConfig {
   static AlgorithmConfig spd_kfac();  ///< pipelined fusion + LBP
 };
 
-/// One priced gang all-reduce of the iteration: which algorithm the
-/// config/selector assigned and the closed-form cost it was charged
-/// (duration of the matching schedule task).
+/// One priced collective of the iteration, in the plan's canonical
+/// submission order: all-reduces first (gradient + factor, by readiness),
+/// then the inverse-phase broadcasts.
 struct CollectiveChoice {
   std::string label;   ///< schedule/trace label of the gang task
   TaskKind kind = TaskKind::kOther;
   std::size_t elements = 0;
   comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
   double seconds = 0.0;
+  int plan_task = -1;  ///< id into IterationResult::plan.tasks
+  int root = -1;       ///< broadcast root (kInverseComm entries only)
 };
 
 struct IterationResult {
@@ -85,7 +80,10 @@ struct IterationResult {
   Schedule schedule;
   std::vector<std::string> stream_names;
 
-  /// Per-collective algorithm choices in submission order (world > 1).
+  /// The task-graph this result priced — what the runtime would execute.
+  sched::IterationPlan plan;
+
+  /// Per-collective choices in canonical submission order (world > 1).
   std::vector<CollectiveChoice> collectives;
 
   /// Factor-communication diagnostics (Fig. 10): total communicated time vs
@@ -97,7 +95,7 @@ struct IterationResult {
   }
 
   /// The inverse placement used (empty for first-order configs).
-  core::Placement placement;
+  sched::Placement placement;
 };
 
 /// Simulates one iteration of `cfg` training `model` with per-GPU batch

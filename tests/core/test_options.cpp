@@ -1,10 +1,15 @@
-// Coverage for DistKfacOptions defaults and to_string(DistStrategy).
+// Coverage for DistKfacOptions defaults, construction-time validation, and
+// to_string(DistStrategy).
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
 #include <string>
 
+#include "comm/cluster.hpp"
 #include "core/dist_kfac.hpp"
+#include "nn/layers.hpp"
+#include "tensor/random.hpp"
 
 namespace spdkfac::core {
 namespace {
@@ -20,7 +25,49 @@ TEST(DistKfacOptionsTest, DefaultsMatchPaperConfiguration) {
   EXPECT_EQ(opts.inverse_method, InverseMethod::kCholesky);
   EXPECT_FALSE(opts.pi_damping);
   EXPECT_EQ(opts.strategy, DistStrategy::kSpdKfac);
-  EXPECT_EQ(opts.balance, BalanceMetric::kEstimatedTime);
+  EXPECT_EQ(opts.balance, sched::BalanceMetric::kEstimatedTime);
+  EXPECT_EQ(opts.factor_comm, sched::FactorCommMode::kOptimalFuse);
+  EXPECT_EQ(opts.grad_fusion_threshold, sched::kHorovodThresholdElements);
+  EXPECT_TRUE(opts.profile.empty());
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsZeroUpdateFrequencies) {
+  DistKfacOptions opts;
+  opts.factor_update_freq = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = DistKfacOptions{};
+  opts.inverse_update_freq = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsNonPositiveLrAndDamping) {
+  for (const double bad : {0.0, -0.1}) {
+    DistKfacOptions opts;
+    opts.lr = bad;
+    EXPECT_THROW(opts.validate(), std::invalid_argument) << "lr=" << bad;
+    opts = DistKfacOptions{};
+    opts.damping = bad;
+    EXPECT_THROW(opts.validate(), std::invalid_argument) << "damping=" << bad;
+  }
+}
+
+TEST(DistKfacOptionsTest, OptimizerConstructionValidatesOptions) {
+  comm::Cluster::launch(1, [](comm::Communicator& comm) {
+    tensor::Rng rng(1);
+    const std::size_t widths[] = {4, 3};
+    nn::Sequential model = nn::make_mlp(widths, rng);
+    auto layers = model.preconditioned_layers();
+    DistKfacOptions opts;
+    opts.factor_update_freq = 0;
+    EXPECT_THROW(DistKfacOptimizer(layers, comm, opts),
+                 std::invalid_argument);
+    opts = DistKfacOptions{};
+    opts.lr = -1.0;
+    EXPECT_THROW(DistKfacOptimizer(layers, comm, opts),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(DistKfacOptimizer(layers, comm, DistKfacOptions{}));
+  });
 }
 
 TEST(DistStrategyTest, ToStringNamesEachStrategy) {

@@ -1,0 +1,255 @@
+// Cross-layer schedule equivalence — the acceptance test of the unified
+// iteration task-graph: for every strategy × factor-comm mode × world size,
+// the simulator's collective task sequence must be byte-identical to the
+// collective submissions the runtime optimizer actually records on the
+// async engine — same op kinds, same fused group membership, same element
+// counts, same chosen all-reduce algorithm, same inverse placement and
+// broadcast roots, in the same order.
+//
+// Both layers consume one sched::IterationPlan; this suite proves neither
+// consumer drifts from it.  The runtime is given the model-derived pass
+// timing as its planning profile (the paper's offline-profiling workflow),
+// so its plan is built from exactly the inputs the simulator uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/dist_kfac.hpp"
+#include "models/model_spec.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+#include "perf/models.hpp"
+#include "sched/planner.hpp"
+#include "sim/iteration.hpp"
+
+namespace spdkfac {
+namespace {
+
+using nn::Tensor4D;
+using tensor::Rng;
+
+constexpr std::size_t kWidths[] = {6, 10, 8, 3};
+constexpr std::size_t kIn = 6, kClasses = 3, kBatch = 8;
+// Small threshold so the MLP splits into several WFBP gradient groups.
+constexpr std::size_t kGradThreshold = 80;
+
+struct Config {
+  core::DistStrategy strategy;
+  sched::FactorCommMode factor_comm;  // SPD only; bulk strategies ignore it
+  comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
+};
+
+std::string config_name(const Config& c) {
+  std::string n = std::string(to_string(c.strategy)) + "/" +
+                  sched::to_string(c.factor_comm) + "@" +
+                  comm::to_string(c.algo);
+  return n;
+}
+
+sim::AlgorithmConfig sim_config(const Config& c) {
+  sim::AlgorithmConfig cfg;
+  switch (c.strategy) {
+    case core::DistStrategy::kDKfac:
+      cfg = sim::AlgorithmConfig::dkfac();
+      break;
+    case core::DistStrategy::kMpdKfac:
+      cfg = sim::AlgorithmConfig::mpd_kfac();
+      break;
+    case core::DistStrategy::kSpdKfac:
+      cfg = sim::AlgorithmConfig::spd_kfac();
+      cfg.factor_comm = c.factor_comm;
+      break;
+  }
+  cfg.grad_fusion_threshold = kGradThreshold;
+  cfg.collective_algo = c.algo;
+  return cfg;
+}
+
+struct RuntimeCapture {
+  std::vector<comm::OpRecord> records;  // rank 0, engine execution order
+  sched::IterationPlan plan;
+  sched::Placement placement;
+};
+
+/// One distributed K-FAC step (hooked or post-hoc) with the model-derived
+/// planning profile; returns rank 0's observable schedule.
+RuntimeCapture run_runtime(int world, const Config& c,
+                           const models::ModelSpec& spec,
+                           const perf::ClusterCalibration& cal, bool hooked) {
+  RuntimeCapture capture;
+  comm::Cluster::launch(world, [&](comm::Communicator& comm) {
+    Rng init(4242);
+    nn::Sequential model = nn::make_mlp(kWidths, init);
+    auto layers = model.preconditioned_layers();
+
+    core::DistKfacOptions opts;
+    opts.strategy = c.strategy;
+    opts.factor_comm = c.factor_comm;
+    opts.collective_algo = c.algo;
+    opts.grad_fusion_threshold = kGradThreshold;
+    opts.lr = 0.1;
+    opts.damping = 0.1;
+    // Plan with the calibration's cost models and pass timing — the exact
+    // inputs simulate_iteration hands the planner.
+    opts.allreduce_model = cal.allreduce;
+    opts.broadcast_model = cal.bcast_fabric;
+    opts.inverse_model = cal.inverse;
+    opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
+                                            /*second_order=*/true);
+    core::DistKfacOptimizer optimizer(layers, comm, opts);
+
+    nn::SyntheticClassification data(kClasses, kIn, 1, 77);
+    Rng shard(100 + comm.rank());
+    nn::SoftmaxCrossEntropy loss;
+    auto batch = data.sample(kBatch, shard);
+    Tensor4D flat(batch.inputs.n, kIn, 1, 1);
+    flat.data = batch.inputs.data;
+    if (hooked) {
+      const nn::PassHooks hooks = optimizer.pass_hooks();
+      loss.forward(model.forward(flat, hooks), batch.labels);
+      model.backward(loss.backward(), hooks);
+    } else {
+      loss.forward(model.forward(flat), batch.labels);
+      model.backward(loss.backward());
+    }
+    optimizer.step();
+
+    if (comm.rank() == 0) {
+      capture.records = optimizer.comm_records();
+      capture.plan = optimizer.plan();
+      capture.placement = optimizer.placement();
+    }
+  });
+  return capture;
+}
+
+void expect_tasks_equal(const sched::Task& a, const sched::Task& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.id, b.id) << context;
+  EXPECT_EQ(a.kind, b.kind) << context;
+  EXPECT_EQ(a.family, b.family) << context;
+  EXPECT_EQ(a.layer, b.layer) << context;
+  EXPECT_EQ(a.first, b.first) << context;
+  EXPECT_EQ(a.last, b.last) << context;
+  EXPECT_EQ(a.member_layers, b.member_layers) << context;
+  EXPECT_EQ(a.tensor, b.tensor) << context;
+  EXPECT_EQ(a.dim, b.dim) << context;
+  EXPECT_EQ(a.elements, b.elements) << context;
+  EXPECT_EQ(a.rank, b.rank) << context;
+  EXPECT_EQ(a.algo, b.algo) << context;
+  EXPECT_EQ(a.deferred, b.deferred) << context;
+  EXPECT_EQ(a.deps, b.deps) << context;
+  EXPECT_EQ(a.label, b.label) << context;
+}
+
+void check_equivalence(int world, const Config& c, bool hooked) {
+  const std::string context =
+      config_name(c) + " P=" + std::to_string(world) +
+      (hooked ? " hooked" : " post-hoc");
+  const models::ModelSpec spec = models::mlp_spec(kWidths);
+  const auto cal =
+      perf::ClusterCalibration::for_topology(comm::Topology::flat(world));
+
+  const sim::IterationResult sim_res =
+      sim::simulate_iteration(spec, kBatch, cal, sim_config(c));
+  const RuntimeCapture runtime = run_runtime(world, c, spec, cal, hooked);
+
+  // 1. The plans themselves are byte-identical, task by task.
+  ASSERT_EQ(runtime.plan.tasks.size(), sim_res.plan.tasks.size()) << context;
+  for (std::size_t i = 0; i < sim_res.plan.tasks.size(); ++i) {
+    expect_tasks_equal(runtime.plan.tasks[i], sim_res.plan.tasks[i],
+                       context + " task " + std::to_string(i));
+  }
+  ASSERT_EQ(runtime.plan.collective_order(), sim_res.plan.collective_order())
+      << context;
+
+  // 2. The runtime's recorded submissions are exactly the simulator's
+  //    collective sequence — which is exactly the plan's canonical order:
+  //    kind, grouping (via label + plan task), element count, algorithm,
+  //    broadcast root, all in the same order.
+  const std::vector<int> canonical = sim_res.plan.collective_order();
+  ASSERT_EQ(runtime.records.size(), sim_res.collectives.size()) << context;
+  ASSERT_EQ(canonical.size(), sim_res.collectives.size()) << context;
+  for (std::size_t i = 0; i < runtime.records.size(); ++i) {
+    const comm::OpRecord& rec = runtime.records[i];
+    const sim::CollectiveChoice& col = sim_res.collectives[i];
+    const std::string at = context + " collective " + std::to_string(i);
+    ASSERT_GE(rec.plan_task, 0) << at << ": out-of-plan submission";
+    EXPECT_EQ(rec.plan_task, canonical[i]) << at;
+    EXPECT_EQ(rec.plan_task, col.plan_task) << at;
+    EXPECT_EQ(rec.name, col.label) << at;
+    EXPECT_EQ(rec.elements, col.elements) << at;
+    const sched::Task& task = sim_res.plan.task(col.plan_task);
+    EXPECT_EQ(task.elements, rec.elements) << at;
+    if (task.kind != sched::TaskKind::kBroadcast) {
+      EXPECT_EQ(task.algo, col.algo) << at;
+    } else {
+      EXPECT_EQ(task.rank, col.root) << at;
+    }
+  }
+
+  // 3. Inverse placement (owners, CT/NCT typing) matches rank for rank.
+  ASSERT_EQ(runtime.placement.assignments.size(),
+            sim_res.placement.assignments.size())
+      << context;
+  for (std::size_t t = 0; t < sim_res.placement.assignments.size(); ++t) {
+    const auto& rt = runtime.placement.assignments[t];
+    const auto& sm = sim_res.placement.assignments[t];
+    EXPECT_EQ(rt.nct, sm.nct) << context << " T" << t;
+    EXPECT_EQ(rt.owner, sm.owner) << context << " T" << t;
+    EXPECT_EQ(rt.dim, sm.dim) << context << " T" << t;
+  }
+}
+
+class Equivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(Equivalence, BulkStrategiesMatchSimulator) {
+  for (const core::DistStrategy strategy :
+       {core::DistStrategy::kDKfac, core::DistStrategy::kMpdKfac}) {
+    check_equivalence(GetParam(),
+                      {strategy, sched::FactorCommMode::kBulk}, false);
+    check_equivalence(GetParam(),
+                      {strategy, sched::FactorCommMode::kBulk}, true);
+  }
+}
+
+TEST_P(Equivalence, SpdKfacMatchesSimulatorUnderEveryFactorCommMode) {
+  for (const sched::FactorCommMode mode :
+       {sched::FactorCommMode::kBulk, sched::FactorCommMode::kNaive,
+        sched::FactorCommMode::kLayerWise,
+        sched::FactorCommMode::kThresholdFuse,
+        sched::FactorCommMode::kOptimalFuse}) {
+    check_equivalence(GetParam(), {core::DistStrategy::kSpdKfac, mode},
+                      false);
+    check_equivalence(GetParam(), {core::DistStrategy::kSpdKfac, mode},
+                      true);
+  }
+}
+
+TEST_P(Equivalence, AutoSelectedAlgorithmsMatchSimulator) {
+  check_equivalence(GetParam(),
+                    {core::DistStrategy::kSpdKfac,
+                     sched::FactorCommMode::kOptimalFuse,
+                     comm::AllReduceAlgo::kAuto},
+                    true);
+  check_equivalence(GetParam(),
+                    {core::DistStrategy::kMpdKfac,
+                     sched::FactorCommMode::kBulk,
+                     comm::AllReduceAlgo::kHalvingDoubling},
+                    false);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, Equivalence,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           // Two steps: `"P" + std::to_string(...)` trips
+                           // GCC 12's bogus -Wrestrict (GCC PR 105329).
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace spdkfac

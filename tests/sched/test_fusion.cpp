@@ -1,4 +1,4 @@
-#include "core/fusion.hpp"
+#include "sched/fusion.hpp"
 
 #include <gtest/gtest.h>
 
@@ -6,7 +6,7 @@
 #include <numeric>
 #include <random>
 
-namespace spdkfac::core {
+namespace spdkfac::sched {
 namespace {
 
 perf::AllReduceModel model_with(double alpha, double beta) {
@@ -238,4 +238,4 @@ TEST_P(FusionOptimality, DpMatchesBruteForceMinimum) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FusionOptimality, ::testing::Range(0, 30));
 
 }  // namespace
-}  // namespace spdkfac::core
+}  // namespace spdkfac::sched

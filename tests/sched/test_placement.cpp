@@ -1,4 +1,4 @@
-#include "core/placement.hpp"
+#include "sched/placement.hpp"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 
 #include "models/model_spec.hpp"
 
-namespace spdkfac::core {
+namespace spdkfac::sched {
 namespace {
 
 // The calibrated task-pricing models of the paper preset (cubic inverse law
@@ -235,4 +235,4 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 4, 8, 64)));
 
 }  // namespace
-}  // namespace spdkfac::core
+}  // namespace spdkfac::sched

@@ -54,6 +54,15 @@ TEST(CollectiveCosts, SimTimingsEqualClosedFormOfSelectedAlgorithm) {
   ASSERT_FALSE(res.collectives.empty());
 
   for (const CollectiveChoice& c : res.collectives) {
+    if (c.kind == TaskKind::kInverseComm) {
+      // Broadcasts are priced by the fabric model, not the all-reduce
+      // selector, and carry their root instead of an algorithm.
+      const auto& task = res.plan.task(c.plan_task);
+      EXPECT_DOUBLE_EQ(c.seconds, cal.bcast_fabric.time_dim(task.dim))
+          << c.label;
+      EXPECT_EQ(c.root, task.rank) << c.label;
+      continue;
+    }
     // The charged duration is exactly the chosen algorithm's alpha+beta*m.
     EXPECT_DOUBLE_EQ(c.seconds, cal.collectives.cost(c.algo, c.elements))
         << c.label;
@@ -87,8 +96,9 @@ TEST(CollectiveCosts, RingDefaultKeepsSeedPricingAndLabels) {
   const auto res = simulate_iteration(tiny_model(), 8, cal, cfg);
   ASSERT_FALSE(res.collectives.empty());
   for (const CollectiveChoice& c : res.collectives) {
-    EXPECT_EQ(c.algo, comm::AllReduceAlgo::kRing);
     EXPECT_EQ(c.label.find('@'), std::string::npos) << c.label;
+    if (c.kind == TaskKind::kInverseComm) continue;  // fabric-priced
+    EXPECT_EQ(c.algo, comm::AllReduceAlgo::kRing);
     EXPECT_DOUBLE_EQ(c.seconds, cal.allreduce.time(c.elements)) << c.label;
   }
 }
