@@ -1,46 +1,52 @@
 // Real-runtime counterpart of the overlap figures: trains a small CNN on the
-// in-process cluster under each strategy (hook mode) and reports wall-clock
-// per step plus the background engine's operation records — submit-to-start
-// latency shows queuing, and ops submitted long before step() proves the
-// communication really ran during the passes.
+// in-process cluster under each strategy (hooked and post-hoc) and reports
+// per-step wall-clock statistics plus the background engine's operation
+// records — the overlap fraction is the share of communication busy time
+// that executed while the passes were still running, i.e. communication the
+// pipelining actually hid.
 //
 // This is a mechanism demonstration, not a performance claim: the
 // in-process transport is memcpy-fast, so absolute gains are small; the
-// cluster-scale numbers live in bench_iteration_time (simulator).
+// cluster-scale numbers live in bench_iteration_time (simulator) and the
+// executor-scaling numbers in bench_overlap.  Emits BENCH_runtime.json
+// (per-config mean/p50/p90 step time + overlap fraction) for cross-PR
+// tracking.
 #include "bench_util.hpp"
 
 using namespace spdkfac;
 
 namespace {
 
-constexpr int kSteps = 5;
+constexpr int kSteps = 8;
 
-struct Stats {
-  double wall_s = 0.0;
+struct Row {
+  bench::SampleStats step;
   std::size_t ops = 0;
   double comm_busy_s = 0.0;
   double mean_queue_delay_s = 0.0;  // start - submit
+  double overlap_fraction = 0.0;
 };
 
-Stats run(core::DistStrategy strategy, bool hooked) {
+Row run(core::DistStrategy strategy, bool hooked) {
   bench::DistTrainConfig cfg;
   cfg.strategy = strategy;
   cfg.hooked = hooked;
   cfg.steps = kSteps;
   const bench::DistTrainResult res = bench::dist_train(cfg);
 
-  Stats stats;
-  stats.wall_s = res.wall_seconds / kSteps;
-  stats.ops = res.records.size();
+  Row row;
+  row.step = bench::stats(res.step_seconds);
+  row.ops = res.records.size();
+  row.overlap_fraction = res.overlap_fraction;
   double delay = 0.0;
   for (const auto& r : res.records) {
-    stats.comm_busy_s += r.end_s - r.start_s;
+    row.comm_busy_s += r.end_s - r.start_s;
     delay += r.start_s - r.submit_s;
   }
   if (!res.records.empty()) {
-    stats.mean_queue_delay_s = delay / static_cast<double>(res.records.size());
+    row.mean_queue_delay_s = delay / static_cast<double>(res.records.size());
   }
-  return stats;
+  return row;
 }
 
 }  // namespace
@@ -49,18 +55,28 @@ int main() {
   bench::print_header(
       "Runtime", "Real in-process training: per-step wall time and overlap");
 
-  bench::Table table({"Strategy", "Mode", "wall/step (ms)", "comm ops",
-                      "comm busy (ms)", "mean queue delay (ms)"});
+  bench::BenchJson json("runtime");
+  bench::Table table({"Strategy", "Mode", "mean/step (ms)", "p50 (ms)",
+                      "p90 (ms)", "comm ops", "comm busy (ms)",
+                      "overlap frac"});
   for (auto strategy :
        {core::DistStrategy::kDKfac, core::DistStrategy::kMpdKfac,
         core::DistStrategy::kSpdKfac}) {
     for (bool hooked : {false, true}) {
-      const Stats s = run(strategy, hooked);
-      table.add_row({to_string(strategy), hooked ? "hooked" : "post-hoc",
-                     bench::fmt("%.2f", s.wall_s * 1e3),
-                     std::to_string(s.ops),
-                     bench::fmt("%.2f", s.comm_busy_s * 1e3),
-                     bench::fmt("%.3f", s.mean_queue_delay_s * 1e3)});
+      const Row row = run(strategy, hooked);
+      const std::string mode = hooked ? "hooked" : "post-hoc";
+      table.add_row({to_string(strategy), mode,
+                     bench::fmt("%.2f", row.step.mean * 1e3),
+                     bench::fmt("%.2f", row.step.p50 * 1e3),
+                     bench::fmt("%.2f", row.step.p90 * 1e3),
+                     std::to_string(row.ops),
+                     bench::fmt("%.2f", row.comm_busy_s * 1e3),
+                     bench::fmt("%.2f", row.overlap_fraction)});
+      json.add_timing(std::string(to_string(strategy)) + "/" + mode,
+                      row.step, row.overlap_fraction,
+                      {{"comm_ops", static_cast<double>(row.ops)},
+                       {"comm_busy_s", row.comm_busy_s},
+                       {"mean_queue_delay_s", row.mean_queue_delay_s}});
     }
   }
   table.print();
@@ -68,5 +84,6 @@ int main() {
       "\nHooked SPD-KFAC submits its factor all-reduces during the passes\n"
       "(the Fig. 6 architecture); post-hoc steps replay the same plan after\n"
       "them.  All strategies end in numerically identical models (tests).\n");
+  json.write();
   return 0;
 }

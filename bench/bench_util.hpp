@@ -1,13 +1,17 @@
 // Shared helpers for the per-figure benchmark harnesses and the examples:
-// console tables, the paper-testbed calibrations, and the small-CNN
-// distributed-training harness (bench_runtime / examples use the same
-// cluster/model setup).
+// console tables, machine-readable BENCH_*.json emission (so the perf
+// trajectory is tracked across PRs), the paper-testbed calibrations, and
+// the small-CNN distributed-training harness (bench_runtime /
+// bench_overlap / examples use the same cluster/model setup).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/cluster.hpp"
@@ -28,12 +32,14 @@ inline const perf::ClusterCalibration& cal64() {
 }
 
 /// Real distributed training of a small CNN on the in-process cluster —
-/// the shared harness behind bench_runtime and examples/distributed_training.
+/// the shared harness behind bench_runtime, bench_overlap and
+/// examples/distributed_training.
 struct DistTrainConfig {
   int world = 4;
   int steps = 5;
   core::DistStrategy strategy = core::DistStrategy::kSpdKfac;
   bool hooked = true;  ///< pass_hooks() in-pass submission (Fig. 6)
+  std::size_t in_channels = 1;
   std::size_t image_hw = 12;
   std::size_t conv1 = 8, conv2 = 16;
   std::size_t classes = 5;
@@ -43,14 +49,22 @@ struct DistTrainConfig {
   double noise = 0.0;
   double lr = 0.05;
   double damping = 3e-2;
+  /// Per-rank executor pool (DistKfacOptions::pool_size); ~0 keeps the
+  /// optimizer default, 0 forces the serial executor.
+  std::size_t pool_size = static_cast<std::size_t>(-1);
 };
 
 struct DistTrainResult {
   std::vector<tensor::Matrix> rank0_weights;
   double rank0_loss = 0.0;
   double wall_seconds = 0.0;                ///< whole run, rank 0
+  std::vector<double> step_seconds;         ///< per-step wall, rank 0
   std::vector<comm::OpRecord> records;      ///< rank 0 engine records
   std::size_t broadcast_cts = 0;            ///< CTs of the final placement
+  /// Fraction of rank 0's communication busy time that executed while the
+  /// forward/backward passes were still running — comm the pipelining hid
+  /// behind computation (engine-clock interval accounting).
+  double overlap_fraction = 0.0;
 };
 
 inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
@@ -58,23 +72,33 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
   std::mutex mu;
   comm::Cluster::launch(cfg.world, [&](comm::Communicator& comm) {
     tensor::Rng init(cfg.init_seed);
-    nn::Sequential model = nn::make_small_cnn(1, cfg.image_hw, cfg.conv1,
-                                              cfg.conv2, cfg.classes, init);
+    nn::Sequential model =
+        nn::make_small_cnn(cfg.in_channels, cfg.image_hw, cfg.conv1,
+                           cfg.conv2, cfg.classes, init);
     auto layers = model.preconditioned_layers();
     core::DistKfacOptions opts;
     opts.strategy = cfg.strategy;
     opts.lr = cfg.lr;
     opts.damping = cfg.damping;
+    if (cfg.pool_size != static_cast<std::size_t>(-1)) {
+      opts.pool_size = cfg.pool_size;
+    }
     core::DistKfacOptimizer optimizer(layers, comm, opts);
-    nn::SyntheticClassification data(cfg.classes, 1, cfg.image_hw,
-                                     cfg.data_seed, cfg.noise);
+    nn::SyntheticClassification data(cfg.classes, cfg.in_channels,
+                                     cfg.image_hw, cfg.data_seed, cfg.noise);
     tensor::Rng shard(100 + comm.rank());
     nn::SoftmaxCrossEntropy loss;
 
+    // Pass windows on the engine clock, so op records (same clock) can be
+    // classified as hidden-behind-compute or exposed.
+    std::vector<std::pair<double, double>> pass_windows;
+    std::vector<double> step_seconds;
     const auto t0 = std::chrono::steady_clock::now();
     double last_loss = 0.0;
     for (int s = 0; s < cfg.steps; ++s) {
+      const auto step_t0 = std::chrono::steady_clock::now();
       nn::Batch batch = data.sample(cfg.batch, shard);
+      const double pass_begin = optimizer.engine_now_s();
       if (cfg.hooked) {
         const nn::PassHooks hooks = optimizer.pass_hooks();
         last_loss =
@@ -84,7 +108,12 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
         last_loss = loss.forward(model.forward(batch.inputs), batch.labels);
         model.backward(loss.backward());
       }
+      pass_windows.emplace_back(pass_begin, optimizer.engine_now_s());
       optimizer.step();
+      step_seconds.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        step_t0)
+              .count());
     }
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
@@ -94,12 +123,113 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
       for (auto* l : layers) result.rank0_weights.push_back(l->weight());
       result.rank0_loss = last_loss;
       result.wall_seconds = wall;
+      result.step_seconds = std::move(step_seconds);
       result.records = optimizer.comm_records();
       result.broadcast_cts = optimizer.placement().num_cts();
+
+      double busy = 0.0, hidden = 0.0;
+      for (const comm::OpRecord& r : result.records) {
+        busy += r.end_s - r.start_s;
+        for (const auto& [b, e] : pass_windows) {
+          hidden += std::max(0.0, std::min(r.end_s, e) - std::max(r.start_s, b));
+        }
+      }
+      result.overlap_fraction = busy > 0.0 ? hidden / busy : 0.0;
     }
   });
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// Per-config summary statistics + BENCH_*.json emission
+// ---------------------------------------------------------------------------
+
+struct SampleStats {
+  double mean = 0.0, p50 = 0.0, p90 = 0.0;
+};
+
+inline SampleStats stats(std::vector<double> samples) {
+  SampleStats s;
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  const auto quantile = [&samples](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.p50 = quantile(0.5);
+  s.p90 = quantile(0.9);
+  return s;
+}
+
+/// Collects per-config scalar fields and writes BENCH_<name>.json in the
+/// working directory — the machine-readable perf record tracked across PRs:
+///   {"bench": "<name>", "configs": [{"name": "...", "<field>": v, ...}]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& config,
+           std::vector<std::pair<std::string, double>> fields) {
+    configs_.emplace_back(config, std::move(fields));
+  }
+
+  /// Convenience: the standard iteration-time block.
+  void add_timing(const std::string& config, const SampleStats& s,
+                  double overlap_fraction,
+                  std::vector<std::pair<std::string, double>> extra = {}) {
+    std::vector<std::pair<std::string, double>> fields{
+        {"mean_s", s.mean},
+        {"p50_s", s.p50},
+        {"p90_s", s.p90},
+        {"overlap_fraction", overlap_fraction}};
+    fields.insert(fields.end(), extra.begin(), extra.end());
+    add(config, std::move(fields));
+  }
+
+  /// Writes BENCH_<name>.json; prints the path.  Throws on I/O failure.
+  void write() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      throw std::runtime_error("BenchJson: cannot open " + path);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"configs\": [",
+                 escape(bench_name_).c_str());
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
+                   escape(configs_[i].first).c_str());
+      for (const auto& [key, value] : configs_[i].second) {
+        std::fprintf(f, ", \"%s\": %.9g", escape(key).c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      configs_;
+};
 
 inline void print_header(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

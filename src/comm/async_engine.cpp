@@ -1,19 +1,26 @@
 #include "comm/async_engine.hpp"
 
+#include <utility>
+
 namespace spdkfac::comm {
 
-AsyncCommEngine::AsyncCommEngine(Communicator& comm)
+AsyncCommEngine::AsyncCommEngine(Communicator& comm, exec::ThreadPool* pool)
     : comm_(comm), epoch_(std::chrono::steady_clock::now()) {
-  worker_ = std::thread([this] { worker_loop(); });
+  if (pool != nullptr && pool->workers() > 0) {
+    pool_ = pool;
+  } else {
+    // Standalone engine (or a caller running serially): the pump needs at
+    // least one worker somewhere, since collectives block on peer ranks.
+    owned_pool_ = std::make_unique<exec::ThreadPool>(1);
+    pool_ = owned_pool_.get();
+  }
 }
 
 AsyncCommEngine::~AsyncCommEngine() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  // Every submitted op references caller-owned buffers and possibly this
+  // engine's listener; drain before members die.  The final pump clears
+  // `pumping_` only after releasing its last reference to us.
+  wait_all();
 }
 
 double AsyncCommEngine::now_s() const {
@@ -47,20 +54,30 @@ CommHandle AsyncCommEngine::submit(std::function<void(Communicator&)> fn,
   handle.state_ = std::make_shared<CommHandle::State>();
   Op op{std::move(fn), handle.state_, std::move(name), elements, now_s(),
         plan_task};
+  bool schedule = false;
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(op));
-    submitted_.fetch_add(1, std::memory_order_release);
+    if (!pumping_) {
+      pumping_ = true;
+      schedule = true;
+    }
   }
-  cv_.notify_one();
+  if (schedule) {
+    pool_->submit([this] { pump(); });
+  }
   return handle;
+}
+
+void AsyncCommEngine::set_completion_listener(
+    std::function<void(const OpRecord&)> listener) {
+  std::lock_guard lock(mutex_);
+  listener_ = std::move(listener);
 }
 
 void AsyncCommEngine::wait_all() {
   std::unique_lock lock(mutex_);
-  drained_cv_.wait(lock, [this] {
-    return queue_.empty() && completed_.load() == submitted_.load();
-  });
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !pumping_; });
 }
 
 std::vector<OpRecord> AsyncCommEngine::records() const {
@@ -68,18 +85,20 @@ std::vector<OpRecord> AsyncCommEngine::records() const {
   return records_;
 }
 
-void AsyncCommEngine::worker_loop() {
+void AsyncCommEngine::pump() {
   for (;;) {
     Op op;
+    std::function<void(const OpRecord&)> listener;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      std::lock_guard lock(mutex_);
       if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
+        pumping_ = false;
+        drained_cv_.notify_all();
+        return;
       }
       op = std::move(queue_.front());
       queue_.pop_front();
+      listener = listener_;
     }
 
     OpRecord record;
@@ -93,13 +112,14 @@ void AsyncCommEngine::worker_loop() {
 
     {
       std::lock_guard lock(records_mutex_);
-      records_.push_back(std::move(record));
+      records_.push_back(record);
     }
     {
       std::lock_guard lock(op.state->mutex);
       op.state->done.store(true, std::memory_order_release);
     }
     op.state->cv.notify_all();
+    if (listener) listener(record);
     completed_.fetch_add(1, std::memory_order_release);
     drained_cv_.notify_all();
   }

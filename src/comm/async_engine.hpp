@@ -2,16 +2,27 @@
 //
 // SPD-KFAC's pipelining (paper Section IV-A / V-A) relies on submitting
 // all-reduce and broadcast operations asynchronously ("hvd.allreduce_async_",
-// "hvd.broadcast_async_") so they execute on a background thread while the
-// caller keeps computing the next layer's Kronecker factor.  This engine
-// reproduces that execution model: each rank owns one engine; operations are
-// queued and executed in submission order by a dedicated worker thread, and
-// callers synchronize through CommHandle::wait().
+// "hvd.broadcast_async_") so they execute in the background while the caller
+// keeps computing the next layer's Kronecker factor.  This engine reproduces
+// that execution model on the shared exec::ThreadPool: operations are queued
+// and executed in submission order by a serial *pump* task that the engine
+// keeps scheduled on the pool while the queue is non-empty — one operation
+// at a time, FIFO, exactly like the dedicated Horovod background thread it
+// replaces, but sharing workers with the compute tasks so a rank's threads
+// are owned in one place.  An engine constructed without a pool owns a
+// single-worker pool of its own (standalone/test use).
+//
+// Callers synchronize through CommHandle::wait() — from threads *outside*
+// the pool only (a pool task blocking on a handle could occupy the worker
+// the pump needs) — or through the completion listener, which is how the
+// DataflowExecutor turns op completions into successor work without
+// blocking anything.
 //
 // Correctness contract (same as Horovod after negotiation): every rank must
 // submit the same sequence of collective operations with matching shapes.
 // The SPD-KFAC optimizer guarantees this by deriving the schedule
-// deterministically from the model structure on every rank.
+// deterministically from the model structure on every rank and submitting
+// through the DataflowExecutor's ordered lane.
 #pragma once
 
 #include <atomic>
@@ -23,10 +34,10 @@
 #include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace spdkfac::comm {
 
@@ -37,12 +48,13 @@ class CommHandle {
 
   bool valid() const noexcept { return state_ != nullptr; }
 
-  /// True once the background thread finished the operation.
+  /// True once the pump finished the operation.
   bool done() const {
     return state_ != nullptr && state_->done.load(std::memory_order_acquire);
   }
 
   /// Blocks until the operation completes.  No-op for invalid handles.
+  /// Must not be called from a task running on the engine's pool.
   void wait() const {
     if (!state_) return;
     std::unique_lock lock(state_->mutex);
@@ -65,7 +77,7 @@ class CommHandle {
 struct OpRecord {
   std::string name;
   double submit_s = 0.0;  ///< seconds since engine start, at submission
-  double start_s = 0.0;   ///< when the background thread began executing
+  double start_s = 0.0;   ///< when the pump began executing
   double end_s = 0.0;     ///< when it finished
   std::size_t elements = 0;
   /// Id of the sched::IterationPlan task this operation executes, or -1 for
@@ -73,17 +85,20 @@ struct OpRecord {
   int plan_task = -1;
 };
 
-/// Per-rank background communication thread.
+/// Per-rank background communication engine (see file comment).
 ///
-/// The referenced Communicator is used exclusively by the engine thread once
-/// the engine is constructed; callers must route *all* collectives through
-/// the engine (submit + wait models a synchronous call) so the channel
-/// message streams of different operations never interleave.
+/// The referenced Communicator is used exclusively by the pump once the
+/// engine is constructed; callers must route *all* collectives through the
+/// engine (submit + wait models a synchronous call) so the channel message
+/// streams of different operations never interleave.
 class AsyncCommEngine {
  public:
-  explicit AsyncCommEngine(Communicator& comm);
+  /// `pool` is where the pump runs; the engine owns a single-worker pool
+  /// when none is given.  A shared pool must outlive the engine.
+  explicit AsyncCommEngine(Communicator& comm,
+                           exec::ThreadPool* pool = nullptr);
 
-  /// Drains the queue and joins the worker thread.
+  /// Drains the queue (every submitted operation completes).
   ~AsyncCommEngine();
 
   AsyncCommEngine(const AsyncCommEngine&) = delete;
@@ -106,12 +121,20 @@ class AsyncCommEngine {
                              std::string name = "broadcast",
                              int plan_task = -1);
 
-  /// Queues an arbitrary operation on the engine thread (escape hatch used
-  /// by tests and by fused multi-tensor operations).
+  /// Queues an arbitrary operation on the pump (escape hatch used by tests
+  /// and by fused multi-tensor operations).
   CommHandle submit(std::function<void(Communicator&)> fn, std::string name,
                     std::size_t elements = 0, int plan_task = -1);
 
-  /// Blocks until every operation submitted so far has completed.
+  /// Invoked by the pump after each operation completes (after its handle
+  /// is signalled), with the operation's record.  The listener must not
+  /// block; it is how the dataflow layer reacts to collective completions
+  /// (it typically enqueues post-processing on the pool).  Install before
+  /// submitting the operations it should observe.
+  void set_completion_listener(std::function<void(const OpRecord&)> listener);
+
+  /// Blocks until every operation submitted so far has completed.  Must not
+  /// be called from a pool task.
   void wait_all();
 
   /// Number of operations fully executed.
@@ -121,6 +144,11 @@ class AsyncCommEngine {
 
   /// Snapshot of execution records (call after wait_all for a stable view).
   std::vector<OpRecord> records() const;
+
+  /// Seconds since engine start, on the clock the records use — lets
+  /// callers place their own events (pass boundaries, drains) on the same
+  /// timeline for overlap accounting.
+  double now_s() const;
 
   int rank() const noexcept { return comm_.rank(); }
   int size() const noexcept { return comm_.size(); }
@@ -135,24 +163,25 @@ class AsyncCommEngine {
     int plan_task = -1;
   };
 
-  void worker_loop();
-  double now_s() const;
+  /// Runs queued ops FIFO until the queue empties, then retires itself;
+  /// submit() schedules a new pump when none is active.
+  void pump();
 
   Communicator& comm_;
   std::chrono::steady_clock::time_point epoch_;
 
+  std::unique_ptr<exec::ThreadPool> owned_pool_;  ///< standalone engines
+  exec::ThreadPool* pool_;
+
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
   std::deque<Op> queue_;
-  bool stopping_ = false;
-  std::atomic<std::size_t> submitted_{0};
+  bool pumping_ = false;  ///< a pump task is scheduled or running
   std::atomic<std::size_t> completed_{0};
   std::condition_variable drained_cv_;
+  std::function<void(const OpRecord&)> listener_;
 
   mutable std::mutex records_mutex_;
   std::vector<OpRecord> records_;
-
-  std::thread worker_;
 };
 
 }  // namespace spdkfac::comm

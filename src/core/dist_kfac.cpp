@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "tensor/symmetric.hpp"
@@ -37,6 +39,37 @@ void DistKfacOptions::validate() const {
   if (!(damping > 0.0)) {
     throw std::invalid_argument("DistKfacOptions: damping must be positive");
   }
+  // size_t fields cannot be negative, but a negative literal wraps silently
+  // to a huge value — for the threshold that would fuse every gradient into
+  // one giant group, for the pool it would try to spawn ~2^64 threads.
+  if (grad_fusion_threshold > std::numeric_limits<std::size_t>::max() / 2) {
+    throw std::invalid_argument(
+        "DistKfacOptions: grad_fusion_threshold is a negative value cast to "
+        "unsigned");
+  }
+  if (pool_size > 4096) {
+    throw std::invalid_argument(
+        "DistKfacOptions: pool_size is absurdly large (negative value cast "
+        "to unsigned?)");
+  }
+  const auto check_timing = [](const std::vector<double>& v,
+                               const char* name) {
+    for (double t : v) {
+      if (!(t >= 0.0) || !std::isfinite(t)) {
+        throw std::invalid_argument(
+            std::string("DistKfacOptions: profile.") + name +
+            " entries must be finite and non-negative");
+      }
+    }
+  };
+  check_timing(profile.a_ready, "a_ready");
+  check_timing(profile.g_ready, "g_ready");
+  check_timing(profile.grad_ready, "grad_ready");
+  if (!(profile.backward_end >= 0.0) || !std::isfinite(profile.backward_end)) {
+    throw std::invalid_argument(
+        "DistKfacOptions: profile.backward_end must be finite and "
+        "non-negative");
+  }
 }
 
 namespace {
@@ -46,6 +79,18 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Validates before the constructor spawns any pool thread.
+DistKfacOptions validated(DistKfacOptions options) {
+  options.validate();
+  return options;
+}
+
+void add_dep(std::vector<int>& deps, int id) {
+  if (std::find(deps.begin(), deps.end(), id) == deps.end()) {
+    deps.push_back(id);
+  }
+}
+
 }  // namespace
 
 DistKfacOptimizer::DistKfacOptimizer(
@@ -53,15 +98,17 @@ DistKfacOptimizer::DistKfacOptimizer(
     DistKfacOptions options)
     : layers_(std::move(layers)),
       comm_(comm),
-      engine_(comm),
-      options_(std::move(options)),
+      options_(validated(std::move(options))),
       selector_(comm.topology()),
       costs_{options_.allreduce_model, options_.broadcast_model,
-             options_.inverse_model, selector_} {
+             options_.inverse_model, selector_},
+      pool_(options_.pool_size > 0
+                ? std::make_unique<exec::ThreadPool>(options_.pool_size)
+                : nullptr),
+      engine_(comm, pool_.get()) {
   if (layers_.empty()) {
     throw std::invalid_argument("DistKfacOptimizer: no preconditioned layers");
   }
-  options_.validate();
   const std::size_t L = layers_.size();
   state_.resize(L);
   fresh_a_.resize(L);
@@ -76,6 +123,24 @@ DistKfacOptimizer::DistKfacOptimizer(
     // G pass runs deepest layer first; g_sizes_ is indexed in pass order.
     g_sizes_[l] = tensor::packed_size(layers_[L - 1 - l]->dim_g());
   }
+
+  // Collective completions flow back into the dataflow: unpack/average on
+  // the pool, then retire the plan node so successors (inverses, the
+  // update) release.  Out-of-plan traffic (profile sync) is waited inline
+  // by its submitter and carries no node.
+  engine_.set_completion_listener([this](const comm::OpRecord& rec) {
+    if (rec.plan_task < 0) return;
+    const int id = rec.plan_task;
+    if (pool_ != nullptr) {
+      pool_->submit([this, id] {
+        postprocess_collective(id);
+        executor_.complete(id);
+      });
+    } else {
+      postprocess_collective(id);
+      executor_.complete(id);
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -126,6 +191,15 @@ sched::PassTiming DistKfacOptimizer::planning_timing() const {
 }
 
 void DistKfacOptimizer::begin_step() {
+  if (!executor_.idle()) {
+    // A previous step was abandoned mid-flight — e.g. a hooked step whose
+    // backward hooks never ran threw from step().  Gated nodes of that
+    // graph can never retire (the pass events are gone), and peers may
+    // hold mismatched collective state; the optimizer cannot be reused.
+    throw std::logic_error(
+        "DistKfacOptimizer: a previous step was abandoned mid-flight "
+        "(incomplete hooked step?); construct a fresh optimizer");
+  }
   sched::ScheduleOptions opt;
   opt.second_order = true;
   opt.factor_update = factors_due();
@@ -181,244 +255,211 @@ void DistKfacOptimizer::begin_step() {
   plan_ = sched::plan_iteration(inputs, opt, costs_);
   if (!plan_.placement.assignments.empty()) placement_ = plan_.placement;
 
-  a_state_.reset(plan_.a_comm.size());
-  g_state_.reset(plan_.g_comm.size());
+  // -------------------------------------------------------------------
+  // Packing layout: pre-size every fused/gradient/broadcast buffer and
+  // record each producer's (group, offset) slot, so concurrent compute
+  // tasks write disjoint ranges with no coordination.
+  // -------------------------------------------------------------------
+  const std::size_t L = layers_.size();
+  a_buffers_.assign(plan_.a_comm.size(), {});
+  g_buffers_.assign(plan_.g_comm.size(), {});
+  a_slots_.assign(L, {});
+  g_slots_.assign(L, {});
   grad_buffers_.assign(plan_.grad_comm.size(), {});
-  grad_handles_.assign(plan_.grad_comm.size(), {});
-  grad_group_index_ = 0;
-  grad_offset_ = 0;
-}
+  grad_slots_.assign(L, {});
+  bcast_buffers_.assign(2 * L, {});
+  task_buffer_.assign(plan_.tasks.size(), nullptr);
+  task_group_.assign(plan_.tasks.size(), -1);
 
-// ---------------------------------------------------------------------------
-// Plan execution: per-layer pass events (hooked and post-hoc paths share
-// these handlers, so both submit the plan's collectives in plan order)
-// ---------------------------------------------------------------------------
-
-void DistKfacOptimizer::pack_factor(sched::Family family,
-                                    std::size_t pass_index) {
-  FamilyState& st = family == sched::Family::kA ? a_state_ : g_state_;
-  const std::vector<int>& tasks =
-      family == sched::Family::kA ? plan_.a_comm : plan_.g_comm;
-  if (st.current >= tasks.size()) return;  // nothing communicated (P == 1)
-  const sched::Task& task = plan_.task(tasks[st.current]);
-  std::vector<double>& buffer = st.buffers[st.current];
-  if (buffer.empty()) {
-    buffer.resize(task.elements);
-    st.offset = 0;
-  }
-  const std::size_t n = family == sched::Family::kA ? a_sizes_[pass_index]
-                                                    : g_sizes_[pass_index];
-  const std::size_t layer = family == sched::Family::kA
-                                ? pass_index
-                                : layers_.size() - 1 - pass_index;
-  const Matrix& fresh =
-      family == sched::Family::kA ? fresh_a_[layer] : fresh_g_[layer];
-  tensor::pack_upper(fresh,
-                     std::span<double>(buffer).subspan(st.offset, n));
-  st.offset += n;
-  if (pass_index == task.last) {
-    if (!task.deferred) {
-      st.handles[st.current] = engine_.all_reduce_async(
-          buffer, comm::ReduceOp::kAverage, task.label, task.algo, task.id);
+  const auto layout_family = [this](const std::vector<int>& comm_tasks,
+                                    std::vector<std::vector<double>>& buffers,
+                                    std::vector<PackSlot>& slots,
+                                    const std::vector<std::size_t>& sizes) {
+    for (std::size_t gi = 0; gi < comm_tasks.size(); ++gi) {
+      const sched::Task& task = plan_.task(comm_tasks[gi]);
+      buffers[gi].assign(task.elements, 0.0);
+      task_buffer_[static_cast<std::size_t>(task.id)] = &buffers[gi];
+      task_group_[static_cast<std::size_t>(task.id)] = static_cast<int>(gi);
+      std::size_t offset = 0;
+      for (std::size_t p = task.first; p <= task.last; ++p) {
+        slots[p] = {static_cast<int>(gi), offset};
+        offset += sizes[p];
+      }
     }
-    ++st.current;
+  };
+  layout_family(plan_.a_comm, a_buffers_, a_slots_, a_sizes_);
+  layout_family(plan_.g_comm, g_buffers_, g_slots_, g_sizes_);
+
+  for (std::size_t gi = 0; gi < plan_.grad_comm.size(); ++gi) {
+    const sched::Task& task = plan_.task(plan_.grad_comm[gi]);
+    grad_buffers_[gi].assign(task.elements, 0.0);
+    task_buffer_[static_cast<std::size_t>(task.id)] = &grad_buffers_[gi];
+    task_group_[static_cast<std::size_t>(task.id)] = static_cast<int>(gi);
+    std::size_t offset = 0;
+    for (std::size_t l : plan_.grad_groups[gi]) {
+      grad_slots_[l] = {static_cast<int>(gi), offset};
+      offset += layers_[l]->weight_grad().size();
+    }
   }
+  for (int id : plan_.broadcast_tasks) {
+    const sched::Task& task = plan_.task(id);
+    bcast_buffers_[task.tensor].assign(task.elements, 0.0);
+    task_buffer_[static_cast<std::size_t>(id)] = &bcast_buffers_[task.tensor];
+  }
+
+  backward_events_ = 0;
+  executor_.begin(build_nodes(), plan_.collective_order(), pool_.get());
 }
+
+// ---------------------------------------------------------------------------
+// Plan -> dataflow translation (node id == plan task id)
+// ---------------------------------------------------------------------------
+
+std::vector<exec::DataflowExecutor::Node> DistKfacOptimizer::build_nodes() {
+  using Node = exec::DataflowExecutor::Node;
+  using NodeKind = exec::DataflowExecutor::NodeKind;
+  // Single-worker factor steps have no collectives; the plan's inverse
+  // barrier is then just the last G compute (sufficient sequentially), but
+  // concurrent inverses must wait for *every* compute's running-average
+  // fold.
+  const bool local_factors =
+      plan_.factor_update && plan_.a_comm.empty() && plan_.g_comm.empty();
+
+  std::vector<Node> nodes(plan_.tasks.size());
+  for (std::size_t i = 0; i < plan_.tasks.size(); ++i) {
+    const sched::Task& task = plan_.tasks[i];
+    const int id = static_cast<int>(i);
+    Node& node = nodes[i];
+    node.deps = task.deps;
+    switch (task.kind) {
+      case sched::TaskKind::kFactorCompute:
+        node.kind = NodeKind::kCompute;
+        node.external_deps = 1;  // released by the layer's pass event
+        node.work = [this, id] { run_factor_compute(id); };
+        break;
+      case sched::TaskKind::kFusedAllReduce: {
+        node.kind = NodeKind::kSubmission;
+        // The plan records only the last member (enough in pass order);
+        // under concurrency every member must have packed before submit.
+        const std::vector<int>& computes =
+            task.family == sched::Family::kA ? plan_.a_compute
+                                             : plan_.g_compute;
+        for (std::size_t p = task.first; p <= task.last; ++p) {
+          add_dep(node.deps, computes[p]);
+        }
+        node.work = [this, id] { submit_collective(id); };
+        break;
+      }
+      case sched::TaskKind::kGradAllReduce:
+        node.kind = NodeKind::kSubmission;
+        // Released at the flush layer's backward event, by which point
+        // every member gradient is packed (backward runs deep to shallow).
+        node.external_deps = 1;
+        node.work = [this, id] { submit_collective(id); };
+        break;
+      case sched::TaskKind::kInverse: {
+        const bool mine = task.rank < 0 || task.rank == comm_.rank();
+        node.kind = mine ? NodeKind::kCompute : NodeKind::kNoop;
+        if (mine) node.work = [this, id] { run_inverse(id); };
+        if (local_factors) {
+          for (int c : plan_.a_compute) add_dep(node.deps, c);
+          for (int c : plan_.g_compute) add_dep(node.deps, c);
+        }
+        break;
+      }
+      case sched::TaskKind::kBroadcast:
+        node.kind = NodeKind::kSubmission;
+        node.work = [this, id] { submit_collective(id); };
+        break;
+      case sched::TaskKind::kUpdate:
+        node.kind = NodeKind::kCompute;
+        node.external_deps = 1;  // released by step(): passes done, grads staged
+        node.work = [this] { run_update(); };
+        break;
+    }
+  }
+  return nodes;
+}
+
+// ---------------------------------------------------------------------------
+// Pass events (hooked and post-hoc paths share these, so both release the
+// same gates in the same per-layer order)
+// ---------------------------------------------------------------------------
 
 void DistKfacOptimizer::handle_forward(std::size_t layer) {
   if (!plan_.factor_update) return;
-  const auto t0 = std::chrono::steady_clock::now();
-  fresh_a_[layer] = compute_factor_a(*layers_[layer]);
-  a_comp_seconds_[layer] = seconds_since(t0);
-  pack_factor(sched::Family::kA, layer);
+  executor_.satisfy(plan_.a_compute[layer]);
 }
 
 void DistKfacOptimizer::handle_backward_grad(std::size_t layer) {
-  if (grad_group_index_ >= plan_.grad_comm.size()) return;  // P == 1
-  const sched::Task& task = plan_.task(plan_.grad_comm[grad_group_index_]);
-  std::vector<double>& buffer = grad_buffers_[grad_group_index_];
-  if (buffer.empty()) {
-    buffer.resize(task.elements);
-    grad_offset_ = 0;
-  }
+  const PackSlot& slot = grad_slots_[layer];
+  if (slot.group < 0) return;  // nothing communicated (P == 1)
   const auto grad = layers_[layer]->weight_grad().data();
-  std::copy(grad.begin(), grad.end(), buffer.begin() + grad_offset_);
-  grad_offset_ += grad.size();
-  if (layer == task.first) {  // the group's flush layer
-    grad_handles_[grad_group_index_] = engine_.all_reduce_async(
-        buffer, comm::ReduceOp::kAverage, task.label, task.algo, task.id);
-    ++grad_group_index_;
+  std::vector<double>& buffer =
+      grad_buffers_[static_cast<std::size_t>(slot.group)];
+  std::copy(grad.begin(), grad.end(),
+            buffer.begin() + static_cast<std::ptrdiff_t>(slot.offset));
+  const int task_id = plan_.grad_comm[static_cast<std::size_t>(slot.group)];
+  if (layer == plan_.task(task_id).first) {  // the group's flush layer
+    executor_.satisfy(task_id);
   }
 }
 
 void DistKfacOptimizer::handle_backward_factor(std::size_t layer) {
   if (!plan_.factor_update) return;
+  executor_.satisfy(plan_.g_compute[layers_.size() - 1 - layer]);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow node bodies
+// ---------------------------------------------------------------------------
+
+void DistKfacOptimizer::run_factor_compute(int task_id) {
+  const sched::Task& task = plan_.task(task_id);
+  const std::size_t l = task.layer;
+  const bool is_a = task.family == sched::Family::kA;
   const auto t0 = std::chrono::steady_clock::now();
-  fresh_g_[layer] = compute_factor_g(*layers_[layer]);
-  g_comp_seconds_[layer] = seconds_since(t0);
-  pack_factor(sched::Family::kG, layers_.size() - 1 - layer);
-}
+  Matrix& fresh = is_a ? fresh_a_[l] : fresh_g_[l];
+  fresh = is_a ? compute_factor_a(*layers_[l]) : compute_factor_g(*layers_[l]);
+  (is_a ? a_comp_seconds_ : g_comp_seconds_)[l] = seconds_since(t0);
 
-void DistKfacOptimizer::drain_comm() {
-  const std::size_t L = layers_.size();
-
-  // Deferred bulk collectives are submitted now, in the plan's canonical
-  // order (after every in-pass submission).
-  for (int id : plan_.comm_order) {
-    const sched::Task& task = plan_.task(id);
-    if (task.kind != sched::TaskKind::kFusedAllReduce || !task.deferred) {
-      continue;
-    }
-    FamilyState& st =
-        task.family == sched::Family::kA ? a_state_ : g_state_;
-    const std::vector<int>& tasks =
-        task.family == sched::Family::kA ? plan_.a_comm : plan_.g_comm;
-    const std::size_t gi = static_cast<std::size_t>(
-        std::find(tasks.begin(), tasks.end(), id) - tasks.begin());
-    st.handles[gi] = engine_.all_reduce_async(
-        st.buffers[gi], comm::ReduceOp::kAverage, task.label, task.algo,
-        task.id);
-  }
-
-  // Aggregated gradients: wait each group and scatter back per layer.
-  if (!plan_.grad_comm.empty()) {
-    for (std::size_t gi = 0; gi < plan_.grad_comm.size(); ++gi) {
-      grad_handles_[gi].wait();
-      std::size_t offset = 0;
-      for (std::size_t l : plan_.grad_groups[gi]) {
-        const Matrix& grad = layers_[l]->weight_grad();
-        agg_grads_[l] = Matrix(grad.rows(), grad.cols());
-        auto dst = agg_grads_[l].data();
-        std::copy(grad_buffers_[gi].begin() + offset,
-                  grad_buffers_[gi].begin() + offset + dst.size(),
-                  dst.begin());
-        offset += dst.size();
-      }
-    }
+  const PackSlot& slot = (is_a ? a_slots_ : g_slots_)[task.pass_index];
+  if (slot.group >= 0) {
+    std::vector<double>& buffer =
+        (is_a ? a_buffers_ : g_buffers_)[static_cast<std::size_t>(slot.group)];
+    tensor::pack_upper(
+        fresh, std::span<double>(buffer).subspan(slot.offset, task.elements));
   } else {
-    for (std::size_t l = 0; l < L; ++l) {
-      agg_grads_[l] = layers_[l]->weight_grad();
-    }
-  }
-
-  // Aggregated factors: wait each fused group and unpack its members.
-  for (std::size_t gi = 0; gi < plan_.a_comm.size(); ++gi) {
-    a_state_.handles[gi].wait();
-    const sched::Task& task = plan_.task(plan_.a_comm[gi]);
-    std::size_t offset = 0;
-    for (std::size_t l = task.first; l <= task.last; ++l) {
-      tensor::unpack_upper(std::span<const double>(a_state_.buffers[gi])
-                               .subspan(offset, a_sizes_[l]),
-                           fresh_a_[l]);
-      offset += a_sizes_[l];
-    }
-  }
-  for (std::size_t gi = 0; gi < plan_.g_comm.size(); ++gi) {
-    g_state_.handles[gi].wait();
-    const sched::Task& task = plan_.task(plan_.g_comm[gi]);
-    std::size_t offset = 0;
-    for (std::size_t i = task.first; i <= task.last; ++i) {
-      tensor::unpack_upper(std::span<const double>(g_state_.buffers[gi])
-                               .subspan(offset, g_sizes_[i]),
-                           fresh_g_[L - 1 - i]);
-      offset += g_sizes_[i];
-    }
+    // Single worker: the fresh factor is already the aggregate; fold the
+    // running average here so inverse tasks (which depend on every factor
+    // compute) read finished state.
+    LayerState& st = state_[l];
+    update_running_average(is_a ? st.a : st.g, fresh, options_.stat_decay);
   }
 }
 
-// ---------------------------------------------------------------------------
-// Hook mode (Fig. 6): the plan executed inline with the passes
-// ---------------------------------------------------------------------------
-
-nn::PassHooks DistKfacOptimizer::pass_hooks() {
-  nn::PassHooks hooks;
-  hooks.after_forward = [this](std::size_t l, nn::PreconditionedLayer&) {
-    if (l == 0) {
-      hooked_active_ = true;
-      begin_step();
-    }
-    handle_forward(l);
-  };
-  hooks.after_backward = [this](std::size_t l, nn::PreconditionedLayer&) {
-    // The plan orders each layer's gradient flush before its G-factor
-    // flush (the gradient is ready the moment the backward kernel ends,
-    // the factor only after its own computation).
-    handle_backward_grad(l);
-    handle_backward_factor(l);
-  };
-  return hooks;
-}
-
-// ---------------------------------------------------------------------------
-// Inverses and updates
-// ---------------------------------------------------------------------------
-
-void DistKfacOptimizer::compute_inverses() {
-  const std::size_t L = layers_.size();
-  auto factor_of = [&](std::size_t t) -> const Matrix& {
-    return t % 2 == 0 ? state_[t / 2].a : state_[t / 2].g;
-  };
-  auto inverse_slot = [&](std::size_t t) -> Matrix& {
-    return t % 2 == 0 ? state_[t / 2].a_inv : state_[t / 2].g_inv;
-  };
-
+void DistKfacOptimizer::run_inverse(int task_id) {
+  const sched::Task& task = plan_.task(task_id);
+  const std::size_t t = task.tensor;
   // Per-tensor damping (identical on every rank: derived from the
-  // aggregated factors).
-  std::vector<double> gamma(2 * L, options_.damping);
+  // aggregated factors, which the factor barrier guarantees are final).
+  double gamma = options_.damping;
   if (options_.pi_damping) {
-    for (std::size_t l = 0; l < L; ++l) {
-      const auto [ga, gg] =
-          factored_damping(state_[l].a, state_[l].g, options_.damping);
-      gamma[2 * l] = ga;
-      gamma[2 * l + 1] = gg;
-    }
+    const LayerState& st = state_[t / 2];
+    const auto [ga, gg] = factored_damping(st.a, st.g, options_.damping);
+    gamma = t % 2 == 0 ? ga : gg;
   }
-
-  // CT tensors, in plan order: the owner inverts and the packed result is
-  // broadcast; every rank submits the broadcasts in the same order.
-  std::vector<std::vector<double>> bcast_buffers(2 * L);
-  std::vector<comm::CommHandle> handles(2 * L);
-  std::size_t bcast_pos = 0;
-  for (int id : plan_.inverse_tasks) {
-    const sched::Task& task = plan_.task(id);
-    if (task.rank < 0) continue;  // NCT: replicated below
-    const std::size_t t = task.tensor;
-    if (comm_.size() > 1) {
-      bcast_buffers[t].resize(task.elements);
-      if (task.rank == comm_.rank()) {
-        Matrix inv = damped_inverse_by(factor_of(t), gamma[t],
-                                       options_.inverse_method);
-        tensor::pack_upper(inv, bcast_buffers[t]);
-      }
-      const sched::Task& bc =
-          plan_.task(plan_.broadcast_tasks[bcast_pos++]);
-      handles[t] =
-          engine_.broadcast_async(bcast_buffers[t], bc.rank, bc.label, bc.id);
-    } else {
-      inverse_slot(t) = damped_inverse_by(factor_of(t), gamma[t],
-                                          options_.inverse_method);
-    }
-  }
-
-  // NCT tensors: every rank inverts locally while the broadcasts drain on
-  // the background engine (real compute/communication overlap).
-  for (int id : plan_.inverse_tasks) {
-    const sched::Task& task = plan_.task(id);
-    if (task.rank >= 0) continue;
-    inverse_slot(task.tensor) = damped_inverse_by(
-        factor_of(task.tensor), gamma[task.tensor], options_.inverse_method);
-  }
-
-  for (int id : plan_.broadcast_tasks) {
-    const sched::Task& bc = plan_.task(id);
-    handles[bc.tensor].wait();
-    Matrix inv(bc.dim, bc.dim);
-    tensor::unpack_upper(bcast_buffers[bc.tensor], inv);
-    inverse_slot(bc.tensor) = std::move(inv);
+  Matrix inv = damped_inverse_by(factor_of(t), gamma, options_.inverse_method);
+  if (task.rank >= 0 && comm_.size() > 1) {
+    // CT: owner packs; the broadcast (dependent on this node) ships it and
+    // its completion unpacks into the slot on every rank identically.
+    tensor::pack_upper(inv, bcast_buffers_[t]);
+  } else {
+    inverse_slot(t) = std::move(inv);
   }
 }
 
-void DistKfacOptimizer::apply_updates() {
+void DistKfacOptimizer::run_update() {
   std::vector<Matrix> deltas(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const LayerState& st = state_[l];
@@ -432,12 +473,103 @@ void DistKfacOptimizer::apply_updates() {
   }
 }
 
+void DistKfacOptimizer::submit_collective(int task_id) {
+  const sched::Task& task = plan_.task(task_id);
+  std::vector<double>& buffer =
+      *task_buffer_[static_cast<std::size_t>(task_id)];
+  if (task.kind == sched::TaskKind::kBroadcast) {
+    engine_.broadcast_async(buffer, task.rank, task.label, task.id);
+  } else {
+    engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, task.label,
+                             task.algo, task.id);
+  }
+}
+
+void DistKfacOptimizer::postprocess_collective(int task_id) {
+  const sched::Task& task = plan_.task(task_id);
+  const std::size_t L = layers_.size();
+  switch (task.kind) {
+    case sched::TaskKind::kFusedAllReduce: {
+      const bool is_a = task.family == sched::Family::kA;
+      const std::vector<double>& buffer =
+          (is_a ? a_buffers_
+                : g_buffers_)[static_cast<std::size_t>(task_group_[task_id])];
+      std::size_t offset = 0;
+      for (std::size_t p = task.first; p <= task.last; ++p) {
+        const std::size_t l = is_a ? p : L - 1 - p;
+        const std::size_t n = (is_a ? a_sizes_ : g_sizes_)[p];
+        Matrix& fresh = is_a ? fresh_a_[l] : fresh_g_[l];
+        tensor::unpack_upper(
+            std::span<const double>(buffer).subspan(offset, n), fresh);
+        offset += n;
+        LayerState& st = state_[l];
+        update_running_average(is_a ? st.a : st.g, fresh,
+                               options_.stat_decay);
+      }
+      break;
+    }
+    case sched::TaskKind::kGradAllReduce: {
+      const std::size_t gi =
+          static_cast<std::size_t>(task_group_[task_id]);
+      const std::vector<double>& buffer = grad_buffers_[gi];
+      std::size_t offset = 0;
+      for (std::size_t l : plan_.grad_groups[gi]) {
+        const Matrix& grad = layers_[l]->weight_grad();
+        agg_grads_[l] = Matrix(grad.rows(), grad.cols());
+        auto dst = agg_grads_[l].data();
+        std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                  buffer.begin() +
+                      static_cast<std::ptrdiff_t>(offset + dst.size()),
+                  dst.begin());
+        offset += dst.size();
+      }
+      break;
+    }
+    case sched::TaskKind::kBroadcast: {
+      Matrix inv(task.dim, task.dim);
+      tensor::unpack_upper(bcast_buffers_[task.tensor], inv);
+      inverse_slot(task.tensor) = std::move(inv);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hook mode (Fig. 6): the dataflow released inline with the passes
+// ---------------------------------------------------------------------------
+
+nn::PassHooks DistKfacOptimizer::pass_hooks() {
+  nn::PassHooks hooks;
+  hooks.after_forward = [this](std::size_t l, nn::PreconditionedLayer&) {
+    if (l == 0) {
+      hooked_active_ = true;
+      begin_step();
+    }
+    handle_forward(l);
+  };
+  hooks.after_backward = [this](std::size_t l, nn::PreconditionedLayer&) {
+    // The plan orders each layer's gradient flush before its G-factor
+    // release (the gradient is ready the moment the backward kernel ends,
+    // the factor only after its own computation).
+    handle_backward_grad(l);
+    handle_backward_factor(l);
+    ++backward_events_;
+  };
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// Step: release the remaining gates and drain the dataflow
+// ---------------------------------------------------------------------------
+
 void DistKfacOptimizer::step() {
   const std::size_t L = layers_.size();
   if (hooked_active_) {
-    // Hooked step: the passes already executed the in-pass plan events;
-    // verify completeness and drain what is in flight.
-    if (grad_group_index_ != plan_.grad_comm.size()) {
+    // Hooked step: the passes already released the in-pass gates; verify
+    // completeness before opening the update gate.
+    if (backward_events_ != L) {
       throw std::logic_error(
           "DistKfacOptimizer: hooked step incomplete — pass_hooks() must be "
           "given to both forward() and backward() of the same step");
@@ -454,21 +586,17 @@ void DistKfacOptimizer::step() {
     }
   }
 
-  drain_comm();
-
-  if (plan_.factor_update) {
+  // Single-worker steps communicate nothing: the local gradients are the
+  // aggregates.  Staged before the update gate opens.
+  if (plan_.grad_comm.empty()) {
     for (std::size_t l = 0; l < L; ++l) {
-      update_running_average(state_[l].a, fresh_a_[l], options_.stat_decay);
-      update_running_average(state_[l].g, fresh_g_[l], options_.stat_decay);
+      agg_grads_[l] = layers_[l]->weight_grad();
     }
-    have_measurements_ = true;
   }
+  if (plan_.update_task >= 0) executor_.satisfy(plan_.update_task);
+  executor_.wait();
 
-  if (plan_.inverse_update) {
-    compute_inverses();
-  }
-
-  apply_updates();
+  if (plan_.factor_update) have_measurements_ = true;
   ++step_count_;
 }
 

@@ -18,12 +18,19 @@
 //               (LBP) with CT/NCT typing.
 //
 // Every step the optimizer asks the sched::SchedulePlanner for the
-// iteration's task-graph and *executes* it: factors are computed and packed
-// in plan order, every collective is submitted to the AsyncCommEngine with
-// the plan task's label/algorithm/id in the plan's canonical order, and the
-// inverse phase follows the plan's placement and broadcast order.  The
+// iteration's task-graph and *executes* it as a real dataflow: the plan's
+// tasks become nodes of an exec::DataflowExecutor on the rank's shared
+// work-stealing pool.  Factor computes and damped inverses dispatch to the
+// pool the moment their predecessors retire (so A_{l+1} builds while A_l's
+// all-reduce flies and while layer l+2's forward kernel runs), collectives
+// are handed to the AsyncCommEngine through the executor's ordered lane —
+// strictly in the plan's canonical submission order, preserving the
+// engine's cross-rank contract byte for byte — and each collective's
+// completion unpacks its payload and releases its successors.  The
 // simulator prices the same plan, so the two cannot drift (see
-// tests/sched/test_equivalence.cpp).
+// tests/sched/test_equivalence.cpp).  Hooked mode releases the pass-event
+// gates from the forward/backward hooks; post-hoc mode replays the same
+// gate sequence inside step(); both therefore execute the identical graph.
 //
 // Every rank constructs one optimizer around its own model replica and
 // Communicator; the plan is derived deterministically from the (identical)
@@ -35,12 +42,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "comm/async_engine.hpp"
 #include "comm/cluster.hpp"
 #include "comm/collectives.hpp"
 #include "core/kfac_optimizer.hpp"
+#include "exec/dataflow.hpp"
+#include "exec/thread_pool.hpp"
 #include "nn/layers.hpp"
 #include "perf/models.hpp"
 #include "sched/plan.hpp"
@@ -74,6 +84,14 @@ struct DistKfacOptions {
   /// WFBP gradient fusion threshold (elements), Horovod's 64 MiB default.
   std::size_t grad_fusion_threshold = sched::kHorovodThresholdElements;
 
+  /// Worker threads of the per-rank execution pool that the plan's compute
+  /// tasks, the tensor kernels' inner loops, and the comm engine's pump
+  /// share.  0 selects the serial executor: plan tasks run inline at their
+  /// trigger points (the pre-dataflow behavior) and the engine pumps on a
+  /// private single-worker pool.  Results are bitwise identical for every
+  /// value (see tests/core/test_determinism.cpp).
+  std::size_t pool_size = 2;
+
   /// All-reduce algorithm for every factor/gradient aggregation.  kRing
   /// reproduces the seed's collectives; kAuto picks per message size and
   /// the cluster's Topology through an AlgorithmSelector built at
@@ -96,8 +114,10 @@ struct DistKfacOptions {
   /// factor step.
   sched::PassTiming profile;
 
-  /// Throws std::invalid_argument on nonsensical settings (zero update
-  /// frequencies, non-positive lr/damping).
+  /// Throws std::invalid_argument on nonsensical settings: zero update
+  /// frequencies, non-positive lr/damping, a grad_fusion_threshold that is
+  /// a negative value wrapped to unsigned, or a fixed profile containing
+  /// negative/non-finite entries.
   void validate() const;
 };
 
@@ -122,11 +142,16 @@ class DistKfacOptimizer {
   ///   model.forward(x, optimizer.pass_hooks());
   ///   loss/backward ...
   ///   model.backward(grad, optimizer.pass_hooks());
-  ///   optimizer.step();   // drains in-flight comm, inverts, updates
+  ///   optimizer.step();   // drains the dataflow, inverts, updates
   ///
   /// Hooked and post-hoc steps execute the identical plan (same buffers,
   /// same collective order), so they are numerically interchangeable; every
   /// rank must use hooks for the same steps.
+  ///
+  /// An incomplete hooked step (forward hooks fired, backward hooks
+  /// forgotten) makes step() throw; the abandoned dataflow cannot be
+  /// resumed — the optimizer then refuses further steps and must be
+  /// reconstructed (as must its peers: their collective state diverged).
   nn::PassHooks pass_hooks();
 
   std::size_t steps() const noexcept { return step_count_; }
@@ -153,6 +178,11 @@ class DistKfacOptimizer {
   std::vector<comm::OpRecord> comm_records() const {
     return engine_.records();
   }
+
+  /// Engine-clock timestamp (the clock comm_records() uses) — lets
+  /// harnesses place pass boundaries on the record timeline for overlap
+  /// accounting.
+  double engine_now_s() const { return engine_.now_s(); }
 
   /// Fusion groups used for the A/G factor aggregation of the last factor
   /// step (empty on a single worker, where nothing is communicated).
@@ -182,19 +212,11 @@ class DistKfacOptimizer {
     tensor::Matrix a_inv, g_inv;
   };
 
-  /// In-flight fused all-reduce groups of one factor family.
-  struct FamilyState {
-    std::vector<std::vector<double>> buffers;
-    std::vector<comm::CommHandle> handles;
-    std::size_t current = 0;  ///< group being filled
-    std::size_t offset = 0;   ///< write offset within the current buffer
-
-    void reset(std::size_t group_count) {
-      buffers.assign(group_count, {});
-      handles.assign(group_count, {});
-      current = 0;
-      offset = 0;
-    }
+  /// Where one factor (by pass index) or gradient (by layer) packs: fused
+  /// group index (-1: nothing communicated) and offset within its buffer.
+  struct PackSlot {
+    int group = -1;
+    std::size_t offset = 0;
   };
 
   bool factors_due() const noexcept {
@@ -208,28 +230,36 @@ class DistKfacOptimizer {
   /// Timing the planner sees: the fixed profile, or the synced measurements
   /// laid out along the pass walk.
   sched::PassTiming planning_timing() const;
-  /// Builds this step's plan and resets the execution state.
+  /// Builds this step's plan, stages the packing layout, and installs the
+  /// plan as a dataflow graph on the executor.
   void begin_step();
+  /// Plan-task -> executor-node translation (see begin_step).
+  std::vector<exec::DataflowExecutor::Node> build_nodes();
 
-  // Per-layer plan execution, shared verbatim by the hooked and post-hoc
-  // paths (post-hoc replays the same event sequence after the passes).
+  // Pass events, shared verbatim by the hooked and post-hoc paths (post-hoc
+  // replays the same sequence inside step()).  They only release executor
+  // gates and stage gradients; the released work runs on the pool.
   void handle_forward(std::size_t layer);
   void handle_backward_grad(std::size_t layer);
   void handle_backward_factor(std::size_t layer);
-  /// Packs one factor into its group's buffer; submits the group's
-  /// all-reduce when the last member is packed (unless the plan deferred
-  /// it to the drain).
-  void pack_factor(sched::Family family, std::size_t pass_index);
-  /// Submits deferred bulk collectives in plan order, waits for everything
-  /// in flight, and unpacks factors and aggregated gradients.
-  void drain_comm();
 
-  void compute_inverses();
-  void apply_updates();
+  // Dataflow node bodies (pool tasks / lane submissions / completions).
+  void run_factor_compute(int task_id);
+  void run_inverse(int task_id);
+  void run_update();
+  void submit_collective(int task_id);
+  void postprocess_collective(int task_id);
+
+  const tensor::Matrix& factor_of(std::size_t tensor) const {
+    return tensor % 2 == 0 ? state_[tensor / 2].a : state_[tensor / 2].g;
+  }
+  tensor::Matrix& inverse_slot(std::size_t tensor) {
+    return tensor % 2 == 0 ? state_[tensor / 2].a_inv
+                           : state_[tensor / 2].g_inv;
+  }
 
   std::vector<nn::PreconditionedLayer*> layers_;
   comm::Communicator& comm_;
-  comm::AsyncCommEngine engine_;
   DistKfacOptions options_;
   comm::AlgorithmSelector selector_;  ///< kAuto resolution (rank-identical)
   sched::ScheduleCosts costs_;
@@ -245,13 +275,26 @@ class DistKfacOptimizer {
   sched::IterationPlan plan_;
   sched::Placement placement_;
 
-  // Per-step execution state.
+  // Per-step execution state.  Buffers are pre-sized in begin_step and
+  // written at plan-determined disjoint offsets, so concurrent compute
+  // tasks never contend.
   bool hooked_active_ = false;
-  FamilyState a_state_, g_state_;
-  std::vector<std::vector<double>> grad_buffers_;
-  std::vector<comm::CommHandle> grad_handles_;
-  std::size_t grad_group_index_ = 0;
-  std::size_t grad_offset_ = 0;
+  std::size_t backward_events_ = 0;  ///< hooked completeness check
+  std::vector<std::vector<double>> a_buffers_, g_buffers_;  // per fused group
+  std::vector<PackSlot> a_slots_, g_slots_;                 // per pass index
+  std::vector<std::vector<double>> grad_buffers_;           // per grad group
+  std::vector<PackSlot> grad_slots_;                        // per layer
+  std::vector<std::vector<double>> bcast_buffers_;          // per tensor
+  std::vector<std::vector<double>*> task_buffer_;  // per plan task, or null
+  std::vector<int> task_group_;  ///< per plan task: fused/grad group index
+
+  // Execution infrastructure — declared last, in this exact order, so
+  // destruction runs the engine first (drains in-flight collectives, whose
+  // completions enqueue pool work), then the pool (runs that work, which
+  // reports into the executor), then the executor.
+  exec::DataflowExecutor executor_;
+  std::unique_ptr<exec::ThreadPool> pool_;  ///< null in serial mode
+  comm::AsyncCommEngine engine_;
 };
 
 }  // namespace spdkfac::core

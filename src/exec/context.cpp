@@ -1,0 +1,45 @@
+#include "exec/context.hpp"
+
+#include <algorithm>
+
+namespace spdkfac::exec {
+
+namespace {
+
+thread_local ThreadPool* tl_override_pool = nullptr;
+thread_local bool tl_overridden = false;
+
+}  // namespace
+
+Context::Context(ThreadPool* pool) noexcept
+    : prev_pool_(tl_override_pool), prev_overridden_(tl_overridden) {
+  tl_override_pool = pool;
+  tl_overridden = true;
+}
+
+Context::~Context() {
+  tl_override_pool = prev_pool_;
+  tl_overridden = prev_overridden_;
+}
+
+ThreadPool* Context::current_pool() noexcept {
+  if (tl_overridden) return tl_override_pool;
+  return ThreadPool::this_thread_pool();
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool* pool = Context::current_pool();
+  if (pool == nullptr) {
+    // Serial, but with the pooled path's chunk boundaries (see
+    // ThreadPool::parallel_for): per-chunk reductions stay bitwise stable.
+    if (grain == 0) grain = 1;
+    for (std::size_t b = 0; b < n; b += grain) {
+      body(b, std::min(n, b + grain));
+    }
+    return;
+  }
+  pool->parallel_for(n, grain, body);
+}
+
+}  // namespace spdkfac::exec

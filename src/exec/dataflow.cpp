@@ -1,0 +1,166 @@
+#include "exec/dataflow.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace spdkfac::exec {
+
+void DataflowExecutor::begin(std::vector<Node> nodes, std::vector<int> lane,
+                             ThreadPool* pool) {
+  // Validate the graph before touching any member, so a rejected begin()
+  // leaves the executor reusable.
+  std::size_t submissions = 0;
+  for (const Node& n : nodes) {
+    if (n.kind == NodeKind::kSubmission) ++submissions;
+    if (n.external_deps < 0) {
+      throw std::invalid_argument("DataflowExecutor: negative external_deps");
+    }
+    for (int d : n.deps) {
+      if (d < 0 || static_cast<std::size_t>(d) >= nodes.size()) {
+        throw std::invalid_argument("DataflowExecutor: dep out of range");
+      }
+    }
+  }
+  if (lane.size() != submissions) {
+    throw std::invalid_argument(
+        "DataflowExecutor: lane must list every submission node");
+  }
+  for (int id : lane) {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes.size() ||
+        nodes[static_cast<std::size_t>(id)].kind != NodeKind::kSubmission) {
+      throw std::invalid_argument(
+          "DataflowExecutor: lane entry is not a submission node");
+    }
+  }
+
+  std::vector<int> inline_runs;
+  {
+    std::lock_guard lock(mutex_);
+    if (retired_ != nodes_.size()) {
+      throw std::logic_error(
+          "DataflowExecutor::begin: previous graph still in flight");
+    }
+    nodes_ = std::move(nodes);
+    lane_ = std::move(lane);
+    // A workerless pool runs submit() inline, which would re-enter our lock
+    // from release_locked — treat it as the inline mode it effectively is.
+    pool_ = (pool != nullptr && pool->workers() > 0) ? pool : nullptr;
+    lane_head_ = 0;
+    retired_ = 0;
+    states_.assign(nodes_.size(), NodeState{});
+    successors_.assign(nodes_.size(), {});
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      states_[i].remaining =
+          n.deps.size() + static_cast<std::size_t>(n.external_deps);
+      for (int d : n.deps) {
+        successors_[static_cast<std::size_t>(d)].push_back(
+            static_cast<int>(i));
+      }
+    }
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (states_[i].remaining == 0) {
+        release_locked(static_cast<int>(i), inline_runs);
+      }
+    }
+  }
+  run_inline(inline_runs);
+}
+
+void DataflowExecutor::release_locked(int id, std::vector<int>& inline_runs) {
+  Node& node = nodes_[static_cast<std::size_t>(id)];
+  switch (node.kind) {
+    case NodeKind::kNoop:
+      retire_locked(id, inline_runs);
+      break;
+    case NodeKind::kCompute:
+      if (pool_ != nullptr) {
+        pool_->submit([this, id] {
+          nodes_[static_cast<std::size_t>(id)].work();
+          std::vector<int> runs;
+          {
+            std::lock_guard lock(mutex_);
+            retire_locked(id, runs);
+          }
+          run_inline(runs);
+        });
+      } else {
+        inline_runs.push_back(id);
+      }
+      break;
+    case NodeKind::kSubmission:
+      states_[static_cast<std::size_t>(id)].lane_ready = true;
+      advance_lane_locked();
+      break;
+  }
+}
+
+void DataflowExecutor::retire_locked(int id, std::vector<int>& inline_runs) {
+  NodeState& state = states_[static_cast<std::size_t>(id)];
+  if (state.retired) {
+    throw std::logic_error("DataflowExecutor: node retired twice");
+  }
+  state.retired = true;
+  if (++retired_ == nodes_.size()) done_cv_.notify_all();
+  for (int s : successors_[static_cast<std::size_t>(id)]) {
+    if (--states_[static_cast<std::size_t>(s)].remaining == 0) {
+      release_locked(s, inline_runs);
+    }
+  }
+}
+
+void DataflowExecutor::advance_lane_locked() {
+  // Fire every dep-ready submission at the head of the lane, in lane order.
+  // Actions run under the lock: a concurrent retire elsewhere cannot slip a
+  // later collective onto the engine first.
+  while (lane_head_ < lane_.size() &&
+         states_[static_cast<std::size_t>(lane_[lane_head_])].lane_ready) {
+    const int id = lane_[lane_head_++];
+    nodes_[static_cast<std::size_t>(id)].work();
+  }
+}
+
+void DataflowExecutor::run_inline(std::vector<int>& inline_runs) {
+  // Inline (pool-less) compute: execute outside the lock; each retirement
+  // may append more ready nodes, processed iteratively.
+  for (std::size_t i = 0; i < inline_runs.size(); ++i) {
+    const int id = inline_runs[i];
+    nodes_[static_cast<std::size_t>(id)].work();
+    std::lock_guard lock(mutex_);
+    retire_locked(id, inline_runs);
+  }
+  inline_runs.clear();
+}
+
+void DataflowExecutor::satisfy(int id) {
+  std::vector<int> inline_runs;
+  {
+    std::lock_guard lock(mutex_);
+    if (--states_[static_cast<std::size_t>(id)].remaining == 0) {
+      release_locked(id, inline_runs);
+    }
+  }
+  run_inline(inline_runs);
+}
+
+void DataflowExecutor::complete(int id) {
+  std::vector<int> inline_runs;
+  {
+    std::lock_guard lock(mutex_);
+    retire_locked(id, inline_runs);
+  }
+  run_inline(inline_runs);
+}
+
+void DataflowExecutor::wait() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return retired_ == nodes_.size(); });
+}
+
+bool DataflowExecutor::idle() const {
+  std::lock_guard lock(mutex_);
+  return retired_ == nodes_.size();
+}
+
+}  // namespace spdkfac::exec

@@ -1,0 +1,108 @@
+// Dependency-driven task-graph executor with an ordered submission lane.
+//
+// This is how a sched::IterationPlan becomes a real compute/communication
+// dataflow: core::DistKfacOptimizer translates the plan one task to one
+// node (same ids) and hands the graph here.  Compute nodes (factor builds,
+// damped inverses, the update) dispatch to the shared ThreadPool the moment
+// their predecessors retire; *submission* nodes model the plan's collectives
+// — their action enqueues an operation on the asynchronous comm engine, and
+// the node retires only when the caller reports the operation (plus any
+// post-processing) finished via complete().
+//
+// The submission lane is the correctness keystone: collective operations
+// must hit every rank's engine in the plan's canonical order (the engine's
+// cross-rank ordering contract, enforced byte-for-byte by the sched
+// equivalence suite), yet under concurrency predecessors retire in
+// nondeterministic order.  Lane nodes therefore fire strictly in the order
+// given to begin(): a dep-ready collective waits until every earlier lane
+// node has fired.  Execution order on the engine is then identical on every
+// rank and identical to the serial walk this executor replaced.
+//
+// The exec layer knows nothing of plans or engines (it sits below tensor);
+// nodes carry opaque actions, which is what lets the same executor drive
+// hooked steps (externally-gated nodes released from pass hooks) and
+// post-hoc steps (the same gates released in a replayed pass walk).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace spdkfac::exec {
+
+class DataflowExecutor {
+ public:
+  enum class NodeKind {
+    kCompute,     ///< `work` runs on the pool (inline without one), retires itself
+    kSubmission,  ///< `work` enqueues an async op; retired by complete()
+    kNoop,        ///< placeholder (e.g. a peer rank's inverse); retires instantly
+  };
+
+  struct Node {
+    NodeKind kind = NodeKind::kNoop;
+    /// Action; must not throw.  Submission actions must be non-blocking and
+    /// must not call back into the executor (they run under its lock to
+    /// keep the lane ordered).
+    std::function<void()> work;
+    std::vector<int> deps;  ///< node indices that must retire first
+    /// Gates released by satisfy() — pass events the graph cannot see
+    /// (layer captured its K-FAC rows, step() reached the drain, ...).
+    int external_deps = 0;
+  };
+
+  DataflowExecutor() = default;
+
+  /// Installs a new graph and starts every dependency-free node.  `lane`
+  /// lists the kSubmission node indices in mandatory submission order (it
+  /// must contain exactly the submission nodes).  Requires the previous
+  /// graph to have fully retired (throws std::logic_error otherwise); pool
+  /// may be nullptr for inline (serial) execution.
+  void begin(std::vector<Node> nodes, std::vector<int> lane, ThreadPool* pool);
+
+  /// Releases one external gate of `id`.
+  void satisfy(int id);
+
+  /// Retires submission node `id`; call when its async operation and any
+  /// post-processing finished.
+  void complete(int id);
+
+  /// Blocks until every node of the current graph retired.
+  void wait();
+
+  /// True when no graph is in flight (before the first begin() or after
+  /// every node retired).
+  bool idle() const;
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  struct NodeState {
+    std::size_t remaining = 0;  ///< unretired deps + unsatisfied gates
+    bool lane_ready = false;    ///< submission node cleared its deps
+    bool retired = false;
+  };
+
+  /// Decrements `id`'s remaining count; on zero, dispatches per kind.
+  /// Inline compute work collected into `inline_runs` (executed by the
+  /// caller outside the lock).
+  void release_locked(int id, std::vector<int>& inline_runs);
+  void retire_locked(int id, std::vector<int>& inline_runs);
+  void advance_lane_locked();
+  void run_inline(std::vector<int>& inline_runs);
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<Node> nodes_;
+  std::vector<NodeState> states_;
+  std::vector<std::vector<int>> successors_;
+  std::vector<int> lane_;
+  std::size_t lane_head_ = 0;
+  std::size_t retired_ = 0;
+};
+
+}  // namespace spdkfac::exec

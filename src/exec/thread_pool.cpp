@@ -1,0 +1,150 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace spdkfac::exec {
+
+namespace {
+
+/// Worker identity of the calling thread (pool + queue index).
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+
+}  // namespace
+
+ThreadPool* ThreadPool::this_thread_pool() noexcept { return tl_pool; }
+
+ThreadPool::ThreadPool(std::size_t workers) : queues_(workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (threads_.empty()) {  // workerless pool: degenerate inline executor
+    fn();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    // Workers push to their own deque (popped LIFO for locality); external
+    // threads spread round-robin.  Idle siblings steal either way.
+    const std::size_t q = tl_pool == this
+                              ? tl_index
+                              : (next_queue_++ % queues_.size());
+    queues_[q].push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  if (!queues_[self].empty()) {  // own work: newest first
+    out = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {  // steal: oldest first
+    const std::size_t victim = (self + k) % queues_.size();
+    if (!queues_[victim].empty()) {
+      out = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  tl_pool = this;
+  tl_index = index;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    std::function<void()> fn;
+    if (try_pop(index, fn)) {
+      lock.unlock();
+      fn();
+      fn = nullptr;  // release captures before re-locking
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;  // every deque drained
+    cv_.wait(lock);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  if (threads_.empty()) {
+    // Same chunk boundaries as the concurrent path: bodies that reduce into
+    // per-chunk slots (combined in chunk order) stay bitwise identical.
+    for (std::size_t b = 0; b < n; b += grain) {
+      body(b, std::min(n, b + grain));
+    }
+    return;
+  }
+
+  // Chunks are claimed from a shared counter by the caller and up to
+  // chunks-1 helper tasks; the caller always participates, so the loop
+  // completes even if every helper is stuck behind other queued work
+  // (including the nested-parallel_for-from-a-pool-task case).
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t chunks = 0, n = 0, grain = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->chunks = chunks;
+  state->n = n;
+  state->grain = grain;
+  state->body = &body;
+
+  auto run_chunks = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->chunks) return;
+      const std::size_t begin = c * s->grain;
+      (*s->body)(begin, std::min(s->n, begin + s->grain));
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->chunks) {
+        std::lock_guard lock(s->mutex);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(threads_.size(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([state, run_chunks] { run_chunks(state); });
+  }
+  run_chunks(state);
+
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->chunks;
+  });
+  // Late helpers find next >= chunks and return without touching `body`,
+  // which dies with this frame; `state` they share keeps them safe.
+}
+
+}  // namespace spdkfac::exec

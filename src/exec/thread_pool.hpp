@@ -1,0 +1,77 @@
+// Work-stealing thread pool — the execution substrate of the exec layer.
+//
+// SPD-KFAC's pipelining only pays off when factor computation, inversion and
+// communication progress *concurrently*; this pool is where every layer's
+// concurrent work runs: the DataflowExecutor dispatches the IterationPlan's
+// compute tasks to it, the AsyncCommEngine pumps its operation queue on it,
+// and the tensor kernels split their inner loops across it via parallel_for.
+//
+// Scheduling is work-stealing: each worker owns a deque and pops its own
+// work LIFO (locality), stealing FIFO from a sibling when empty.  The deques
+// share one mutex/condition pair — tasks here are chunky (GEMM blocks,
+// factor builds, collective ops), so coarse synchronization costs nothing
+// while staying trivially ThreadSanitizer-clean.
+//
+// Blocking discipline (what makes the whole system deadlock-free): tasks
+// submitted to the pool must never block on other pool work except through
+// parallel_for, whose caller claims chunks itself and therefore always makes
+// progress.  Blocking on *external* events (a peer rank's channel, a
+// condition variable signalled off-pool) is allowed — the AsyncCommEngine's
+// collectives rely on it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spdkfac::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is allowed: submit() then runs tasks
+  /// inline, parallel_for runs serially — the "serial executor").
+  explicit ThreadPool(std::size_t workers);
+
+  /// Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const noexcept { return threads_.size(); }
+
+  /// Enqueues `fn`.  Runs inline when the pool has no workers.  Tasks must
+  /// not throw (the pool terminates on escaped exceptions, like a thread).
+  void submit(std::function<void()> fn);
+
+  /// Splits [0, n) into chunks of at most `grain` indices and runs
+  /// `body(begin, end)` for each, the caller claiming chunks alongside the
+  /// workers; returns when every chunk finished.  Chunk boundaries depend
+  /// only on n and grain — never on the worker count — so any body writing
+  /// disjoint outputs per index produces bitwise-identical results for
+  /// every pool size.  Safe to call from inside a pool task (the nested
+  /// caller drives its own chunks to completion).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The pool the calling thread is a worker of, or nullptr.
+  static ThreadPool* this_thread_pool() noexcept;
+
+ private:
+  void worker_main(std::size_t index);
+  bool try_pop(std::size_t self, std::function<void()>& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
+  std::size_t next_queue_ = 0;  ///< round-robin target for external submits
+  bool stopping_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spdkfac::exec

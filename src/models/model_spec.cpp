@@ -382,6 +382,49 @@ ModelSpec mlp_spec(std::span<const std::size_t> widths) {
   return spec;
 }
 
+ModelSpec conv_spec(std::size_t in_channels, std::size_t image_hw,
+                    std::size_t c1, std::size_t c2, std::size_t classes) {
+  if (image_hw == 0 || image_hw % 4 != 0) {
+    throw std::invalid_argument(
+        "conv_spec: image_hw must be a positive multiple of 4");
+  }
+  if (in_channels == 0 || c1 == 0 || c2 == 0 || classes == 0) {
+    throw std::invalid_argument("conv_spec: all widths must be positive");
+  }
+  ModelSpec spec;
+  spec.name = "small-cnn";
+  spec.input_channels = in_channels;
+  spec.input_hw = image_hw;
+  spec.default_batch = 8;
+
+  LayerSpec conv1;
+  conv1.name = "conv1";
+  conv1.kind = LayerKind::kConv2d;
+  conv1.in_channels = in_channels;
+  conv1.out_channels = c1;
+  conv1.kernel_h = conv1.kernel_w = 3;
+  conv1.stride = 1;  // 'same' padding: spatial size preserved
+  conv1.out_h = conv1.out_w = image_hw;
+  conv1.has_bias = true;
+  spec.layers.push_back(conv1);
+
+  LayerSpec conv2 = conv1;
+  conv2.name = "conv2";
+  conv2.in_channels = c1;
+  conv2.out_channels = c2;
+  conv2.out_h = conv2.out_w = image_hw / 2;  // after the first 2x2 pool
+  spec.layers.push_back(conv2);
+
+  LayerSpec fc;
+  fc.name = "fc";
+  fc.kind = LayerKind::kLinear;
+  fc.in_channels = c2 * (image_hw / 4) * (image_hw / 4);
+  fc.out_channels = classes;
+  fc.has_bias = true;
+  spec.layers.push_back(fc);
+  return spec;
+}
+
 std::vector<ModelSpec> paper_models() {
   return {resnet50(), resnet152(), densenet201(), inceptionv4()};
 }

@@ -128,6 +128,16 @@ ModelSpec vgg19();
 /// the runtime MLPs used by tests and examples.
 ModelSpec mlp_spec(std::span<const std::size_t> widths);
 
+/// Convolutional spec mirroring nn::make_small_cnn(in_channels, image_hw,
+/// c1, c2, classes): conv(3x3, same) -> pool -> conv(3x3, same) -> pool ->
+/// linear, all biased — the same layer dims, parameter counts and packed
+/// factor sizes as the runtime network, so plans are exercised on non-MLP
+/// shapes (mixed Conv2d/Linear factor dimensions).  Throws
+/// std::invalid_argument unless image_hw is a positive multiple of 4 (two
+/// 2x2 poolings).
+ModelSpec conv_spec(std::size_t in_channels, std::size_t image_hw,
+                    std::size_t c1, std::size_t c2, std::size_t classes);
+
 /// All four Table II models, in the paper's presentation order.
 std::vector<ModelSpec> paper_models();
 

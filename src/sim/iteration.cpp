@@ -108,16 +108,29 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
       opt, sched::costs_from(cal));
   const sched::IterationPlan& plan = result.plan;
 
+  const int S = cfg.compute_streams;
+  if (S < 1) {
+    throw std::invalid_argument(
+        "simulate_iteration: compute_streams must be >= 1");
+  }
+
   EventSim es;
-  // Streams per GPU: one compute stream, one communication stream for the
+  // Streams per GPU: `compute_streams` compute streams (stream 0 carries
+  // the forward/backward kernels; auxiliary streams model the extra pool
+  // workers factor/inverse tasks run on), one communication stream for the
   // factor/inverse traffic (the paper's own fusion controller + broadcast
   // path), and one for gradient aggregation (Horovod's communicator — a
   // separate NCCL channel in the paper's implementation, so gradient
   // all-reduces do not queue behind factor all-reduces).
-  std::vector<int> comp(world), comm(world), gcomm(world);
+  std::vector<std::vector<int>> comp(world);
+  std::vector<int> comm(world), gcomm(world);
   std::vector<std::string> stream_names;
   for (int p = 0; p < world; ++p) {
-    comp[p] = es.add_stream("gpu" + std::to_string(p) + ".comp");
+    comp[p].push_back(es.add_stream("gpu" + std::to_string(p) + ".comp"));
+    for (int s = 1; s < S; ++s) {
+      comp[p].push_back(es.add_stream("gpu" + std::to_string(p) + ".comp" +
+                                      std::to_string(s)));
+    }
     comm[p] = es.add_stream("gpu" + std::to_string(p) + ".comm");
     gcomm[p] = es.add_stream("gpu" + std::to_string(p) + ".gradcomm");
   }
@@ -125,7 +138,7 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   // here (all-reduces already gang every per-GPU comm stream).
   const int fabric = es.add_stream("fabric");
   for (int p = 0; p < world; ++p) {
-    stream_names.push_back(es.stream_name(comp[p]));
+    for (int sid : comp[p]) stream_names.push_back(es.stream_name(sid));
     stream_names.push_back(es.stream_name(comm[p]));
     stream_names.push_back(es.stream_name(gcomm[p]));
   }
@@ -137,32 +150,52 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   // -------------------------------------------------------------------
   // Compute passes on the representative GPU 0 (all workers are symmetric
   // until the inverse phase): A_0 F_1 ... A_{L-1} F_L, then B_L G_L ...
-  // B_1 G_1 (Fig. 1b).  Factor-compute tasks come from the plan.
+  // B_1 G_1 (Fig. 1b).  Factor-compute tasks come from the plan.  With a
+  // single compute stream they serialize into the pass (the classic
+  // pricing); with more they round-robin onto the auxiliary streams,
+  // depending only on the pass kernel that produced their input — the next
+  // layer's kernel no longer waits for the factor build.  A_l's input is
+  // the *previous* layer's output (Fig. 1b places A_l ahead of layer l's
+  // own kernel, exactly like timing_from_model's a_ready), so its S > 1
+  // dependency is the preceding forward task, not the layer's own.
   // -------------------------------------------------------------------
   std::vector<int> es_of(plan.tasks.size(), -1);
   std::vector<int> b_id(L, -1);
+  int last_pass = -1;
+  std::size_t factor_rr = 0;
+  const auto factor_stream = [&]() {
+    if (S == 1) return comp[0][0];
+    return comp[0][1 + factor_rr++ % static_cast<std::size_t>(S - 1)];
+  };
   for (std::size_t l = 0; l < L; ++l) {
     const auto& layer = model.layers[l];
     if (plan.factor_update) {
       const int id = plan.a_compute[l];
+      std::vector<int> deps;
+      if (S > 1 && last_pass >= 0) deps.push_back(last_pass);
       es_of[id] = es.add_task(TaskKind::kFactorComp,
                               cal.compute.factor_time(layer.factor_a_flops(batch)),
-                              comp[0], {}, plan.task(id).label);
+                              factor_stream(), std::move(deps),
+                              plan.task(id).label);
     }
-    es.add_task(TaskKind::kForward, cal.compute.fwd_time(layer.fwd_flops(batch)),
-                comp[0], {}, "F" + std::to_string(l + 1));
+    last_pass = es.add_task(TaskKind::kForward,
+                            cal.compute.fwd_time(layer.fwd_flops(batch)),
+                            comp[0][0], {}, "F" + std::to_string(l + 1));
   }
   for (std::size_t i = 0; i < L; ++i) {
     const std::size_t l = L - 1 - i;
     const auto& layer = model.layers[l];
     b_id[l] = es.add_task(TaskKind::kBackward,
                           cal.compute.bwd_time(layer.bwd_flops(batch)),
-                          comp[0], {}, "B" + std::to_string(l + 1));
+                          comp[0][0], {}, "B" + std::to_string(l + 1));
     if (plan.factor_update) {
       const int id = plan.g_compute[i];
+      std::vector<int> deps;
+      if (S > 1) deps.push_back(b_id[l]);
       es_of[id] = es.add_task(TaskKind::kFactorComp,
                               cal.compute.factor_time(layer.factor_g_flops(batch)),
-                              comp[0], {}, plan.task(id).label);
+                              factor_stream(), std::move(deps),
+                              plan.task(id).label);
     }
   }
 
@@ -247,9 +280,12 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
       for (int p = 0; p < world; ++p) {
         if (r >= worklists[p].size()) continue;
         const std::size_t t = worklists[p][r];
+        // Each GPU spreads its inverse worklist over its compute streams
+        // (round-robin by worklist row, like the runtime pool's workers).
         const int inv_id = es.add_task(
-            TaskKind::kInverseComp, cal.inverse.time(dims[t]), comp[p],
-            barrier, "inv[T" + std::to_string(t) + "]");
+            TaskKind::kInverseComp, cal.inverse.time(dims[t]),
+            comp[p][r % static_cast<std::size_t>(S)], barrier,
+            "inv[T" + std::to_string(t) + "]");
         if (!result.placement.assignments[t].nct && world > 1) {
           es.add_gang_task(TaskKind::kInverseComm,
                            cal.bcast_fabric.time_dim(dims[t]),

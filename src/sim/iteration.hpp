@@ -47,6 +47,15 @@ struct AlgorithmConfig {
   /// Gradient aggregation is always WFBP + threshold fusion (the Horovod
   /// default the paper keeps for gradients in every algorithm).
   std::size_t grad_fusion_threshold = sched::kHorovodThresholdElements;
+  /// Concurrent compute workers per GPU — the simulator counterpart of the
+  /// runtime's DistKfacOptions::pool_size.  1 reproduces the classic
+  /// single-stream pricing (factor builds serialize with the passes);
+  /// S > 1 adds S-1 auxiliary compute streams that factor-compute tasks
+  /// round-robin onto (overlapping them with the next layer's kernel,
+  /// exactly what the work-stealing pool does physically) and spreads each
+  /// GPU's inverse worklist over all S streams.  The *plan* is identical
+  /// for every value; only the pricing of its compute tasks changes.
+  int compute_streams = 1;
   /// All-reduce algorithm used to price every gang collective (gradients
   /// and factors).  kRing reproduces the seed exactly; kAuto selects per
   /// message size/topology via the calibration's AlgorithmSelector

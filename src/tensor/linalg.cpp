@@ -3,8 +3,24 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "exec/context.hpp"
 
 namespace spdkfac::tensor {
+
+namespace {
+
+/// Shape-only chunking (see matrix.cpp): ~64k inner ops per chunk, so the
+/// kernels stay bitwise-deterministic across pool sizes and serial for
+/// small factors.
+std::size_t items_per_chunk(std::size_t ops_per_item) noexcept {
+  constexpr std::size_t kTargetOps = std::size_t{1} << 16;
+  return std::max<std::size_t>(
+      1, kTargetOps / std::max<std::size_t>(ops_per_item, 1));
+}
+
+}  // namespace
 
 void Cholesky::solve_lower(std::span<double> b) const {
   const std::size_t n = lower.rows();
@@ -67,12 +83,18 @@ std::optional<Cholesky> cholesky(const Matrix& a) {
     if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      const double* li = l.row_ptr(i);
-      double sum = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
-      l(i, j) = sum / ljj;
-    }
+    // The column update below the diagonal is embarrassingly parallel: each
+    // l(i, j) reads only finished rows.
+    exec::parallel_for(
+        n - j - 1, items_per_chunk(j + 1),
+        [&, j, ljj](std::size_t s0, std::size_t s1) {
+          for (std::size_t i = j + 1 + s0; i < j + 1 + s1; ++i) {
+            const double* li = l.row_ptr(i);
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+            l(i, j) = sum / ljj;
+          }
+        });
   }
   return Cholesky{std::move(l)};
 }
@@ -85,15 +107,20 @@ Matrix spd_inverse(const Matrix& a) {
   const std::size_t n = a.rows();
   // Invert by solving A X = I one column at a time.  Columns of the identity
   // are sparse, but the triangular solves dominate anyway (O(n^2) each).
+  // Columns are independent — this is the blocked loop SPD-KFAC's inverse
+  // tasks parallelize on the shared pool.
   Matrix inv(n, n);
-  std::vector<double> col(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    std::fill(col.begin(), col.end(), 0.0);
-    col[j] = 1.0;
-    chol->solve_lower(col);
-    chol->solve_upper(col);
-    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
-  }
+  exec::parallel_for(
+      n, items_per_chunk(2 * n * n), [&](std::size_t j0, std::size_t j1) {
+        std::vector<double> col(n);
+        for (std::size_t j = j0; j < j1; ++j) {
+          std::fill(col.begin(), col.end(), 0.0);
+          col[j] = 1.0;
+          chol->solve_lower(col);
+          chol->solve_upper(col);
+          for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+        }
+      });
   symmetrize(inv);
   return inv;
 }
@@ -118,13 +145,19 @@ void symmetrize(Matrix& a) {
   if (!a.square()) {
     throw std::invalid_argument("symmetrize requires a square matrix");
   }
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = i + 1; j < a.cols(); ++j) {
-      const double avg = 0.5 * (a(i, j) + a(j, i));
-      a(i, j) = avg;
-      a(j, i) = avg;
-    }
-  }
+  // Each unordered pair {i, j} is owned by the chunk containing min(i, j),
+  // so chunks write disjoint element sets.
+  exec::parallel_for(
+      a.rows(), items_per_chunk(a.cols()),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t j = i + 1; j < a.cols(); ++j) {
+            const double avg = 0.5 * (a(i, j) + a(j, i));
+            a(i, j) = avg;
+            a(j, i) = avg;
+          }
+        }
+      });
 }
 
 double spd_inverse_flops(std::size_t n) noexcept {
@@ -134,18 +167,27 @@ double spd_inverse_flops(std::size_t n) noexcept {
 
 Matrix SymmetricEigen::damped_inverse(double damping) const {
   const std::size_t n = eigenvalues.size();
-  Matrix scaled(n, n);  // Q * diag(1/(lambda+damping))
+  // Validate serially (throwing out of a pool chunk is not allowed), then
+  // build Q * diag(1/(lambda+damping)) in parallel row blocks; the
+  // reconstruction GEMM and symmetrize parallelize internally.
+  std::vector<double> inv_denoms(n);
   for (std::size_t j = 0; j < n; ++j) {
     const double denom = eigenvalues[j] + damping;
     if (denom <= 0.0 || !std::isfinite(denom)) {
       throw std::domain_error(
           "SymmetricEigen::damped_inverse: non-positive damped eigenvalue");
     }
-    const double inv = 1.0 / denom;
-    for (std::size_t i = 0; i < n; ++i) {
-      scaled(i, j) = eigenvectors(i, j) * inv;
-    }
+    inv_denoms[j] = 1.0 / denom;
   }
+  Matrix scaled(n, n);  // Q * diag(1/(lambda+damping))
+  exec::parallel_for(n, items_per_chunk(n),
+                     [&](std::size_t r0, std::size_t r1) {
+                       for (std::size_t i = r0; i < r1; ++i) {
+                         for (std::size_t j = 0; j < n; ++j) {
+                           scaled(i, j) = eigenvectors(i, j) * inv_denoms[j];
+                         }
+                       }
+                     });
   Matrix result = matmul_nt(scaled, eigenvectors);
   symmetrize(result);
   return result;
@@ -160,11 +202,23 @@ SymmetricEigen symmetric_eigen(const Matrix& a, int max_sweeps, double tol) {
   symmetrize(m);
   Matrix q = Matrix::identity(n);
 
+  // Parallel sweep-convergence check with a deterministic reduction: chunk
+  // partial sums land in fixed slots and combine in chunk order, so the
+  // result never depends on the pool size.  (The rotations themselves stay
+  // serial — cyclic Jacobi is sequentially dependent rotation to rotation.)
   auto off_diagonal_norm = [&m, n] {
+    const std::size_t chunk = items_per_chunk(n);
+    const std::size_t nchunks = (n + chunk - 1) / chunk;
+    std::vector<double> partial(std::max<std::size_t>(nchunks, 1), 0.0);
+    exec::parallel_for(n, chunk, [&](std::size_t r0, std::size_t r1) {
+      double s = 0.0;
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+      }
+      partial[r0 / chunk] = s;
+    });
     double s = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
-    }
+    for (double p : partial) s += p;
     return std::sqrt(2.0 * s);
   };
 

@@ -6,7 +6,23 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "exec/context.hpp"
+
 namespace spdkfac::tensor {
+
+namespace {
+
+/// Output rows per parallel_for chunk, targeting ~64k inner operations so
+/// small matrices stay serial and large ones split with negligible per-chunk
+/// overhead.  Chunking depends only on the shape (never on the pool size),
+/// which keeps every kernel bitwise-deterministic across pool sizes — each
+/// output element is produced by exactly one chunk, by the serial code.
+std::size_t rows_per_chunk(std::size_t ops_per_row) noexcept {
+  constexpr std::size_t kTargetOps = std::size_t{1} << 16;
+  return std::max<std::size_t>(1, kTargetOps / std::max<std::size_t>(ops_per_row, 1));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
@@ -97,19 +113,24 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop streaming over contiguous rows of
   // both b and c, which is the standard cache-friendly ordering for
-  // row-major storage.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* ci = c.row_ptr(i);
-    const double* ai = a.row_ptr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = ai[k];
-      if (aik == 0.0) continue;
-      const double* bk = b.row_ptr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        ci[j] += aik * bk[j];
-      }
-    }
-  }
+  // row-major storage.  Rows of c are independent, so the outer loop blocks
+  // across the ambient pool.
+  exec::parallel_for(
+      a.rows(), rows_per_chunk(a.cols() * b.cols()),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          double* ci = c.row_ptr(i);
+          const double* ai = a.row_ptr(i);
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = ai[k];
+            if (aik == 0.0) continue;
+            const double* bk = b.row_ptr(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+              ci[j] += aik * bk[j];
+            }
+          }
+        }
+      });
   return c;
 }
 
@@ -118,18 +139,25 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_tn shape mismatch");
   }
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* ak = a.row_ptr(k);
-    const double* bk = b.row_ptr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = ak[i];
-      if (aki == 0.0) continue;
-      double* ci = c.row_ptr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        ci[j] += aki * bk[j];
-      }
-    }
-  }
+  // Parallel over blocks of c's rows (columns of a); the k-outer traversal
+  // inside each block keeps the per-element accumulation order of the
+  // serial kernel (k ascending), so results are bitwise identical.
+  exec::parallel_for(
+      a.cols(), rows_per_chunk(a.rows() * b.cols()),
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t k = 0; k < a.rows(); ++k) {
+          const double* ak = a.row_ptr(k);
+          const double* bk = b.row_ptr(k);
+          for (std::size_t i = i0; i < i1; ++i) {
+            const double aki = ak[i];
+            if (aki == 0.0) continue;
+            double* ci = c.row_ptr(i);
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+              ci[j] += aki * bk[j];
+            }
+          }
+        }
+      });
   return c;
 }
 
@@ -138,16 +166,20 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_nt shape mismatch");
   }
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_ptr(i);
-    double* ci = c.row_ptr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* bj = b.row_ptr(j);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
-      ci[j] = sum;
-    }
-  }
+  exec::parallel_for(
+      a.rows(), rows_per_chunk(a.cols() * b.rows()),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const double* ai = a.row_ptr(i);
+          double* ci = c.row_ptr(i);
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            const double* bj = b.row_ptr(j);
+            double sum = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
+            ci[j] = sum;
+          }
+        }
+      });
   return c;
 }
 

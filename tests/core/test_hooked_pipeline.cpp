@@ -167,6 +167,10 @@ TEST(HookedPipeline, ForgettingBackwardHooksIsDetected) {
     loss.forward(model.forward(flatten(batch), hooks), batch.labels);
     model.backward(loss.backward());  // hooks forgotten here
     EXPECT_THROW(optimizer.step(), std::logic_error);
+    // The abandoned dataflow poisons the optimizer: further steps refuse
+    // with a clear error (peers' collective state diverged) instead of
+    // wedging; reconstruction is the only recovery.
+    EXPECT_THROW(optimizer.step(), std::logic_error);
   });
 }
 

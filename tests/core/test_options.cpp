@@ -2,6 +2,7 @@
 // to_string(DistStrategy).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,7 @@ TEST(DistKfacOptionsTest, DefaultsMatchPaperConfiguration) {
   EXPECT_EQ(opts.balance, sched::BalanceMetric::kEstimatedTime);
   EXPECT_EQ(opts.factor_comm, sched::FactorCommMode::kOptimalFuse);
   EXPECT_EQ(opts.grad_fusion_threshold, sched::kHorovodThresholdElements);
+  EXPECT_EQ(opts.pool_size, 2u);
   EXPECT_TRUE(opts.profile.empty());
   EXPECT_NO_THROW(opts.validate());
 }
@@ -50,6 +52,62 @@ TEST(DistKfacOptionsTest, ValidateRejectsNonPositiveLrAndDamping) {
     opts.damping = bad;
     EXPECT_THROW(opts.validate(), std::invalid_argument) << "damping=" << bad;
   }
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsWrappedNegativeThreshold) {
+  // size_t cannot hold a negative, but `opts.grad_fusion_threshold = -1`
+  // compiles and silently wraps to ~2^64 — one giant fusion group.  Values
+  // in the wrapped-negative half of the range are rejected.
+  DistKfacOptions opts;
+  opts.grad_fusion_threshold = static_cast<std::size_t>(-1);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.grad_fusion_threshold = static_cast<std::size_t>(-123456);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.grad_fusion_threshold = 0;  // layer-wise gradients: legitimate
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsWrappedNegativePoolSize) {
+  DistKfacOptions opts;
+  opts.pool_size = static_cast<std::size_t>(-4);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.pool_size = 0;  // serial executor: legitimate
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsNegativeProfileEntries) {
+  const auto with_profile = [](sched::PassTiming timing) {
+    DistKfacOptions opts;
+    opts.profile = std::move(timing);
+    return opts;
+  };
+
+  sched::PassTiming good;
+  good.a_ready = {0.1, 0.2};
+  good.g_ready = {0.3, 0.4};
+  good.grad_ready = {0.25, 0.15};
+  good.backward_end = 0.5;
+  EXPECT_NO_THROW(with_profile(good).validate());
+
+  sched::PassTiming bad = good;
+  bad.a_ready[1] = -0.2;
+  EXPECT_THROW(with_profile(bad).validate(), std::invalid_argument);
+
+  bad = good;
+  bad.g_ready[0] = -1e-9;
+  EXPECT_THROW(with_profile(bad).validate(), std::invalid_argument);
+
+  bad = good;
+  bad.grad_ready[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(with_profile(bad).validate(), std::invalid_argument);
+
+  bad = good;
+  bad.backward_end = -0.5;
+  EXPECT_THROW(with_profile(bad).validate(), std::invalid_argument);
+
+  bad = good;
+  bad.backward_end = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(with_profile(bad).validate(), std::invalid_argument);
 }
 
 TEST(DistKfacOptionsTest, OptimizerConstructionValidatesOptions) {

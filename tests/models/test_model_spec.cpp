@@ -237,5 +237,38 @@ TEST(Flops, FactorFlopsPositiveForAllLayers) {
   }
 }
 
+TEST(ConvSpec, MirrorsSmallCnnShapes) {
+  // conv_spec(1, 12, 8, 16, 5) must describe exactly the preconditioned
+  // layers of nn::make_small_cnn(1, 12, 8, 16, 5): biased 3x3 'same' convs
+  // around 2x2 pools, biased linear classifier.
+  const ModelSpec spec = conv_spec(1, 12, 8, 16, 5);
+  ASSERT_EQ(spec.layers.size(), 3u);
+
+  EXPECT_EQ(spec.layers[0].kind, LayerKind::kConv2d);
+  EXPECT_EQ(spec.layers[0].dim_a(), 1u * 9u + 1u);
+  EXPECT_EQ(spec.layers[0].dim_g(), 8u);
+  EXPECT_EQ(spec.layers[0].params(), 9u * 8u + 8u);
+  EXPECT_EQ(spec.layers[0].spatial_positions(), 12u * 12u);
+
+  EXPECT_EQ(spec.layers[1].dim_a(), 8u * 9u + 1u);
+  EXPECT_EQ(spec.layers[1].dim_g(), 16u);
+  EXPECT_EQ(spec.layers[1].spatial_positions(), 6u * 6u);  // after one pool
+
+  EXPECT_EQ(spec.layers[2].kind, LayerKind::kLinear);
+  EXPECT_EQ(spec.layers[2].dim_a(), 16u * 3u * 3u + 1u);  // after two pools
+  EXPECT_EQ(spec.layers[2].dim_g(), 5u);
+
+  // Mixed heterogeneous dims is the point of the spec: the linear factor
+  // dwarfs the first conv factor.
+  EXPECT_GT(spec.layers[2].a_elements(), spec.layers[0].a_elements());
+}
+
+TEST(ConvSpec, RejectsDegenerateShapes) {
+  EXPECT_THROW(conv_spec(1, 0, 4, 6, 3), std::invalid_argument);
+  EXPECT_THROW(conv_spec(1, 10, 4, 6, 3), std::invalid_argument);  // not %4
+  EXPECT_THROW(conv_spec(0, 8, 4, 6, 3), std::invalid_argument);
+  EXPECT_THROW(conv_spec(1, 8, 4, 6, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace spdkfac::models

@@ -32,20 +32,61 @@ using tensor::Rng;
 
 constexpr std::size_t kWidths[] = {6, 10, 8, 3};
 constexpr std::size_t kIn = 6, kClasses = 3, kBatch = 8;
-// Small threshold so the MLP splits into several WFBP gradient groups.
+// Small threshold so the models split into several WFBP gradient groups.
 constexpr std::size_t kGradThreshold = 80;
+// Conv harness (mirrors models::conv_spec / nn::make_small_cnn).
+constexpr std::size_t kConvChannels = 1, kConvHw = 8;
+constexpr std::size_t kConvC1 = 4, kConvC2 = 6;
+
+/// Which runtime network (and matching ModelSpec) a cell runs on —
+/// exercises the plans on non-MLP shapes (mixed Conv2d/Linear factors).
+enum class ModelKind { kMlp, kConv };
 
 struct Config {
   core::DistStrategy strategy;
   sched::FactorCommMode factor_comm;  // SPD only; bulk strategies ignore it
   comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
+  ModelKind model = ModelKind::kMlp;
 };
 
 std::string config_name(const Config& c) {
   std::string n = std::string(to_string(c.strategy)) + "/" +
                   sched::to_string(c.factor_comm) + "@" +
-                  comm::to_string(c.algo);
+                  comm::to_string(c.algo) +
+                  (c.model == ModelKind::kConv ? " conv" : " mlp");
   return n;
+}
+
+models::ModelSpec spec_for(ModelKind kind) {
+  if (kind == ModelKind::kConv) {
+    return models::conv_spec(kConvChannels, kConvHw, kConvC1, kConvC2,
+                             kClasses);
+  }
+  return models::mlp_spec(kWidths);
+}
+
+nn::Sequential model_for(ModelKind kind, Rng& rng) {
+  if (kind == ModelKind::kConv) {
+    return nn::make_small_cnn(kConvChannels, kConvHw, kConvC1, kConvC2,
+                              kClasses, rng);
+  }
+  return nn::make_mlp(kWidths, rng);
+}
+
+nn::Batch sample_for(ModelKind kind, std::size_t batch, Rng& rng) {
+  if (kind == ModelKind::kConv) {
+    nn::SyntheticClassification data(kClasses, kConvChannels, kConvHw, 77);
+    return data.sample(batch, rng);
+  }
+  nn::SyntheticClassification data(kClasses, kIn, 1, 77);
+  return data.sample(batch, rng);
+}
+
+Tensor4D input_for(ModelKind kind, const nn::Batch& batch) {
+  if (kind == ModelKind::kConv) return batch.inputs;
+  Tensor4D flat(batch.inputs.n, kIn, 1, 1);
+  flat.data = batch.inputs.data;
+  return flat;
 }
 
 sim::AlgorithmConfig sim_config(const Config& c) {
@@ -81,7 +122,7 @@ RuntimeCapture run_runtime(int world, const Config& c,
   RuntimeCapture capture;
   comm::Cluster::launch(world, [&](comm::Communicator& comm) {
     Rng init(4242);
-    nn::Sequential model = nn::make_mlp(kWidths, init);
+    nn::Sequential model = model_for(c.model, init);
     auto layers = model.preconditioned_layers();
 
     core::DistKfacOptions opts;
@@ -100,18 +141,16 @@ RuntimeCapture run_runtime(int world, const Config& c,
                                             /*second_order=*/true);
     core::DistKfacOptimizer optimizer(layers, comm, opts);
 
-    nn::SyntheticClassification data(kClasses, kIn, 1, 77);
     Rng shard(100 + comm.rank());
     nn::SoftmaxCrossEntropy loss;
-    auto batch = data.sample(kBatch, shard);
-    Tensor4D flat(batch.inputs.n, kIn, 1, 1);
-    flat.data = batch.inputs.data;
+    const nn::Batch batch = sample_for(c.model, kBatch, shard);
+    const Tensor4D input = input_for(c.model, batch);
     if (hooked) {
       const nn::PassHooks hooks = optimizer.pass_hooks();
-      loss.forward(model.forward(flat, hooks), batch.labels);
+      loss.forward(model.forward(input, hooks), batch.labels);
       model.backward(loss.backward(), hooks);
     } else {
-      loss.forward(model.forward(flat), batch.labels);
+      loss.forward(model.forward(input), batch.labels);
       model.backward(loss.backward());
     }
     optimizer.step();
@@ -148,7 +187,7 @@ void check_equivalence(int world, const Config& c, bool hooked) {
   const std::string context =
       config_name(c) + " P=" + std::to_string(world) +
       (hooked ? " hooked" : " post-hoc");
-  const models::ModelSpec spec = models::mlp_spec(kWidths);
+  const models::ModelSpec spec = spec_for(c.model);
   const auto cal =
       perf::ClusterCalibration::for_topology(comm::Topology::flat(world));
 
@@ -226,6 +265,28 @@ TEST_P(Equivalence, SpdKfacMatchesSimulatorUnderEveryFactorCommMode) {
     check_equivalence(GetParam(), {core::DistStrategy::kSpdKfac, mode},
                       true);
   }
+}
+
+TEST_P(Equivalence, ConvModelMatchesSimulator) {
+  // Non-MLP shapes: Conv2d factors (Cin*KH*KW + 1) mixed with a Linear
+  // classifier, exercising the planner on heterogeneous dims.
+  for (const sched::FactorCommMode mode :
+       {sched::FactorCommMode::kLayerWise,
+        sched::FactorCommMode::kOptimalFuse}) {
+    check_equivalence(GetParam(),
+                      {core::DistStrategy::kSpdKfac, mode,
+                       comm::AllReduceAlgo::kRing, ModelKind::kConv},
+                      false);
+    check_equivalence(GetParam(),
+                      {core::DistStrategy::kSpdKfac, mode,
+                       comm::AllReduceAlgo::kRing, ModelKind::kConv},
+                      true);
+  }
+  check_equivalence(GetParam(),
+                    {core::DistStrategy::kMpdKfac,
+                     sched::FactorCommMode::kBulk,
+                     comm::AllReduceAlgo::kRing, ModelKind::kConv},
+                    true);
 }
 
 TEST_P(Equivalence, AutoSelectedAlgorithmsMatchSimulator) {

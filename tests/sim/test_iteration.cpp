@@ -302,5 +302,43 @@ TEST(Iteration, DeterministicResults) {
   EXPECT_EQ(a.breakdown.factor_comm, b.breakdown.factor_comm);
 }
 
+TEST(Iteration, ComputeStreamsPriceTheRuntimeOverlap) {
+  // The compute_streams knob models the runtime's work-stealing pool: with
+  // S > 1 factor builds and inverses overlap the pass kernels (and each
+  // other), so the priced iteration can only shrink — while the *plan*
+  // (fusion groups, collective order, placement) must not move at all.
+  for (const auto make :
+       {AlgorithmConfig::spd_kfac, AlgorithmConfig::dkfac}) {
+    AlgorithmConfig serial = make();
+    AlgorithmConfig pooled = make();
+    pooled.compute_streams = 4;
+    const auto one = simulate_iteration(r50(), 32, cal64(), serial);
+    const auto four = simulate_iteration(r50(), 32, cal64(), pooled);
+    EXPECT_LE(four.total, one.total) << serial.name;
+    ASSERT_EQ(one.plan.tasks.size(), four.plan.tasks.size()) << serial.name;
+    EXPECT_EQ(one.plan.collective_order(), four.plan.collective_order())
+        << serial.name;
+    ASSERT_EQ(one.collectives.size(), four.collectives.size()) << serial.name;
+    for (std::size_t i = 0; i < one.collectives.size(); ++i) {
+      EXPECT_EQ(one.collectives[i].label, four.collectives[i].label);
+      EXPECT_EQ(one.collectives[i].seconds, four.collectives[i].seconds);
+    }
+  }
+  // Second-order work dominated by factor builds and inverses must shrink
+  // strictly once it can spread over four workers.
+  AlgorithmConfig pooled = AlgorithmConfig::spd_kfac();
+  pooled.compute_streams = 4;
+  EXPECT_LT(simulate_iteration(r50(), 32, cal64(), pooled).total,
+            simulate_iteration(r50(), 32, cal64(), AlgorithmConfig::spd_kfac())
+                .total);
+}
+
+TEST(Iteration, ComputeStreamsMustBePositive) {
+  AlgorithmConfig cfg = AlgorithmConfig::spd_kfac();
+  cfg.compute_streams = 0;
+  EXPECT_THROW(simulate_iteration(r50(), 32, cal64(), cfg),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace spdkfac::sim
