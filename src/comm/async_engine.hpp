@@ -83,6 +83,14 @@ struct OpRecord {
   /// Id of the sched::IterationPlan task this operation executes, or -1 for
   /// out-of-plan traffic (e.g. the factor-time profile sync).
   int plan_task = -1;
+
+  /// Pump-side execution time — what the online profiler accumulates as
+  /// the measured cost of this collective.
+  double duration_s() const noexcept { return end_s - start_s; }
+
+  /// Submission-to-completion latency (includes queueing behind earlier
+  /// operations).
+  double latency_s() const noexcept { return end_s - submit_s; }
 };
 
 /// Per-rank background communication engine (see file comment).

@@ -52,32 +52,60 @@ void DistKfacOptions::validate() const {
         "DistKfacOptions: pool_size is absurdly large (negative value cast "
         "to unsigned?)");
   }
-  const auto check_timing = [](const std::vector<double>& v,
-                               const char* name) {
-    for (double t : v) {
-      if (!(t >= 0.0) || !std::isfinite(t)) {
-        throw std::invalid_argument(
-            std::string("DistKfacOptions: profile.") + name +
-            " entries must be finite and non-negative");
+  if (replan_interval == 0) {
+    throw std::invalid_argument(
+        "DistKfacOptions: replan_interval must be >= 1");
+  }
+  if (replan_interval > std::numeric_limits<std::size_t>::max() / 2) {
+    throw std::invalid_argument(
+        "DistKfacOptions: replan_interval is a negative value cast to "
+        "unsigned");
+  }
+  if (plan_cache_capacity > std::numeric_limits<std::size_t>::max() / 2) {
+    throw std::invalid_argument(
+        "DistKfacOptions: plan_cache_capacity is a negative value cast to "
+        "unsigned");
+  }
+  if (!(profile_ema > 0.0) || !(profile_ema <= 1.0) ||
+      !std::isfinite(profile_ema)) {
+    throw std::invalid_argument(
+        "DistKfacOptions: profile_ema must be in (0, 1]");
+  }
+  const auto check_pass_timing = [](const sched::PassTiming& timing,
+                                    const char* what) {
+    const auto check_timing = [what](const std::vector<double>& v,
+                                     const char* name) {
+      for (double t : v) {
+        if (!(t >= 0.0) || !std::isfinite(t)) {
+          throw std::invalid_argument(std::string("DistKfacOptions: ") +
+                                      what + "." + name +
+                                      " entries must be finite and "
+                                      "non-negative");
+        }
       }
+    };
+    check_timing(timing.a_ready, "a_ready");
+    check_timing(timing.g_ready, "g_ready");
+    check_timing(timing.grad_ready, "grad_ready");
+    if (!(timing.backward_end >= 0.0) ||
+        !std::isfinite(timing.backward_end)) {
+      throw std::invalid_argument(std::string("DistKfacOptions: ") + what +
+                                  ".backward_end must be finite and "
+                                  "non-negative");
     }
   };
-  check_timing(profile.a_ready, "a_ready");
-  check_timing(profile.g_ready, "g_ready");
-  check_timing(profile.grad_ready, "grad_ready");
-  if (!(profile.backward_end >= 0.0) || !std::isfinite(profile.backward_end)) {
+  check_pass_timing(profile, "profile");
+  for (const sched::PassTiming& timing : profile_trajectory) {
+    check_pass_timing(timing, "profile_trajectory");
+  }
+  if (!profile.empty() && !profile_trajectory.empty()) {
     throw std::invalid_argument(
-        "DistKfacOptions: profile.backward_end must be finite and "
-        "non-negative");
+        "DistKfacOptions: profile and profile_trajectory are mutually "
+        "exclusive");
   }
 }
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// Validates before the constructor spawns any pool thread.
 DistKfacOptions validated(DistKfacOptions options) {
@@ -102,6 +130,9 @@ DistKfacOptimizer::DistKfacOptimizer(
       selector_(comm.topology()),
       costs_{options_.allreduce_model, options_.broadcast_model,
              options_.inverse_model, selector_},
+      profiler_(std::max<std::size_t>(layers_.size(), 1),
+                options_.profile_ema),
+      plan_cache_(options_.plan_cache_capacity),
       pool_(options_.pool_size > 0
                 ? std::make_unique<exec::ThreadPool>(options_.pool_size)
                 : nullptr),
@@ -109,13 +140,18 @@ DistKfacOptimizer::DistKfacOptimizer(
   if (layers_.empty()) {
     throw std::invalid_argument("DistKfacOptimizer: no preconditioned layers");
   }
+  if (!options_.profile.empty()) {
+    // Static planning profile: the timing never changes, so install it once
+    // (re-plan points become no-ops and the cache holds one entry per step
+    // kind).
+    current_timing_ = options_.profile;
+    profiled_timing_ = true;
+  }
   const std::size_t L = layers_.size();
   state_.resize(L);
   fresh_a_.resize(L);
   fresh_g_.resize(L);
   agg_grads_.resize(L);
-  a_comp_seconds_.assign(L, 0.0);
-  g_comp_seconds_.assign(L, 0.0);
   a_sizes_.resize(L);
   g_sizes_.resize(L);
   for (std::size_t l = 0; l < L; ++l) {
@@ -124,12 +160,36 @@ DistKfacOptimizer::DistKfacOptimizer(
     g_sizes_[l] = tensor::packed_size(layers_[L - 1 - l]->dim_g());
   }
 
+  // Execution-layer profiling tap: every compute node reports its measured
+  // duration; factor builds and inverses land in the profiler's per-layer /
+  // per-tensor EMA slots (disjoint per task, so no locking — see
+  // OnlineProfiler's thread-safety contract).
+  executor_.set_observer([this](int id, double seconds) {
+    const sched::Task& task = plan_->task(id);
+    switch (task.kind) {
+      case sched::TaskKind::kFactorCompute:
+        if (task.family == sched::Family::kA) {
+          profiler_.record_factor_a(task.layer, seconds);
+        } else {
+          profiler_.record_factor_g(task.layer, seconds);
+        }
+        break;
+      case sched::TaskKind::kInverse:
+        profiler_.record_inverse(task.tensor, seconds);
+        break;
+      default:
+        break;  // the update task is not a profiled quantity
+    }
+  });
+
   // Collective completions flow back into the dataflow: unpack/average on
   // the pool, then retire the plan node so successors (inverses, the
-  // update) release.  Out-of-plan traffic (profile sync) is waited inline
-  // by its submitter and carries no node.
+  // update) release.  The execution record also feeds the profiler's
+  // per-op collective aggregates.  Out-of-plan traffic (profile sync) is
+  // waited inline by its submitter and carries no node.
   engine_.set_completion_listener([this](const comm::OpRecord& rec) {
     if (rec.plan_task < 0) return;
+    profiler_.record_collective(rec.elements, rec.duration_s());
     const int id = rec.plan_task;
     if (pool_ != nullptr) {
       pool_->submit([this, id] {
@@ -147,47 +207,35 @@ DistKfacOptimizer::DistKfacOptimizer(
 // Planning
 // ---------------------------------------------------------------------------
 
-void DistKfacOptimizer::sync_measured_times() {
+void DistKfacOptimizer::sync_profile() {
   if (comm_.size() == 1) return;
-  const std::size_t L = layers_.size();
-  std::vector<double> buffer(2 * L);
-  std::copy(a_comp_seconds_.begin(), a_comp_seconds_.end(), buffer.begin());
-  std::copy(g_comp_seconds_.begin(), g_comp_seconds_.end(),
-            buffer.begin() + L);
+  std::vector<double> buffer = profiler_.packed();
   engine_
-      .all_reduce_async(buffer, comm::ReduceOp::kAverage, "factor-times",
+      .all_reduce_async(buffer, comm::ReduceOp::kAverage, "profile-sync",
                         collective_algo(buffer.size()))
       .wait();
-  std::copy(buffer.begin(), buffer.begin() + L, a_comp_seconds_.begin());
-  std::copy(buffer.begin() + L, buffer.end(), g_comp_seconds_.begin());
+  profiler_.load_packed(buffer);
 }
 
-sched::PassTiming DistKfacOptimizer::planning_timing() const {
-  if (!options_.profile.empty()) return options_.profile;
-  // Lay the measured factor times along the pass walk on one global clock.
-  // The forward/backward kernels themselves are not timed; a tiny epsilon
-  // stands in for each backward step so the readiness order stays strictly
-  // the per-layer event order (gradient before G factor at every layer).
-  constexpr double kEps = 1e-9;
-  const std::size_t L = layers_.size();
-  sched::PassTiming timing;
-  timing.a_ready.resize(L);
-  timing.g_ready.resize(L);
-  timing.grad_ready.resize(L);
-  double clock = 0.0;
-  for (std::size_t l = 0; l < L; ++l) {
-    clock += std::max(a_comp_seconds_[l], kEps);
-    timing.a_ready[l] = clock;
+void DistKfacOptimizer::refresh_planning_profile(bool measured_fusion) {
+  ++replan_count_;
+  if (!options_.profile.empty()) return;  // static: installed at construction
+  if (!options_.profile_trajectory.empty()) {
+    const auto& traj = options_.profile_trajectory;
+    current_timing_ = traj[std::min(replan_epoch_, traj.size() - 1)];
+    ++replan_epoch_;
+    profiled_timing_ = true;
+    return;
   }
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::size_t l = L - 1 - i;
-    clock += kEps;
-    timing.grad_ready[l] = clock;
-    clock += std::max(g_comp_seconds_[l], kEps);
-    timing.g_ready[i] = clock;
-  }
-  timing.backward_end = clock;
-  return timing;
+  // Live mode: rank-average the profile when it steers fusion decisions (a
+  // rank-divergent fusion plan would make the collectives mismatch; plans
+  // whose structure ignores the timing magnitudes — bulk/naive factor comm
+  // — stay rank-identical from local values, because the pass walk's event
+  // *order* is shape-determined).
+  if (measured_fusion) sync_profile();
+  current_timing_ = sched::timing_from_profile(profiler_.snapshot());
+  ++replan_epoch_;
+  if (profiler_.has_factor_samples()) profiled_timing_ = true;
 }
 
 void DistKfacOptimizer::begin_step() {
@@ -222,20 +270,27 @@ void DistKfacOptimizer::begin_step() {
       break;
   }
 
+  const bool live = options_.profile.empty() &&
+                    options_.profile_trajectory.empty();
   const bool measured_fusion =
-      options_.profile.empty() &&
-      opt.factor_comm != sched::FactorCommMode::kBulk &&
+      live && opt.factor_comm != sched::FactorCommMode::kBulk &&
       opt.factor_comm != sched::FactorCommMode::kNaive;
-  if (opt.factor_update && measured_fusion) {
-    // The Eq. (15) objective needs layer timing; without measurements yet
-    // (first factor step) fall back to layer-wise communication, exactly
-    // like the paper's warm-up profiling iterations.
-    if (!have_measurements_ &&
-        opt.factor_comm == sched::FactorCommMode::kOptimalFuse) {
-      opt.factor_comm = sched::FactorCommMode::kLayerWise;
-    }
-    // Rank-average the measurements so every rank plans the same groups.
-    sync_measured_times();
+
+  // Re-plan point: the first factor step on or after the armed boundary
+  // refreshes the planning profile (sync + EMA snapshot in live mode, the
+  // next trajectory entry otherwise).  step_count_ advances in lockstep on
+  // every rank, so all ranks re-plan at the same steps.
+  if (opt.factor_update && step_count_ >= next_replan_step_) {
+    refresh_planning_profile(measured_fusion);
+    next_replan_step_ = step_count_ + options_.replan_interval;
+  }
+
+  // The Eq. (15) objective needs layer timing; until a re-plan installed a
+  // real profile (first factor step in live mode) fall back to layer-wise
+  // communication, exactly like the paper's warm-up profiling iterations.
+  if (opt.factor_update && measured_fusion && !profiled_timing_ &&
+      opt.factor_comm == sched::FactorCommMode::kOptimalFuse) {
+    opt.factor_comm = sched::FactorCommMode::kLayerWise;
   }
 
   sched::ScheduleInputs inputs;
@@ -250,10 +305,27 @@ void DistKfacOptimizer::begin_step() {
     shape.grad_elements = layer->weight_grad().size();
     inputs.layers.push_back(shape);
   }
-  inputs.timing = planning_timing();
+  inputs.timing = current_timing_;
 
-  plan_ = sched::plan_iteration(inputs, opt, costs_);
-  if (!plan_.placement.assignments.empty()) placement_ = plan_.placement;
+  // Plan through the cache: the quantized signature of the profile in
+  // effect (plus the step kind) keys the schedule, so steady-state steps
+  // reuse the stored plan — a pointer install, not a planner run — byte
+  // for byte.
+  if (options_.plan_cache_capacity > 0) {
+    sched::PlanCache::Key key{opt.factor_update, opt.inverse_update,
+                              opt.factor_comm,
+                              sched::ProfileSignature::of(current_timing_)};
+    if (auto hit = plan_cache_.find(key)) {
+      plan_ = std::move(hit);
+    } else {
+      plan_ = plan_cache_.insert(key,
+                                 sched::plan_iteration(inputs, opt, costs_));
+    }
+  } else {
+    plan_ = std::make_shared<const sched::IterationPlan>(
+        sched::plan_iteration(inputs, opt, costs_));
+  }
+  if (!plan_->placement.assignments.empty()) placement_ = plan_->placement;
 
   // -------------------------------------------------------------------
   // Packing layout: pre-size every fused/gradient/broadcast buffer and
@@ -261,22 +333,22 @@ void DistKfacOptimizer::begin_step() {
   // tasks write disjoint ranges with no coordination.
   // -------------------------------------------------------------------
   const std::size_t L = layers_.size();
-  a_buffers_.assign(plan_.a_comm.size(), {});
-  g_buffers_.assign(plan_.g_comm.size(), {});
+  a_buffers_.assign(plan_->a_comm.size(), {});
+  g_buffers_.assign(plan_->g_comm.size(), {});
   a_slots_.assign(L, {});
   g_slots_.assign(L, {});
-  grad_buffers_.assign(plan_.grad_comm.size(), {});
+  grad_buffers_.assign(plan_->grad_comm.size(), {});
   grad_slots_.assign(L, {});
   bcast_buffers_.assign(2 * L, {});
-  task_buffer_.assign(plan_.tasks.size(), nullptr);
-  task_group_.assign(plan_.tasks.size(), -1);
+  task_buffer_.assign(plan_->tasks.size(), nullptr);
+  task_group_.assign(plan_->tasks.size(), -1);
 
   const auto layout_family = [this](const std::vector<int>& comm_tasks,
                                     std::vector<std::vector<double>>& buffers,
                                     std::vector<PackSlot>& slots,
                                     const std::vector<std::size_t>& sizes) {
     for (std::size_t gi = 0; gi < comm_tasks.size(); ++gi) {
-      const sched::Task& task = plan_.task(comm_tasks[gi]);
+      const sched::Task& task = plan_->task(comm_tasks[gi]);
       buffers[gi].assign(task.elements, 0.0);
       task_buffer_[static_cast<std::size_t>(task.id)] = &buffers[gi];
       task_group_[static_cast<std::size_t>(task.id)] = static_cast<int>(gi);
@@ -287,28 +359,28 @@ void DistKfacOptimizer::begin_step() {
       }
     }
   };
-  layout_family(plan_.a_comm, a_buffers_, a_slots_, a_sizes_);
-  layout_family(plan_.g_comm, g_buffers_, g_slots_, g_sizes_);
+  layout_family(plan_->a_comm, a_buffers_, a_slots_, a_sizes_);
+  layout_family(plan_->g_comm, g_buffers_, g_slots_, g_sizes_);
 
-  for (std::size_t gi = 0; gi < plan_.grad_comm.size(); ++gi) {
-    const sched::Task& task = plan_.task(plan_.grad_comm[gi]);
+  for (std::size_t gi = 0; gi < plan_->grad_comm.size(); ++gi) {
+    const sched::Task& task = plan_->task(plan_->grad_comm[gi]);
     grad_buffers_[gi].assign(task.elements, 0.0);
     task_buffer_[static_cast<std::size_t>(task.id)] = &grad_buffers_[gi];
     task_group_[static_cast<std::size_t>(task.id)] = static_cast<int>(gi);
     std::size_t offset = 0;
-    for (std::size_t l : plan_.grad_groups[gi]) {
+    for (std::size_t l : plan_->grad_groups[gi]) {
       grad_slots_[l] = {static_cast<int>(gi), offset};
       offset += layers_[l]->weight_grad().size();
     }
   }
-  for (int id : plan_.broadcast_tasks) {
-    const sched::Task& task = plan_.task(id);
+  for (int id : plan_->broadcast_tasks) {
+    const sched::Task& task = plan_->task(id);
     bcast_buffers_[task.tensor].assign(task.elements, 0.0);
     task_buffer_[static_cast<std::size_t>(id)] = &bcast_buffers_[task.tensor];
   }
 
   backward_events_ = 0;
-  executor_.begin(build_nodes(), plan_.collective_order(), pool_.get());
+  executor_.begin(build_nodes(), plan_->collective_order(), pool_.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -323,11 +395,11 @@ std::vector<exec::DataflowExecutor::Node> DistKfacOptimizer::build_nodes() {
   // concurrent inverses must wait for *every* compute's running-average
   // fold.
   const bool local_factors =
-      plan_.factor_update && plan_.a_comm.empty() && plan_.g_comm.empty();
+      plan_->factor_update && plan_->a_comm.empty() && plan_->g_comm.empty();
 
-  std::vector<Node> nodes(plan_.tasks.size());
-  for (std::size_t i = 0; i < plan_.tasks.size(); ++i) {
-    const sched::Task& task = plan_.tasks[i];
+  std::vector<Node> nodes(plan_->tasks.size());
+  for (std::size_t i = 0; i < plan_->tasks.size(); ++i) {
+    const sched::Task& task = plan_->tasks[i];
     const int id = static_cast<int>(i);
     Node& node = nodes[i];
     node.deps = task.deps;
@@ -342,8 +414,8 @@ std::vector<exec::DataflowExecutor::Node> DistKfacOptimizer::build_nodes() {
         // The plan records only the last member (enough in pass order);
         // under concurrency every member must have packed before submit.
         const std::vector<int>& computes =
-            task.family == sched::Family::kA ? plan_.a_compute
-                                             : plan_.g_compute;
+            task.family == sched::Family::kA ? plan_->a_compute
+                                             : plan_->g_compute;
         for (std::size_t p = task.first; p <= task.last; ++p) {
           add_dep(node.deps, computes[p]);
         }
@@ -362,8 +434,8 @@ std::vector<exec::DataflowExecutor::Node> DistKfacOptimizer::build_nodes() {
         node.kind = mine ? NodeKind::kCompute : NodeKind::kNoop;
         if (mine) node.work = [this, id] { run_inverse(id); };
         if (local_factors) {
-          for (int c : plan_.a_compute) add_dep(node.deps, c);
-          for (int c : plan_.g_compute) add_dep(node.deps, c);
+          for (int c : plan_->a_compute) add_dep(node.deps, c);
+          for (int c : plan_->g_compute) add_dep(node.deps, c);
         }
         break;
       }
@@ -387,8 +459,8 @@ std::vector<exec::DataflowExecutor::Node> DistKfacOptimizer::build_nodes() {
 // ---------------------------------------------------------------------------
 
 void DistKfacOptimizer::handle_forward(std::size_t layer) {
-  if (!plan_.factor_update) return;
-  executor_.satisfy(plan_.a_compute[layer]);
+  if (!plan_->factor_update) return;
+  executor_.satisfy(plan_->a_compute[layer]);
 }
 
 void DistKfacOptimizer::handle_backward_grad(std::size_t layer) {
@@ -399,15 +471,15 @@ void DistKfacOptimizer::handle_backward_grad(std::size_t layer) {
       grad_buffers_[static_cast<std::size_t>(slot.group)];
   std::copy(grad.begin(), grad.end(),
             buffer.begin() + static_cast<std::ptrdiff_t>(slot.offset));
-  const int task_id = plan_.grad_comm[static_cast<std::size_t>(slot.group)];
-  if (layer == plan_.task(task_id).first) {  // the group's flush layer
+  const int task_id = plan_->grad_comm[static_cast<std::size_t>(slot.group)];
+  if (layer == plan_->task(task_id).first) {  // the group's flush layer
     executor_.satisfy(task_id);
   }
 }
 
 void DistKfacOptimizer::handle_backward_factor(std::size_t layer) {
-  if (!plan_.factor_update) return;
-  executor_.satisfy(plan_.g_compute[layers_.size() - 1 - layer]);
+  if (!plan_->factor_update) return;
+  executor_.satisfy(plan_->g_compute[layers_.size() - 1 - layer]);
 }
 
 // ---------------------------------------------------------------------------
@@ -415,13 +487,13 @@ void DistKfacOptimizer::handle_backward_factor(std::size_t layer) {
 // ---------------------------------------------------------------------------
 
 void DistKfacOptimizer::run_factor_compute(int task_id) {
-  const sched::Task& task = plan_.task(task_id);
+  const sched::Task& task = plan_->task(task_id);
   const std::size_t l = task.layer;
   const bool is_a = task.family == sched::Family::kA;
-  const auto t0 = std::chrono::steady_clock::now();
+  // Timing is the executor observer's job: it wraps this body and feeds
+  // the measured duration into the profiler's per-layer EMA slot.
   Matrix& fresh = is_a ? fresh_a_[l] : fresh_g_[l];
   fresh = is_a ? compute_factor_a(*layers_[l]) : compute_factor_g(*layers_[l]);
-  (is_a ? a_comp_seconds_ : g_comp_seconds_)[l] = seconds_since(t0);
 
   const PackSlot& slot = (is_a ? a_slots_ : g_slots_)[task.pass_index];
   if (slot.group >= 0) {
@@ -439,7 +511,7 @@ void DistKfacOptimizer::run_factor_compute(int task_id) {
 }
 
 void DistKfacOptimizer::run_inverse(int task_id) {
-  const sched::Task& task = plan_.task(task_id);
+  const sched::Task& task = plan_->task(task_id);
   const std::size_t t = task.tensor;
   // Per-tensor damping (identical on every rank: derived from the
   // aggregated factors, which the factor barrier guarantees are final).
@@ -474,7 +546,7 @@ void DistKfacOptimizer::run_update() {
 }
 
 void DistKfacOptimizer::submit_collective(int task_id) {
-  const sched::Task& task = plan_.task(task_id);
+  const sched::Task& task = plan_->task(task_id);
   std::vector<double>& buffer =
       *task_buffer_[static_cast<std::size_t>(task_id)];
   if (task.kind == sched::TaskKind::kBroadcast) {
@@ -486,7 +558,7 @@ void DistKfacOptimizer::submit_collective(int task_id) {
 }
 
 void DistKfacOptimizer::postprocess_collective(int task_id) {
-  const sched::Task& task = plan_.task(task_id);
+  const sched::Task& task = plan_->task(task_id);
   const std::size_t L = layers_.size();
   switch (task.kind) {
     case sched::TaskKind::kFusedAllReduce: {
@@ -513,7 +585,7 @@ void DistKfacOptimizer::postprocess_collective(int task_id) {
           static_cast<std::size_t>(task_group_[task_id]);
       const std::vector<double>& buffer = grad_buffers_[gi];
       std::size_t offset = 0;
-      for (std::size_t l : plan_.grad_groups[gi]) {
+      for (std::size_t l : plan_->grad_groups[gi]) {
         const Matrix& grad = layers_[l]->weight_grad();
         agg_grads_[l] = Matrix(grad.rows(), grad.cols());
         auto dst = agg_grads_[l].data();
@@ -543,13 +615,32 @@ void DistKfacOptimizer::postprocess_collective(int task_id) {
 nn::PassHooks DistKfacOptimizer::pass_hooks() {
   nn::PassHooks hooks;
   hooks.after_forward = [this](std::size_t l, nn::PreconditionedLayer&) {
+    // Successive hook timestamps profile the pass kernels: the gap between
+    // after_forward(l-1) and after_forward(l) is layer l's forward kernel
+    // (the factor builds run asynchronously on the pool, so they do not
+    // sit inside the gap).  Layer 0 has no predecessor event — its slot
+    // stays unsampled.
     if (l == 0) {
       hooked_active_ = true;
       begin_step();
+    } else {
+      profiler_.record_forward(
+          l, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           last_pass_event_)
+                 .count());
     }
+    last_pass_event_ = std::chrono::steady_clock::now();
     handle_forward(l);
   };
   hooks.after_backward = [this](std::size_t l, nn::PreconditionedLayer&) {
+    // Same gap profiling for the backward kernels; the first backward
+    // event's gap spans the loss computation, so it is skipped.
+    const auto now = std::chrono::steady_clock::now();
+    if (backward_events_ > 0) {
+      profiler_.record_backward(
+          l, std::chrono::duration<double>(now - last_pass_event_).count());
+    }
+    last_pass_event_ = now;
     // The plan orders each layer's gradient flush before its G-factor
     // release (the gradient is ready the moment the backward kernel ends,
     // the factor only after its own computation).
@@ -588,15 +679,14 @@ void DistKfacOptimizer::step() {
 
   // Single-worker steps communicate nothing: the local gradients are the
   // aggregates.  Staged before the update gate opens.
-  if (plan_.grad_comm.empty()) {
+  if (plan_->grad_comm.empty()) {
     for (std::size_t l = 0; l < L; ++l) {
       agg_grads_[l] = layers_[l]->weight_grad();
     }
   }
-  if (plan_.update_task >= 0) executor_.satisfy(plan_.update_task);
+  if (plan_->update_task >= 0) executor_.satisfy(plan_->update_task);
   executor_.wait();
 
-  if (plan_.factor_update) have_measurements_ = true;
   ++step_count_;
 }
 

@@ -35,15 +35,29 @@
 // Every rank constructs one optimizer around its own model replica and
 // Communicator; the plan is derived deterministically from the (identical)
 // model structure and rank-averaged timing, satisfying the engine's
-// ordering contract.  Per-step factor computation times are measured and
-// feed the next step's plan, mirroring the paper's profiling-driven
-// TensorFusionController (Section V-A); a fixed `profile` replaces the
-// measurements for reproducible schedules.
+// ordering contract.
+//
+// Planning timings come from an online profiling → sync → re-plan → cache
+// loop (the runtime realization of the paper's profiling-driven
+// TensorFusionController, Section V-A): a perf::OnlineProfiler accumulates
+// EMA-smoothed per-task timings from the executor's task observer, the
+// pass hooks and the engine's completion records; every `replan_interval`
+// iterations (at a factor step) the profile is rank-synced with a small
+// all-reduce and the planning timing rebuilt from it; each step's plan is
+// then fetched through a sched::PlanCache keyed by the quantized profile
+// signature, so steady-state steps pay zero planning cost and execute a
+// bitwise-stable schedule.  A fixed `profile` pins the timing forever
+// (reproducible schedules, no sync op); a `profile_trajectory` replays a
+// deterministic sequence of profiles across re-plan epochs — the form the
+// adaptive equivalence and determinism suites lock down, mirrored by
+// sim::simulate_trajectory.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <vector>
+
+#include <chrono>
 
 #include "comm/async_engine.hpp"
 #include "comm/cluster.hpp"
@@ -53,7 +67,9 @@
 #include "exec/thread_pool.hpp"
 #include "nn/layers.hpp"
 #include "perf/models.hpp"
+#include "perf/online_profiler.hpp"
 #include "sched/plan.hpp"
+#include "sched/plan_cache.hpp"
 #include "sched/planner.hpp"
 
 namespace spdkfac::core {
@@ -114,10 +130,36 @@ struct DistKfacOptions {
   /// factor step.
   sched::PassTiming profile;
 
+  /// Deterministic planning-profile trajectory: re-plan epoch k plans from
+  /// entry min(k, size-1).  Overrides live measurement (no profile-sync
+  /// op) while keeping the adaptive loop — re-planned schedules become a
+  /// pure function of the trajectory, so runs are reproducible and
+  /// rank-identical by construction.  Mutually exclusive with `profile`.
+  std::vector<sched::PassTiming> profile_trajectory;
+
+  /// Iterations between planning-profile refreshes (>= 1).  A re-plan
+  /// fires at the first factor-update step on or after each boundary: the
+  /// profile is synced across ranks (live mode), the planning timing
+  /// rebuilt, and the next boundary armed.  Steps in between plan from the
+  /// unchanged timing — through the plan cache, at zero planning cost.
+  std::size_t replan_interval = 1;
+
+  /// EMA weight of new samples in the online profiler, in (0, 1]; 1 keeps
+  /// only the latest measurement.
+  double profile_ema = 0.5;
+
+  /// Plan-cache entries (keyed by quantized profile signature + step
+  /// kind).  0 disables caching: every step re-runs the planner — the
+  /// reference path the cache must be bitwise-equivalent to under a fixed
+  /// profile or trajectory (see tests/sched/test_adaptive.cpp).
+  std::size_t plan_cache_capacity = sched::PlanCache::kDefaultCapacity;
+
   /// Throws std::invalid_argument on nonsensical settings: zero update
-  /// frequencies, non-positive lr/damping, a grad_fusion_threshold that is
-  /// a negative value wrapped to unsigned, or a fixed profile containing
-  /// negative/non-finite entries.
+  /// frequencies, non-positive lr/damping, a grad_fusion_threshold /
+  /// pool_size / replan_interval / plan_cache_capacity that is a negative
+  /// value wrapped to unsigned, a profile_ema outside (0, 1], a profile or
+  /// trajectory entry containing negative/non-finite entries, or both
+  /// `profile` and `profile_trajectory` set.
   void validate() const;
 };
 
@@ -166,7 +208,24 @@ class DistKfacOptimizer {
   }
 
   /// The task-graph of the current/last step.
-  const sched::IterationPlan& plan() const noexcept { return plan_; }
+  const sched::IterationPlan& plan() const noexcept { return *plan_; }
+
+  /// The online profiler feeding the adaptive re-planning loop (EMA layer
+  /// timings, collective aggregates).  Read between steps only.
+  const perf::OnlineProfiler& profiler() const noexcept { return profiler_; }
+
+  /// The plan cache (hit/miss counters expose how often steady state
+  /// avoided the planner).
+  const sched::PlanCache& plan_cache() const noexcept { return plan_cache_; }
+
+  /// Planning-profile refreshes so far (the adaptive loop's epoch count).
+  std::size_t replan_count() const noexcept { return replan_count_; }
+
+  /// The planning timing currently in effect (what the last plan was built
+  /// from) — the runtime side of the adaptive equivalence contract.
+  const sched::PassTiming& planning_profile() const noexcept {
+    return current_timing_;
+  }
 
   /// Inverse placement in effect (from the last step that planned an
   /// inverse phase).
@@ -187,10 +246,10 @@ class DistKfacOptimizer {
   /// Fusion groups used for the A/G factor aggregation of the last factor
   /// step (empty on a single worker, where nothing is communicated).
   const std::vector<sched::FusionGroup>& last_a_groups() const noexcept {
-    return plan_.a_groups;
+    return plan_->a_groups;
   }
   const std::vector<sched::FusionGroup>& last_g_groups() const noexcept {
-    return plan_.g_groups;
+    return plan_->g_groups;
   }
 
   // Introspection for the equivalence tests.
@@ -223,15 +282,16 @@ class DistKfacOptimizer {
     return step_count_ % options_.factor_update_freq == 0;
   }
 
-  /// All-reduces the locally measured factor-computation times so every
-  /// rank plans identical fusion groups (a rank-divergent plan would make
-  /// the collectives mismatch).
-  void sync_measured_times();
-  /// Timing the planner sees: the fixed profile, or the synced measurements
-  /// laid out along the pass walk.
-  sched::PassTiming planning_timing() const;
-  /// Builds this step's plan, stages the packing layout, and installs the
-  /// plan as a dataflow graph on the executor.
+  /// All-reduces the profiler's packed vector so every rank plans from the
+  /// same profile (a rank-divergent plan would make the collectives
+  /// mismatch).
+  void sync_profile();
+  /// Re-plan point: installs this epoch's planning timing — the fixed
+  /// profile, the next trajectory entry, or the (synced) live profile laid
+  /// out along the pass walk.
+  void refresh_planning_profile(bool measured_fusion);
+  /// Builds this step's plan (through the plan cache), stages the packing
+  /// layout, and installs the plan as a dataflow graph on the executor.
   void begin_step();
   /// Plan-task -> executor-node translation (see begin_step).
   std::vector<exec::DataflowExecutor::Node> build_nodes();
@@ -267,12 +327,30 @@ class DistKfacOptimizer {
   std::vector<LayerState> state_;
   std::vector<tensor::Matrix> fresh_a_, fresh_g_;
   std::vector<tensor::Matrix> agg_grads_;
-  std::vector<double> a_comp_seconds_, g_comp_seconds_;  // last measured
   std::vector<std::size_t> a_sizes_, g_sizes_;  // packed sizes, pass order
-  bool have_measurements_ = false;
   std::size_t step_count_ = 0;
 
-  sched::IterationPlan plan_;
+  // Adaptive re-planning state.  `current_timing_` is refreshed only at
+  // re-plan points; between them every step plans from it through the
+  // cache.  `profiled_timing_` gates the warm-up fallback (Eq. (15) needs
+  // real timings): false until a refresh saw factor samples (live mode) or
+  // an injected profile/trajectory supplied timing.
+  perf::OnlineProfiler profiler_;
+  sched::PlanCache plan_cache_;
+  sched::PassTiming current_timing_;
+  bool profiled_timing_ = false;
+  std::size_t next_replan_step_ = 0;
+  std::size_t replan_epoch_ = 0;  ///< trajectory index
+  std::size_t replan_count_ = 0;
+  /// Previous pass-hook event (hooked mode): successive hook timestamps
+  /// yield per-layer forward/backward kernel samples for the profiler.
+  std::chrono::steady_clock::time_point last_pass_event_{};
+
+  /// The schedule in execution — immutable and shared with the plan cache,
+  /// so a cache hit installs it by pointer instead of copying O(tasks)
+  /// state on the steady-state path.  Never null.
+  std::shared_ptr<const sched::IterationPlan> plan_ =
+      std::make_shared<const sched::IterationPlan>();
   sched::Placement placement_;
 
   // Per-step execution state.  Buffers are pre-sized in begin_step and

@@ -1,0 +1,85 @@
+#include "perf/online_profiler.hpp"
+
+#include <stdexcept>
+
+namespace spdkfac::perf {
+
+OnlineProfiler::OnlineProfiler(std::size_t layers, double ema)
+    : layers_(layers), ema_(ema) {
+  if (layers == 0) {
+    throw std::invalid_argument("OnlineProfiler: layers must be >= 1");
+  }
+  if (!(ema > 0.0) || !(ema <= 1.0)) {
+    throw std::invalid_argument("OnlineProfiler: ema must be in (0, 1]");
+  }
+  factor_a_.assign(layers, 0.0);
+  factor_g_.assign(layers, 0.0);
+  forward_.assign(layers, 0.0);
+  backward_.assign(layers, 0.0);
+  inverse_.assign(2 * layers, 0.0);
+}
+
+void OnlineProfiler::record_factor_a(std::size_t layer, double seconds) {
+  fold(factor_a_[layer], seconds);
+  factor_samples_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void OnlineProfiler::record_factor_g(std::size_t layer, double seconds) {
+  fold(factor_g_[layer], seconds);
+  factor_samples_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void OnlineProfiler::record_forward(std::size_t layer, double seconds) {
+  fold(forward_[layer], seconds);
+}
+
+void OnlineProfiler::record_backward(std::size_t layer, double seconds) {
+  fold(backward_[layer], seconds);
+}
+
+void OnlineProfiler::record_inverse(std::size_t tensor, double seconds) {
+  fold(inverse_[tensor], seconds);
+}
+
+void OnlineProfiler::record_collective(std::size_t elements, double seconds) {
+  ++collective_ops_;
+  collective_elements_ += elements;
+  collective_seconds_ += seconds;
+  if (elements > 0) {
+    fold(collective_per_element_, seconds / static_cast<double>(elements));
+  }
+}
+
+ProfileSnapshot OnlineProfiler::snapshot() const {
+  return ProfileSnapshot{factor_a_, factor_g_, forward_, backward_};
+}
+
+std::vector<double> OnlineProfiler::packed() const {
+  std::vector<double> out;
+  out.reserve(4 * layers_);
+  for (const auto* v : {&factor_a_, &factor_g_, &forward_, &backward_}) {
+    out.insert(out.end(), v->begin(), v->end());
+  }
+  return out;
+}
+
+void OnlineProfiler::load_packed(std::span<const double> values) {
+  if (values.size() != 4 * layers_) {
+    throw std::invalid_argument("OnlineProfiler::load_packed: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (auto* v : {&factor_a_, &factor_g_, &forward_, &backward_}) {
+    for (std::size_t l = 0; l < layers_; ++l) (*v)[l] = values[offset++];
+  }
+  // A sync that delivered real factor timings opens the warm-up gate even
+  // on a profiler with no local samples (e.g. a rank that joined late):
+  // the loaded profile is exactly as informative as a measured one.
+  for (std::size_t l = 0; l < layers_; ++l) {
+    if (factor_a_[l] > 0.0 || factor_g_[l] > 0.0) {
+      factor_samples_.fetch_add(1, std::memory_order_acq_rel);
+      break;
+    }
+  }
+}
+
+}  // namespace spdkfac::perf

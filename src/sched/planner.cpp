@@ -474,6 +474,39 @@ PassTiming timing_from_model(const models::ModelSpec& model, std::size_t batch,
   return timing;
 }
 
+PassTiming timing_from_profile(const perf::ProfileSnapshot& profile) {
+  const std::size_t L = profile.layers();
+  if (profile.factor_g.size() != L || profile.forward.size() != L ||
+      profile.backward.size() != L) {
+    throw std::invalid_argument(
+        "timing_from_profile: snapshot vectors must all cover every layer");
+  }
+  // Unsampled factor slots advance the clock by a tiny epsilon so that the
+  // per-layer event order (A_l before A_{l+1}, grad_l before G_l) stays a
+  // strict total order even on an empty profile; unsampled kernels simply
+  // contribute no time.
+  constexpr double kEps = 1e-9;
+  PassTiming timing;
+  timing.a_ready.resize(L);
+  timing.g_ready.resize(L);
+  timing.grad_ready.resize(L);
+  double clock = 0.0;
+  for (std::size_t l = 0; l < L; ++l) {
+    clock += std::max(profile.factor_a[l], kEps);
+    timing.a_ready[l] = clock;
+    clock += std::max(profile.forward[l], 0.0);
+  }
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t l = L - 1 - i;
+    clock += std::max(profile.backward[l], kEps);
+    timing.grad_ready[l] = clock;
+    clock += std::max(profile.factor_g[l], kEps);
+    timing.g_ready[i] = clock;
+  }
+  timing.backward_end = clock;
+  return timing;
+}
+
 ScheduleInputs inputs_from_model(const models::ModelSpec& model,
                                  std::size_t batch,
                                  const perf::ComputeModel& compute,

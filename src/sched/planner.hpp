@@ -24,6 +24,7 @@
 #include "comm/collectives.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
+#include "perf/online_profiler.hpp"
 #include "sched/plan.hpp"
 
 namespace spdkfac::sched {
@@ -122,6 +123,14 @@ std::vector<LayerShape> shapes_from_model(const models::ModelSpec& model);
 PassTiming timing_from_model(const models::ModelSpec& model, std::size_t batch,
                              const perf::ComputeModel& compute,
                              bool second_order);
+
+/// Pass timing from *measured* per-layer times (the online-profiling
+/// workflow): the same Fig. 1b walk as timing_from_model, laid out from an
+/// OnlineProfiler snapshot.  Unsampled kernel entries contribute nothing;
+/// unsampled factor entries get a tiny epsilon so the readiness order stays
+/// strictly the per-layer event order.  Throws std::invalid_argument when
+/// the snapshot's vectors disagree in length.
+PassTiming timing_from_profile(const perf::ProfileSnapshot& profile);
 
 /// Convenience: shapes + timing + world size in one ScheduleInputs.
 ScheduleInputs inputs_from_model(const models::ModelSpec& model,

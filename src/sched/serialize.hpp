@@ -1,0 +1,26 @@
+// Stable text form of an IterationPlan — the golden-snapshot format.
+//
+// Captures every scheduling *decision*: task kinds, fusion/group
+// membership, payload sizes, resolved algorithms, owners/roots, dependency
+// edges, the canonical collective order, the placement, and the index
+// views.  Deliberately excludes the planner's floating-point readiness
+// estimates: their total order is already encoded in comm_order, and
+// printing raw doubles would couple the goldens to FP formatting instead
+// of to the schedule.
+//
+// Two plans serialize identically iff every decision matches, so the text
+// doubles as a cheap deep-equality witness (the fuzz suite compares ranks
+// through it; the determinism suite compares re-planned ranks through it).
+#pragma once
+
+#include <string>
+
+#include "sched/plan.hpp"
+
+namespace spdkfac::sched {
+
+/// One line per task plus the plan header, group tables, placement and
+/// index views; newline-terminated, ASCII, no locale dependence.
+std::string plan_to_text(const IterationPlan& plan);
+
+}  // namespace spdkfac::sched

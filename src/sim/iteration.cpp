@@ -102,10 +102,10 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   opt.grad_fusion_threshold = cfg.grad_fusion_threshold;
   opt.collective_algo = cfg.collective_algo;
   IterationResult result;
-  result.plan = sched::plan_iteration(
-      sched::inputs_from_model(model, batch, cal.compute, world,
-                               cfg.second_order),
-      opt, sched::costs_from(cal));
+  sched::ScheduleInputs inputs = sched::inputs_from_model(
+      model, batch, cal.compute, world, cfg.second_order);
+  if (!cfg.profile.empty()) inputs.timing = cfg.profile;
+  result.plan = sched::plan_iteration(inputs, opt, sched::costs_from(cal));
   const sched::IterationPlan& plan = result.plan;
 
   const int S = cfg.compute_streams;
@@ -318,6 +318,20 @@ double iteration_time(const models::ModelSpec& model, std::size_t batch,
                       const perf::ClusterCalibration& cal,
                       const AlgorithmConfig& cfg) {
   return simulate_iteration(model, batch, cal, cfg).total;
+}
+
+std::vector<IterationResult> simulate_trajectory(
+    const models::ModelSpec& model, std::size_t batch,
+    const perf::ClusterCalibration& cal, const AlgorithmConfig& cfg,
+    std::span<const sched::PassTiming> trajectory) {
+  std::vector<IterationResult> results;
+  results.reserve(trajectory.size());
+  AlgorithmConfig epoch_cfg = cfg;
+  for (const sched::PassTiming& timing : trajectory) {
+    epoch_cfg.profile = timing;
+    results.push_back(simulate_iteration(model, batch, cal, epoch_cfg));
+  }
+  return results;
 }
 
 }  // namespace spdkfac::sim

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,14 @@ struct AlgorithmConfig {
   /// message size/topology via the calibration's AlgorithmSelector
   /// (NCCL-style switching); any concrete algorithm forces that algorithm.
   comm::AllReduceAlgo collective_algo = comm::AllReduceAlgo::kRing;
+
+  /// Planning profile override — the simulator counterpart of
+  /// DistKfacOptions::profile.  Empty: derive pass timing from the
+  /// calibration's compute model (the classic behaviour).  Non-empty: plan
+  /// from exactly this timing, which is how the adaptive equivalence suite
+  /// hands the simulator the same synced profile the runtime re-planned
+  /// from.  Pricing of the pass/compute tasks still uses the calibration.
+  sched::PassTiming profile;
 
   static AlgorithmConfig sgd();       ///< SGD / S-SGD (depends on world size)
   static AlgorithmConfig kfac();      ///< single-GPU KFAC = D-KFAC at P=1
@@ -118,5 +127,17 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
 double iteration_time(const models::ModelSpec& model, std::size_t batch,
                       const perf::ClusterCalibration& cal,
                       const AlgorithmConfig& cfg);
+
+/// Adaptive re-planning, simulated: one iteration per trajectory entry,
+/// each planned *and priced* from that epoch's profile — the mirror of the
+/// runtime's re-plan loop (which rebuilds its plan every replan_interval
+/// steps from the synced online profile).  Feeding both the same
+/// trajectory must yield byte-identical plans epoch for epoch; the
+/// adaptive equivalence suite enforces exactly that.  `trajectory` may be
+/// empty (returns no results).
+std::vector<IterationResult> simulate_trajectory(
+    const models::ModelSpec& model, std::size_t batch,
+    const perf::ClusterCalibration& cal, const AlgorithmConfig& cfg,
+    std::span<const sched::PassTiming> trajectory);
 
 }  // namespace spdkfac::sim

@@ -20,6 +20,7 @@
 #include "nn/layers.hpp"
 #include "perf/models.hpp"
 #include "sched/planner.hpp"
+#include "sched/serialize.hpp"
 #include "tensor/matrix.hpp"
 
 namespace spdkfac::core {
@@ -38,14 +39,42 @@ struct RunConfig {
   std::size_t pool_size = 0;
   DistStrategy strategy = DistStrategy::kSpdKfac;
   bool hooked = true;
+  int steps = kSteps;
+  /// Adaptive mode: re-plan every 2 steps from a deterministic profile
+  /// trajectory instead of a single fixed profile.  The schedule then
+  /// *changes mid-run* (different fusion per epoch), and determinism must
+  /// survive the re-planning loop and the plan cache.
+  bool adaptive = false;
 };
 
-/// N steps with a fixed profile; returns rank-0 final weights.
-std::vector<Matrix> train(const RunConfig& cfg) {
+/// Deterministic trajectory spanning two decades of absolute scale — each
+/// epoch fuses differently (see tests/sched/test_adaptive.cpp).
+std::vector<sched::PassTiming> trajectory_for(
+    const models::ModelSpec& spec, const perf::ClusterCalibration& cal) {
+  sched::PassTiming base = sched::timing_from_model(spec, kBatch, cal.compute,
+                                                    /*second_order=*/true);
+  auto scale = [](sched::PassTiming t, double f) {
+    for (auto* v : {&t.a_ready, &t.g_ready, &t.grad_ready}) {
+      for (double& x : *v) x *= f;
+    }
+    t.backward_end *= f;
+    return t;
+  };
+  return {base, scale(base, 12.0), scale(base, 150.0)};
+}
+
+/// N steps with a fixed profile (or trajectory); returns rank-0 final
+/// weights and, when `plan_texts` is given, every rank's serialized final
+/// plan (indexed by rank).
+std::vector<Matrix> train(const RunConfig& cfg,
+                          std::vector<std::string>* plan_texts = nullptr) {
   const models::ModelSpec spec = models::mlp_spec(kWidths);
   const auto cal =
       perf::ClusterCalibration::for_topology(comm::Topology::flat(cfg.world));
   std::vector<Matrix> weights;
+  if (plan_texts != nullptr) {
+    plan_texts->assign(static_cast<std::size_t>(cfg.world), "");
+  }
   comm::Cluster::launch(cfg.world, [&](comm::Communicator& comm) {
     Rng init(2024);
     nn::Sequential model = nn::make_mlp(kWidths, init);
@@ -57,17 +86,22 @@ std::vector<Matrix> train(const RunConfig& cfg) {
     opts.damping = 0.1;
     opts.stat_decay = 0.5;
     opts.grad_fusion_threshold = 64;  // several WFBP groups
-    // Fixed profile: the fusion plan must not depend on wall-clock
-    // measurements, or different pool sizes would legitimately produce
-    // different (equally correct) schedules.
-    opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
-                                            /*second_order=*/true);
+    // Fixed profile/trajectory: the fusion plan must not depend on
+    // wall-clock measurements, or different pool sizes would legitimately
+    // produce different (equally correct) schedules.
+    if (cfg.adaptive) {
+      opts.profile_trajectory = trajectory_for(spec, cal);
+      opts.replan_interval = 2;
+    } else {
+      opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
+                                              /*second_order=*/true);
+    }
     DistKfacOptimizer optimizer(layers, comm, opts);
 
     nn::SyntheticClassification data(kClasses, kIn, 1, 55);
     Rng shard(300 + comm.rank());
     nn::SoftmaxCrossEntropy loss;
-    for (int s = 0; s < kSteps; ++s) {
+    for (int s = 0; s < cfg.steps; ++s) {
       auto batch = data.sample(kBatch, shard);
       Tensor4D flat(batch.inputs.n, kIn, 1, 1);
       flat.data = batch.inputs.data;
@@ -83,6 +117,10 @@ std::vector<Matrix> train(const RunConfig& cfg) {
     }
     if (comm.rank() == 0) {
       for (auto* l : layers) weights.push_back(l->weight());
+    }
+    if (plan_texts != nullptr) {
+      (*plan_texts)[static_cast<std::size_t>(comm.rank())] =
+          sched::plan_to_text(optimizer.plan());
     }
   });
   return weights;
@@ -141,6 +179,54 @@ TEST(Determinism, RepeatedPooledRunsAreBitwiseStable) {
   // order) must never leak into the parameters.
   RunConfig cfg{4, 4, DistStrategy::kSpdKfac, true};
   expect_bitwise_equal(train(cfg), train(cfg), "repeat");
+}
+
+TEST(Determinism, AdaptiveReplanningIsBitwiseIdenticalAcrossPoolSizes) {
+  // The adaptive loop re-plans mid-run (trajectory epochs at steps 0, 2,
+  // 4), changing fusion groups between epochs.  Re-planning, the profile
+  // signature, and the plan cache are all pure functions of the injected
+  // trajectory — so every executor configuration must still produce the
+  // identical bits, exactly like the fixed-profile runs above.
+  RunConfig cfg;
+  cfg.world = 2;
+  cfg.adaptive = true;
+  cfg.steps = 6;
+  cfg.pool_size = 0;
+  const auto serial = train(cfg);
+  for (const std::size_t pool : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{4}}) {
+    cfg.pool_size = pool;
+    expect_bitwise_equal(train(cfg), serial,
+                         "adaptive pool=" + std::to_string(pool));
+  }
+}
+
+TEST(Determinism, AdaptiveHookedMatchesPostHocAndRepeats) {
+  RunConfig hooked{4, 4, DistStrategy::kSpdKfac, true, 6, true};
+  RunConfig posthoc{4, 4, DistStrategy::kSpdKfac, false, 6, true};
+  const auto first = train(hooked);
+  expect_bitwise_equal(first, train(posthoc), "adaptive hooked==post-hoc");
+  expect_bitwise_equal(first, train(hooked), "adaptive repeat");
+}
+
+TEST(Determinism, AdaptiveReplannedPlansAreRankIdentical) {
+  // After the last re-plan epoch every rank must hold the byte-identical
+  // schedule — the cross-rank contract the profile sync / deterministic
+  // trajectory exists to guarantee (a divergent plan would deadlock or
+  // corrupt the collectives long before this check, but the serialized
+  // comparison pins the property explicitly).
+  RunConfig cfg;
+  cfg.world = 4;
+  cfg.adaptive = true;
+  cfg.steps = 6;
+  cfg.pool_size = 2;
+  std::vector<std::string> plans;
+  train(cfg, &plans);
+  ASSERT_EQ(plans.size(), 4u);
+  for (std::size_t r = 1; r < plans.size(); ++r) {
+    EXPECT_EQ(plans[r], plans[0]) << "rank " << r << " plan diverged";
+  }
+  EXPECT_FALSE(plans[0].empty());
 }
 
 }  // namespace

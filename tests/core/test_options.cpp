@@ -110,6 +110,78 @@ TEST(DistKfacOptionsTest, ValidateRejectsNegativeProfileEntries) {
   EXPECT_THROW(with_profile(bad).validate(), std::invalid_argument);
 }
 
+TEST(DistKfacOptionsTest, ValidateRejectsWrappedNegativeReplanInterval) {
+  DistKfacOptions opts;
+  opts.replan_interval = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.replan_interval = static_cast<std::size_t>(-1);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.replan_interval = static_cast<std::size_t>(-50);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.replan_interval = 10;  // legitimate steady-state cadence
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsOutOfRangeProfileEma) {
+  for (const double bad :
+       {0.0, -0.5, 1.0001, 2.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    DistKfacOptions opts;
+    opts.profile_ema = bad;
+    EXPECT_THROW(opts.validate(), std::invalid_argument)
+        << "profile_ema=" << bad;
+  }
+  for (const double good : {1e-6, 0.5, 1.0}) {
+    DistKfacOptions opts;
+    opts.profile_ema = good;
+    EXPECT_NO_THROW(opts.validate()) << "profile_ema=" << good;
+  }
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsWrappedNegativeCacheCapacity) {
+  DistKfacOptions opts;
+  opts.plan_cache_capacity = static_cast<std::size_t>(-8);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.plan_cache_capacity = 0;  // always-replan: legitimate
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(DistKfacOptionsTest, ValidateChecksTrajectoryEntriesAndExclusivity) {
+  sched::PassTiming good;
+  good.a_ready = {0.1, 0.2};
+  good.g_ready = {0.3, 0.4};
+  good.grad_ready = {0.25, 0.15};
+  good.backward_end = 0.5;
+
+  DistKfacOptions opts;
+  opts.profile_trajectory = {good, good};
+  EXPECT_NO_THROW(opts.validate());
+
+  sched::PassTiming bad = good;
+  bad.g_ready[1] = -1.0;
+  opts.profile_trajectory = {good, bad};
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  bad = good;
+  bad.backward_end = std::numeric_limits<double>::quiet_NaN();
+  opts.profile_trajectory = {bad};
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  // A fixed profile and a trajectory cannot both drive planning.
+  opts = DistKfacOptions{};
+  opts.profile = good;
+  opts.profile_trajectory = {good};
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DistKfacOptionsTest, AdaptiveDefaultsArePaperFaithful) {
+  DistKfacOptions opts;
+  EXPECT_EQ(opts.replan_interval, 1u);
+  EXPECT_DOUBLE_EQ(opts.profile_ema, 0.5);
+  EXPECT_TRUE(opts.profile_trajectory.empty());
+  EXPECT_EQ(opts.plan_cache_capacity, sched::PlanCache::kDefaultCapacity);
+}
+
 TEST(DistKfacOptionsTest, OptimizerConstructionValidatesOptions) {
   comm::Cluster::launch(1, [](comm::Communicator& comm) {
     tensor::Rng rng(1);

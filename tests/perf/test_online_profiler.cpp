@@ -1,0 +1,113 @@
+// OnlineProfiler unit coverage: EMA folding, the packed()/load_packed()
+// sync round-trip, collective aggregates, and construction validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "perf/online_profiler.hpp"
+
+namespace spdkfac::perf {
+namespace {
+
+TEST(OnlineProfiler, ValidatesConstruction) {
+  EXPECT_THROW(OnlineProfiler(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(OnlineProfiler(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(OnlineProfiler(3, -0.1), std::invalid_argument);
+  EXPECT_THROW(OnlineProfiler(3, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW(OnlineProfiler(3, 1.0));
+  EXPECT_NO_THROW(OnlineProfiler(1, 0.25));
+}
+
+TEST(OnlineProfiler, FirstSampleSeedsThenEmaFolds) {
+  OnlineProfiler prof(2, 0.5);
+  EXPECT_FALSE(prof.has_factor_samples());
+
+  prof.record_factor_a(0, 0.10);
+  EXPECT_TRUE(prof.has_factor_samples());
+  EXPECT_DOUBLE_EQ(prof.snapshot().factor_a[0], 0.10);  // seeded directly
+
+  prof.record_factor_a(0, 0.20);  // 0.5*0.10 + 0.5*0.20
+  EXPECT_DOUBLE_EQ(prof.snapshot().factor_a[0], 0.15);
+
+  prof.record_factor_g(1, 0.30);
+  prof.record_forward(1, 0.01);
+  prof.record_backward(0, 0.02);
+  const ProfileSnapshot snap = prof.snapshot();
+  EXPECT_DOUBLE_EQ(snap.factor_g[1], 0.30);
+  EXPECT_DOUBLE_EQ(snap.forward[1], 0.01);
+  EXPECT_DOUBLE_EQ(snap.backward[0], 0.02);
+  EXPECT_DOUBLE_EQ(snap.factor_a[1], 0.0);  // unsampled slots stay zero
+}
+
+TEST(OnlineProfiler, EmaOneKeepsOnlyTheLatestSample) {
+  OnlineProfiler prof(1, 1.0);
+  prof.record_factor_a(0, 0.5);
+  prof.record_factor_a(0, 0.1);
+  EXPECT_DOUBLE_EQ(prof.snapshot().factor_a[0], 0.1);
+}
+
+TEST(OnlineProfiler, InverseSlotsArePerTensor) {
+  OnlineProfiler prof(2, 0.5);
+  prof.record_inverse(0, 0.4);   // A_0
+  prof.record_inverse(3, 0.8);   // G_1
+  EXPECT_DOUBLE_EQ(prof.inverse_seconds(0), 0.4);
+  EXPECT_DOUBLE_EQ(prof.inverse_seconds(3), 0.8);
+  EXPECT_DOUBLE_EQ(prof.inverse_seconds(1), 0.0);
+  prof.record_inverse(3, 0.4);
+  EXPECT_DOUBLE_EQ(prof.inverse_seconds(3), 0.6);
+}
+
+TEST(OnlineProfiler, PackedRoundTripsThroughLoadPacked) {
+  OnlineProfiler prof(3, 0.5);
+  prof.record_factor_a(0, 0.1);
+  prof.record_factor_g(2, 0.2);
+  prof.record_forward(1, 0.3);
+  prof.record_backward(2, 0.4);
+
+  const std::vector<double> packed = prof.packed();
+  ASSERT_EQ(packed.size(), 12u);  // 4 sections x 3 layers
+  EXPECT_DOUBLE_EQ(packed[0], 0.1);   // factor_a[0]
+  EXPECT_DOUBLE_EQ(packed[5], 0.2);   // factor_g[2]
+  EXPECT_DOUBLE_EQ(packed[7], 0.3);   // forward[1]
+  EXPECT_DOUBLE_EQ(packed[11], 0.4);  // backward[2]
+
+  // The sync averages the vector across ranks; loading it back must land
+  // every value in its slot.
+  std::vector<double> synced(packed);
+  for (double& v : synced) v *= 0.5;
+  OnlineProfiler other(3, 0.5);
+  // An all-zero sync (warm-up step, nothing measured anywhere) must not
+  // open the warm-up gate...
+  other.load_packed(std::vector<double>(12, 0.0));
+  EXPECT_FALSE(other.has_factor_samples());
+  // ...but a sync that delivered real factor timings must: the loaded
+  // profile is as informative as a measured one.
+  other.load_packed(synced);
+  EXPECT_TRUE(other.has_factor_samples());
+  const ProfileSnapshot snap = other.snapshot();
+  EXPECT_DOUBLE_EQ(snap.factor_a[0], 0.05);
+  EXPECT_DOUBLE_EQ(snap.factor_g[2], 0.10);
+  EXPECT_DOUBLE_EQ(snap.forward[1], 0.15);
+  EXPECT_DOUBLE_EQ(snap.backward[2], 0.20);
+
+  EXPECT_THROW(other.load_packed(std::vector<double>(5)),
+               std::invalid_argument);
+}
+
+TEST(OnlineProfiler, CollectiveAggregatesAccumulate) {
+  OnlineProfiler prof(1, 0.5);
+  EXPECT_EQ(prof.collective_ops(), 0u);
+  prof.record_collective(100, 1e-3);
+  prof.record_collective(300, 2e-3);
+  prof.record_collective(0, 5e-4);  // empty op: no per-element sample
+  EXPECT_EQ(prof.collective_ops(), 3u);
+  EXPECT_EQ(prof.collective_elements(), 400u);
+  EXPECT_DOUBLE_EQ(prof.collective_seconds(), 3.5e-3);
+  // Per-element EMA: seeded at 1e-5, folded with 2e-3/300.
+  EXPECT_DOUBLE_EQ(prof.collective_seconds_per_element(),
+                   0.5 * 1e-5 + 0.5 * (2e-3 / 300.0));
+}
+
+}  // namespace
+}  // namespace spdkfac::perf
