@@ -52,6 +52,13 @@ struct DistTrainConfig {
   /// Per-rank executor pool (DistKfacOptions::pool_size); ~0 keeps the
   /// optimizer default, 0 forces the serial executor.
   std::size_t pool_size = static_cast<std::size_t>(-1);
+  /// Cluster backend: in-process threads (default) or process-per-rank over
+  /// shared memory / Unix sockets.  The numerics are bitwise identical on
+  /// every backend; the multi-process backends cannot report engine records
+  /// or overlap accounting across the process boundary (those fields stay
+  /// empty in the result).
+  comm::TransportKind transport = comm::TransportKind::kInProcess;
+  std::size_t shm_ring_bytes = comm::kDefaultShmRingBytes;
 };
 
 struct DistTrainResult {
@@ -67,7 +74,12 @@ struct DistTrainResult {
   double overlap_fraction = 0.0;
 };
 
+DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg);
+
 inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
+  if (cfg.transport != comm::TransportKind::kInProcess) {
+    return dist_train_multiprocess(cfg);
+  }
   DistTrainResult result;
   std::mutex mu;
   comm::Cluster::launch(cfg.world, [&](comm::Communicator& comm) {
@@ -80,6 +92,8 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
     opts.strategy = cfg.strategy;
     opts.lr = cfg.lr;
     opts.damping = cfg.damping;
+    opts.transport = cfg.transport;
+    opts.shm_ring_bytes = cfg.shm_ring_bytes;
     if (cfg.pool_size != static_cast<std::size_t>(-1)) {
       opts.pool_size = cfg.pool_size;
     }
@@ -137,6 +151,104 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
       result.overlap_fraction = busy > 0.0 ? hidden / busy : 0.0;
     }
   });
+  return result;
+}
+
+/// Process-per-rank variant (transport = shm / socket): the same training
+/// loop forked one process per rank, rank 0's observables shipped back
+/// through the launcher pipe as doubles.  Engine records and the overlap
+/// accounting stay behind in the worker process (empty in the result);
+/// loss, wall times, CT count and the final weights cross intact.
+inline DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg) {
+  comm::LaunchOptions launch_opts;
+  launch_opts.shm_ring_bytes = cfg.shm_ring_bytes;
+  const auto per_rank = comm::Cluster::launch_collect(
+      cfg.transport, comm::Topology::flat(cfg.world),
+      [&](comm::Communicator& comm) {
+        tensor::Rng init(cfg.init_seed);
+        nn::Sequential model =
+            nn::make_small_cnn(cfg.in_channels, cfg.image_hw, cfg.conv1,
+                               cfg.conv2, cfg.classes, init);
+        auto layers = model.preconditioned_layers();
+        core::DistKfacOptions opts;
+        opts.strategy = cfg.strategy;
+        opts.lr = cfg.lr;
+        opts.damping = cfg.damping;
+        opts.transport = cfg.transport;
+        opts.shm_ring_bytes = cfg.shm_ring_bytes;
+        if (cfg.pool_size != static_cast<std::size_t>(-1)) {
+          opts.pool_size = cfg.pool_size;
+        }
+        core::DistKfacOptimizer optimizer(layers, comm, opts);
+        nn::SyntheticClassification data(cfg.classes, cfg.in_channels,
+                                         cfg.image_hw, cfg.data_seed,
+                                         cfg.noise);
+        tensor::Rng shard(100 + comm.rank());
+        nn::SoftmaxCrossEntropy loss;
+
+        std::vector<double> step_seconds;
+        const auto t0 = std::chrono::steady_clock::now();
+        double last_loss = 0.0;
+        for (int s = 0; s < cfg.steps; ++s) {
+          const auto step_t0 = std::chrono::steady_clock::now();
+          nn::Batch batch = data.sample(cfg.batch, shard);
+          if (cfg.hooked) {
+            const nn::PassHooks hooks = optimizer.pass_hooks();
+            last_loss = loss.forward(model.forward(batch.inputs, hooks),
+                                     batch.labels);
+            model.backward(loss.backward(), hooks);
+          } else {
+            last_loss =
+                loss.forward(model.forward(batch.inputs), batch.labels);
+            model.backward(loss.backward());
+          }
+          optimizer.step();
+          step_seconds.push_back(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     step_t0)
+                                     .count());
+        }
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+        std::vector<double> out;
+        if (comm.rank() != 0) return out;
+        out.push_back(last_loss);
+        out.push_back(wall);
+        out.push_back(static_cast<double>(optimizer.placement().num_cts()));
+        out.push_back(static_cast<double>(step_seconds.size()));
+        out.insert(out.end(), step_seconds.begin(), step_seconds.end());
+        out.push_back(static_cast<double>(layers.size()));
+        for (auto* l : layers) {
+          const tensor::Matrix& w = l->weight();
+          out.push_back(static_cast<double>(w.rows()));
+          out.push_back(static_cast<double>(w.cols()));
+          out.insert(out.end(), w.data().begin(), w.data().end());
+        }
+        return out;
+      },
+      launch_opts);
+
+  DistTrainResult result;
+  const std::vector<double>& enc = per_rank.at(0);
+  std::size_t pos = 0;
+  auto next = [&]() { return enc.at(pos++); };
+  result.rank0_loss = next();
+  result.wall_seconds = next();
+  result.broadcast_cts = static_cast<std::size_t>(next());
+  const auto n_steps = static_cast<std::size_t>(next());
+  for (std::size_t s = 0; s < n_steps; ++s) {
+    result.step_seconds.push_back(next());
+  }
+  const auto n_layers = static_cast<std::size_t>(next());
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const auto rows = static_cast<std::size_t>(next());
+    const auto cols = static_cast<std::size_t>(next());
+    tensor::Matrix w(rows, cols);
+    for (double& v : w.data()) v = next();
+    result.rank0_weights.push_back(std::move(w));
+  }
   return result;
 }
 

@@ -1,4 +1,4 @@
-// Distributed K-FAC on the in-process cluster: four data-parallel workers
+// Distributed K-FAC on the worker cluster: four data-parallel workers
 // train replicas of a small CNN on sharded synthetic data under each of the
 // three strategies (D-KFAC, MPD-KFAC, SPD-KFAC), verifying that
 //   * the final models are identical across workers (synchronous training),
@@ -7,9 +7,20 @@
 //   * SPD-KFAC genuinely overlaps factor communication with computation
 //     (shown via the async engine's operation records).
 //
-//   $ ./examples/distributed_training
+// By default the workers are threads of this process; --transport switches
+// the cluster onto a process-per-rank backend — one OS process per worker
+// talking over shared-memory rings or a Unix-domain socket mesh — without
+// changing one digit of the output losses/weights (the multi-process
+// quickstart of docs/ARCHITECTURE.md "Transports"):
+//
+//   $ ./examples/distributed_training                       # threads
+//   $ ./examples/distributed_training --transport=shm       # processes, shm
+//   $ ./examples/distributed_training --transport=socket    # processes, UDS
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "bench_util.hpp"
 #include "tensor/linalg.hpp"
@@ -20,11 +31,13 @@ namespace {
 
 constexpr int kSteps = 6;
 
-bench::DistTrainResult train(core::DistStrategy strategy) {
+bench::DistTrainResult train(core::DistStrategy strategy,
+                             comm::TransportKind transport) {
   // Hook mode (Fig. 6): factor and WFBP-gradient all-reduces are submitted
   // to the background engine *during* the passes.
   bench::DistTrainConfig cfg;
   cfg.strategy = strategy;
+  cfg.transport = transport;
   cfg.steps = kSteps;
   cfg.image_hw = 8;
   cfg.conv1 = 4;
@@ -40,12 +53,35 @@ bench::DistTrainResult train(core::DistStrategy strategy) {
 
 }  // namespace
 
-int main() {
-  std::printf("Training a CNN on 4 in-process workers, %d steps each...\n\n",
-              kSteps);
-  const bench::DistTrainResult dkfac = train(core::DistStrategy::kDKfac);
-  const bench::DistTrainResult mpd = train(core::DistStrategy::kMpdKfac);
-  const bench::DistTrainResult spd = train(core::DistStrategy::kSpdKfac);
+int main(int argc, char** argv) {
+  comm::TransportKind transport = comm::TransportKind::kInProcess;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--transport=", 0) == 0) {
+      try {
+        transport = comm::transport_from_string(arg.substr(12));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--transport=inproc|shm|socket]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("Training a CNN on 4 %s workers (%s transport), %d steps...\n\n",
+              transport == comm::TransportKind::kInProcess
+                  ? "in-process"
+                  : "process-per-rank",
+              comm::to_string(transport), kSteps);
+  const bench::DistTrainResult dkfac =
+      train(core::DistStrategy::kDKfac, transport);
+  const bench::DistTrainResult mpd =
+      train(core::DistStrategy::kMpdKfac, transport);
+  const bench::DistTrainResult spd =
+      train(core::DistStrategy::kSpdKfac, transport);
 
   std::printf("strategy   final-loss   wall(s)   broadcast-CTs\n");
   std::printf("D-KFAC     %9.2e   %7.3f   %zu\n", dkfac.rank0_loss,

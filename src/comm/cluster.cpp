@@ -27,14 +27,11 @@ using detail::offsets_of;
 Cluster::Cluster(int size) : Cluster(Topology::flat(size)) {}
 
 Cluster::Cluster(const Topology& topo)
-    : size_(topo.world_size()),
-      topology_(topo),
-      barrier_(static_cast<size_t>(std::max(topo.world_size(), 1))) {
+    : size_(topo.world_size()), topology_(topo) {
   if (topo.nodes <= 0 || topo.gpus_per_node <= 0) {
     throw std::invalid_argument("Cluster size must be positive");
   }
-  channels_.resize(static_cast<std::size_t>(size_) * size_);
-  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+  group_ = make_in_process_group(size_);
 }
 
 void Cluster::run(const std::function<void(Communicator&)>& fn) {
@@ -45,8 +42,9 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
 
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &fn, &error_mutex, &first_error] {
-      Communicator comm(this, r, size_);
       try {
+        auto transport = make_in_process_transport(group_, r);
+        Communicator comm(*transport, topology_);
         fn(comm);
       } catch (...) {
         std::lock_guard lock(error_mutex);
@@ -73,28 +71,16 @@ void Cluster::launch(const Topology& topo,
 // Communicator
 // ---------------------------------------------------------------------------
 
-Channel& Communicator::channel_to(int dst) {
-  return *cluster_->channels_[static_cast<std::size_t>(rank_) * size_ + dst];
-}
-
-Channel& Communicator::channel_from(int src) {
-  return *cluster_->channels_[static_cast<std::size_t>(src) * size_ + rank_];
-}
-
-void Communicator::barrier() { cluster_->barrier_.arrive_and_wait(); }
-
-const Topology& Communicator::topology() const noexcept {
-  return cluster_->topology_;
-}
+void Communicator::barrier() { transport_->barrier(); }
 
 void Communicator::send(int dst, std::span<const double> payload) {
   if (dst < 0 || dst >= size_) throw std::invalid_argument("send: bad rank");
-  channel_to(dst).send(payload);
+  transport_->send(dst, payload);
 }
 
 void Communicator::recv(int src, std::span<double> out) {
   if (src < 0 || src >= size_) throw std::invalid_argument("recv: bad rank");
-  if (!channel_from(src).recv_into(out)) {
+  if (!transport_->recv_into(src, out)) {
     throw std::runtime_error("recv: message length mismatch");
   }
 }
@@ -134,9 +120,9 @@ void Communicator::reduce_scatter_v(std::span<double> data,
         data.subspan(offsets[send_seg], counts[send_seg]);
     std::span<double> recv_view =
         data.subspan(offsets[recv_seg], counts[recv_seg]);
-    channel_to(right).send(send_view);
+    transport_->send(right, send_view);
     recv_buf.resize(recv_view.size());
-    if (!channel_from(left).recv_into(recv_buf)) {
+    if (!transport_->recv_into(left, recv_buf)) {
       throw std::runtime_error("reduce_scatter_v: segment size mismatch");
     }
     accumulate(recv_view, recv_buf, op);
@@ -166,10 +152,10 @@ void Communicator::all_gather_v(std::span<double> data,
   for (int step = 0; step < size_ - 1; ++step) {
     const int send_seg = ((rank_ - step) % size_ + size_) % size_;
     const int recv_seg = ((rank_ - step - 1) % size_ + size_) % size_;
-    channel_to(right).send(data.subspan(offsets[send_seg], counts[send_seg]));
+    transport_->send(right, data.subspan(offsets[send_seg], counts[send_seg]));
     std::span<double> recv_view =
         data.subspan(offsets[recv_seg], counts[recv_seg]);
-    if (!channel_from(left).recv_into(recv_view)) {
+    if (!transport_->recv_into(left, recv_view)) {
       throw std::runtime_error("all_gather_v: segment size mismatch");
     }
   }

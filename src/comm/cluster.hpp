@@ -1,14 +1,16 @@
-// In-process worker cluster and rank-scoped communicator.
+// Worker cluster and rank-scoped communicator.
 //
-// Cluster::run(P, fn) spawns P threads, each receiving a Communicator bound
+// Cluster::run(P, fn) spawns P workers, each receiving a Communicator bound
 // to its rank.  The Communicator offers MPI/NCCL-style collectives (ring
 // all-reduce, binomial-tree broadcast, reduce-scatter, all-gather — plus the
 // alternative all-reduce algorithms of collectives.hpp, selectable per call)
-// that move real data through the Channel mailboxes, substituting for the
-// paper's 64-GPU InfiniBand fabric while preserving collective semantics:
+// built on a pluggable point-to-point Transport (comm/transport.hpp):
+// in-process threads by default, or real processes talking over shared
+// memory / Unix-domain sockets, substituting for the paper's 64-GPU
+// InfiniBand fabric while preserving collective semantics:
 //   * all ranks must call collectives in the same order with matching sizes;
 //   * results are bitwise identical on every rank (ring reduction applies
-//     additions in a rank-independent order per segment).
+//     additions in a rank-independent order per segment) — on every backend.
 #pragma once
 
 #include <cstddef>
@@ -17,8 +19,8 @@
 #include <span>
 #include <vector>
 
-#include "comm/channel.hpp"
 #include "comm/topology.hpp"
+#include "comm/transport.hpp"
 
 namespace spdkfac::comm {
 
@@ -38,14 +40,24 @@ enum class AllReduceAlgo {
   kAuto,             ///< pick per message size/topology via AlgorithmSelector
 };
 
-class Cluster;
-
 /// Rank-local view of the cluster; all collective calls are blocking and
 /// must be invoked by every rank (in the same order) to make progress.
+/// Binds a Transport (which knows rank/size and moves bytes) to a Topology
+/// (which shapes the hierarchical collective and kAuto selection); borrows
+/// both, so they must outlive the communicator.
 class Communicator {
  public:
+  Communicator(Transport& transport, const Topology& topo)
+      : transport_(&transport),
+        topology_(&topo),
+        rank_(transport.rank()),
+        size_(transport.size()) {}
+
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return size_; }
+
+  /// The transport carrying this communicator's traffic.
+  Transport& transport() noexcept { return *transport_; }
 
   /// Blocks until all ranks arrive.
   void barrier();
@@ -69,7 +81,7 @@ class Communicator {
 
   /// The cluster shape this communicator runs on (flat unless the Cluster
   /// was built from an explicit Topology).
-  const Topology& topology() const noexcept;
+  const Topology& topology() const noexcept { return *topology_; }
 
   /// Binomial-tree broadcast from `root`; in-place on non-root ranks.
   void broadcast(std::span<double> data, int root);
@@ -91,19 +103,19 @@ class Communicator {
   void all_gather_scalar(double value, std::span<double> out);
 
  private:
-  friend class Cluster;
-  Communicator(Cluster* cluster, int rank, int size)
-      : cluster_(cluster), rank_(rank), size_(size) {}
-
-  Channel& channel_to(int dst);
-  Channel& channel_from(int src);
-
-  Cluster* cluster_;
+  Transport* transport_;
+  const Topology* topology_;
   int rank_;
   int size_;
 };
 
-/// Owns the channels/barrier shared by all ranks and drives worker threads.
+/// Options for Cluster::launch_collect / launch.  `shm_ring_bytes` sizes
+/// the per-pair shared-memory rings (ignored by the other backends).
+struct LaunchOptions {
+  std::size_t shm_ring_bytes = kDefaultShmRingBytes;
+};
+
+/// Builds per-rank transports and drives worker threads or processes.
 class Cluster {
  public:
   explicit Cluster(int size);
@@ -115,27 +127,40 @@ class Cluster {
   int size() const noexcept { return size_; }
   const Topology& topology() const noexcept { return topology_; }
 
-  /// Runs `fn(comm)` on one thread per rank and joins them all.  If any
-  /// worker throws, the first exception is rethrown on the caller's thread
-  /// after all workers finish (workers must not deadlock on a peer that
-  /// died: by construction collectives are only entered by all ranks).
+  /// Runs `fn(comm)` on one in-process thread per rank and joins them all.
+  /// If any worker throws, the first exception is rethrown on the caller's
+  /// thread after all workers finish (workers must not deadlock on a peer
+  /// that died: by construction collectives are only entered by all ranks).
   void run(const std::function<void(Communicator&)>& fn);
 
-  /// Convenience: builds a cluster of `size` ranks and runs `fn`.
+  /// Convenience: builds a cluster of `size` ranks and runs `fn` in-process.
   static void launch(int size, const std::function<void(Communicator&)>& fn);
 
-  /// Convenience: builds a cluster shaped as `topo` and runs `fn`.
+  /// Convenience: builds a cluster shaped as `topo` and runs `fn` in-process.
   static void launch(const Topology& topo,
                      const std::function<void(Communicator&)>& fn);
 
- private:
-  friend class Communicator;
+  /// Runs `fn` once per rank over the chosen transport and returns each
+  /// rank's result vector, index == rank.  kInProcess spawns threads;
+  /// kSharedMemory / kSocket fork one worker *process* per rank (the shm
+  /// arena is mapped before fork; socket ranks rendezvous under a private
+  /// temp directory), ship each rank's result back over a pipe, and reap
+  /// the children.  Any rank failure (exception or abnormal exit) throws
+  /// std::runtime_error in the launcher after all workers finish.
+  static std::vector<std::vector<double>> launch_collect(
+      TransportKind kind, const Topology& topo,
+      const std::function<std::vector<double>(Communicator&)>& fn,
+      const LaunchOptions& opts = {});
 
+  /// launch_collect for workers with no result to report.
+  static void launch(TransportKind kind, const Topology& topo,
+                     const std::function<void(Communicator&)>& fn,
+                     const LaunchOptions& opts = {});
+
+ private:
   int size_;
   Topology topology_;
-  Barrier barrier_;
-  // channels_[src * size_ + dst]
-  std::vector<std::unique_ptr<Channel>> channels_;
+  std::shared_ptr<InProcessGroup> group_;
 };
 
 }  // namespace spdkfac::comm

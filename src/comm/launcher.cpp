@@ -1,0 +1,268 @@
+// Process-per-rank launcher behind Cluster::launch_collect.
+//
+// The out-of-process backends need rank-0/launcher-owned setup *before* the
+// workers exist: the shm arena must be mapped prior to fork so children
+// inherit the pages, and the socket ranks need an agreed rendezvous
+// directory.  This file owns that sequencing:
+//
+//   1. prepare shared state (arena mmap / mkdtemp for socket paths);
+//   2. fork one child per rank — no exec, so the caller's std::function
+//      survives into the child via copy-on-write;
+//   3. each child builds its transport, runs fn, writes its result vector
+//      to a pipe (uint64 count + raw doubles) and _exit()s — _exit skips
+//      atexit/leak-check machinery that must not run twice;
+//   4. the parent reads every pipe in rank order (children progress
+//      independently, so no pipe-capacity deadlock), reaps with waitpid,
+//      and throws if any rank failed.
+//
+// kInProcess goes through the same entry point with threads and a shared
+// results vector, so tests can iterate one API over all three backends.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/transport.hpp"
+
+namespace spdkfac::comm {
+
+namespace {
+
+using RankFn = std::function<std::vector<double>(Communicator&)>;
+
+bool write_exact(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, p + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Child side: run fn over the given transport and report the result
+/// through `result_fd`.  Never returns.
+[[noreturn]] void child_main(std::unique_ptr<Transport> transport,
+                             const Topology& topo, const RankFn& fn,
+                             int result_fd) {
+  int status = 1;
+  try {
+    Communicator comm(*transport, topo);
+    const std::vector<double> result = fn(comm);
+    transport.reset();  // flush + tear down the wire before reporting
+    const std::uint64_t count = result.size();
+    if (write_exact(result_fd, &count, sizeof(count)) &&
+        write_exact(result_fd, result.data(), count * sizeof(double))) {
+      status = 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[spdkfac rank] %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "[spdkfac rank] unknown exception\n");
+  }
+  ::close(result_fd);
+  ::_exit(status);
+}
+
+std::vector<std::vector<double>> launch_processes(
+    const Topology& topo, const RankFn& fn,
+    const std::function<std::unique_ptr<Transport>(int)>& make_transport) {
+  const int world = topo.world_size();
+  std::vector<pid_t> pids(static_cast<std::size_t>(world), -1);
+  std::vector<int> read_fds(static_cast<std::size_t>(world), -1);
+
+  for (int r = 0; r < world; ++r) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw std::runtime_error("launch_collect: pipe failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw std::runtime_error("launch_collect: fork failed");
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (int fd : read_fds) {
+        if (fd >= 0) ::close(fd);  // siblings' pipe ends
+      }
+      std::unique_ptr<Transport> transport;
+      try {
+        transport = make_transport(r);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[spdkfac rank] %s\n", e.what());
+        ::_exit(1);
+      }
+      child_main(std::move(transport), topo, fn, fds[1]);
+    }
+    ::close(fds[1]);
+    pids[static_cast<std::size_t>(r)] = pid;
+    read_fds[static_cast<std::size_t>(r)] = fds[0];
+  }
+
+  // Collect results in rank order first (each child can fill its pipe and
+  // exit independently), then reap.
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(world));
+  std::vector<bool> ok(static_cast<std::size_t>(world), false);
+  for (int r = 0; r < world; ++r) {
+    const int fd = read_fds[static_cast<std::size_t>(r)];
+    std::uint64_t count = 0;
+    if (read_exact(fd, &count, sizeof(count))) {
+      auto& out = results[static_cast<std::size_t>(r)];
+      out.resize(static_cast<std::size_t>(count));
+      ok[static_cast<std::size_t>(r)] =
+          read_exact(fd, out.data(), out.size() * sizeof(double));
+    }
+    ::close(fd);
+  }
+
+  std::string failures;
+  for (int r = 0; r < world; ++r) {
+    int status = 0;
+    while (::waitpid(pids[static_cast<std::size_t>(r)], &status, 0) < 0 &&
+           errno == EINTR) {
+    }
+    const bool exited_clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!exited_clean || !ok[static_cast<std::size_t>(r)]) {
+      failures += (failures.empty() ? "rank " : ", rank ") + std::to_string(r);
+    }
+  }
+  if (!failures.empty()) {
+    throw std::runtime_error("launch_collect: worker failure (" + failures +
+                             ")");
+  }
+  return results;
+}
+
+std::vector<std::vector<double>> launch_threads(const Topology& topo,
+                                                const RankFn& fn) {
+  const int world = topo.world_size();
+  auto group = make_in_process_group(world);
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(world));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        auto transport = make_in_process_transport(group, r);
+        Communicator comm(*transport, topo);
+        results[static_cast<std::size_t>(r)] = fn(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+/// Rendezvous directory for one socket cluster; removed (with any leftover
+/// listener sockets) when the launch finishes.
+class SocketRendezvous {
+ public:
+  SocketRendezvous() {
+    char tmpl[] = "/tmp/spdkfacXXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("launch_collect: mkdtemp failed");
+    }
+    dir_ = tmpl;
+  }
+
+  ~SocketRendezvous() {
+    for (int r = 0; r < cleaned_ranks_; ++r) {
+      ::unlink((base_path() + ".r" + std::to_string(r)).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  SocketRendezvous(const SocketRendezvous&) = delete;
+  SocketRendezvous& operator=(const SocketRendezvous&) = delete;
+
+  std::string base_path() const { return dir_ + "/s"; }
+  void set_world(int world) { cleaned_ranks_ = world; }
+
+ private:
+  std::string dir_;
+  int cleaned_ranks_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<double>> Cluster::launch_collect(
+    TransportKind kind, const Topology& topo,
+    const std::function<std::vector<double>(Communicator&)>& fn,
+    const LaunchOptions& opts) {
+  if (topo.nodes <= 0 || topo.gpus_per_node <= 0) {
+    throw std::invalid_argument("launch_collect: world size must be positive");
+  }
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return launch_threads(topo, fn);
+    case TransportKind::kSharedMemory: {
+      // Map the arena pre-fork; every child inherits the same pages.
+      auto arena = make_shm_arena(topo.world_size(), opts.shm_ring_bytes);
+      return launch_processes(topo, fn, [&arena](int rank) {
+        return make_shm_transport(arena, rank);
+      });
+    }
+    case TransportKind::kSocket: {
+      SocketRendezvous rendezvous;
+      rendezvous.set_world(topo.world_size());
+      const SocketEndpoint ep{rendezvous.base_path(), topo.world_size()};
+      return launch_processes(
+          topo, fn, [&ep](int rank) { return make_socket_transport(ep, rank); });
+    }
+  }
+  throw std::invalid_argument("launch_collect: unknown transport");
+}
+
+void Cluster::launch(TransportKind kind, const Topology& topo,
+                     const std::function<void(Communicator&)>& fn,
+                     const LaunchOptions& opts) {
+  launch_collect(
+      kind, topo,
+      [&fn](Communicator& comm) {
+        fn(comm);
+        return std::vector<double>{};
+      },
+      opts);
+}
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,49 @@
+#include "comm/transport.hpp"
+
+#include <stdexcept>
+
+#include "comm/wire.hpp"
+
+namespace spdkfac::comm {
+
+const char* to_string(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return "inproc";
+    case TransportKind::kSharedMemory:
+      return "shm";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "?";
+}
+
+TransportKind transport_from_string(const std::string& name) {
+  if (name == "inproc") return TransportKind::kInProcess;
+  if (name == "shm") return TransportKind::kSharedMemory;
+  if (name == "socket") return TransportKind::kSocket;
+  throw std::invalid_argument("unknown transport '" + name +
+                              "' (expected inproc, shm or socket)");
+}
+
+bool Transport::recv_into(int src, std::span<double> out) {
+  const std::vector<double> msg = recv(src);
+  if (msg.size() != out.size()) return false;
+  std::copy(msg.begin(), msg.end(), out.begin());
+  return true;
+}
+
+void Transport::barrier() {
+  // Dissemination barrier: in round k every rank signals (rank + 2^k) and
+  // waits on (rank - 2^k); after ceil(log2 P) rounds every rank has
+  // transitively heard from every other.  Zero-length frames ride the same
+  // FIFO streams as data, and since barriers are collectives (called in
+  // the same global order on every rank) the streams stay aligned.
+  const int world = size();
+  for (int hop = 1; hop < world; hop <<= 1) {
+    send((rank() + hop) % world, {}, wire::kBarrierTag);
+    recv((rank() - hop + world) % world);
+  }
+}
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,130 @@
+// Pluggable rank-to-rank transport — the seam that takes the cluster
+// out-of-process.
+//
+// Everything above this interface (Communicator's collectives, the
+// AsyncCommEngine, the optimizer) speaks ordered, reliable point-to-point
+// messages plus a barrier; everything below it decides what a "rank" is and
+// what the wire looks like.  Three backends implement the contract:
+//
+//   kInProcess     ranks are threads in one address space; each directed
+//                  (src, dst) pair owns an unbounded mutex/condvar mailbox
+//                  (comm/channel.hpp) and the barrier is a condvar barrier.
+//                  The test default — fastest, fully TSan-visible.
+//   kSharedMemory  ranks are processes on one host sharing a mmap'd arena
+//                  created by the launcher before fork: one fixed-capacity
+//                  SPSC byte ring per directed pair carrying wire.hpp
+//                  frames, with futex doorbells for ring-full/ring-empty
+//                  and a futex sense-reversing barrier.
+//   kSocket        ranks are processes connected by a full mesh of
+//                  SOCK_STREAM Unix-domain sockets (multi-host-shaped: the
+//                  framing assumes nothing but a byte stream).  Frames are
+//                  the wire.hpp length-prefixed protocol; setup is an
+//                  accept/connect handshake (lower rank listens, higher
+//                  rank connects, both verify a handshake frame).
+//
+// The send contract mirrors the in-process Channel: send() never blocks on
+// the receiver (unbounded local buffering; the out-of-process backends
+// enqueue encoded frames per peer and pump them from a dedicated exec
+// worker), which is what makes the collectives' neighbour-exchange
+// patterns deadlock-free on a bounded wire.  recv() blocks; messages from
+// one sender arrive in send order.  All backends must be observationally
+// identical: the cross-backend conformance/determinism suites hold every
+// backend to bitwise-identical collective results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spdkfac::exec {
+class ThreadPool;
+}
+
+namespace spdkfac::comm {
+
+enum class TransportKind {
+  kInProcess,     ///< threads + channel mailboxes (default)
+  kSharedMemory,  ///< process-per-rank, mmap'd rings + futex doorbells
+  kSocket,        ///< process-per-rank, Unix-domain socket mesh
+};
+
+const char* to_string(TransportKind kind) noexcept;
+
+/// Parses "inproc" / "shm" / "socket"; throws std::invalid_argument on
+/// anything else (used by example/bench CLIs).
+TransportKind transport_from_string(const std::string& name);
+
+/// Ordered reliable point-to-point messaging + barrier between P ranks.
+/// One instance per rank; all methods are called from that rank's threads.
+/// Concurrent sends are safe; recv(src) must not race another recv of the
+/// same src (the Communicator/engine discipline already serializes all
+/// collective traffic per rank).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const noexcept = 0;
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
+
+  /// Copies `payload` toward dst's mailbox and returns without waiting for
+  /// delivery.  `tag`/`plan_task` ride in the frame header (protocol
+  /// metadata; delivery order is FIFO per (src, dst) pair regardless).
+  virtual void send(int dst, std::span<const double> payload,
+                    std::uint16_t tag = 0, int plan_task = -1) = 0;
+
+  /// Blocking receive of the next message from `src`.
+  virtual std::vector<double> recv(int src) = 0;
+
+  /// Receives the next message from `src` into `out`; returns false (the
+  /// message is consumed and discarded) when its length != out.size().
+  virtual bool recv_into(int src, std::span<double> out);
+
+  /// Blocks until all ranks arrive.  Default: a dissemination barrier over
+  /// zero-length tagged messages (log2(P) rounds); the in-process and
+  /// shared-memory backends override it with condvar/futex barriers.
+  virtual void barrier();
+};
+
+// ---------------------------------------------------------------------------
+// Backend factories.  The group/arena objects hold the state shared by all
+// ranks of one cluster (channel matrix, mmap'd arena) and are created by
+// the launcher — before spawning threads, or before fork() so every worker
+// process inherits the mapping.
+// ---------------------------------------------------------------------------
+
+class InProcessGroup;
+std::shared_ptr<InProcessGroup> make_in_process_group(int size);
+std::unique_ptr<Transport> make_in_process_transport(
+    std::shared_ptr<InProcessGroup> group, int rank);
+
+inline constexpr std::size_t kDefaultShmRingBytes = std::size_t{1} << 18;
+
+class ShmArena;
+/// Maps the shared arena (MAP_SHARED | MAP_ANONYMOUS): P*P SPSC rings of
+/// `ring_bytes` each plus the futex barrier.  Must be created before the
+/// worker processes fork.  ring_bytes must be a power of two >= 1024
+/// (power-of-two capacity keeps the 32-bit ring cursors exact across
+/// wraparound); messages larger than a ring stream through it in chunks.
+std::shared_ptr<ShmArena> make_shm_arena(
+    int size, std::size_t ring_bytes = kDefaultShmRingBytes);
+std::unique_ptr<Transport> make_shm_transport(std::shared_ptr<ShmArena> arena,
+                                              int rank);
+
+struct SocketEndpoint {
+  /// Listener paths are `<base_path>.r<rank>`; keep the base short (Unix
+  /// socket paths cap at ~107 bytes).
+  std::string base_path;
+  int size = 0;
+};
+
+/// Connects the full mesh (blocking, with connect retries while peers are
+/// still starting); throws std::runtime_error when a peer cannot be
+/// reached or fails the handshake.
+std::unique_ptr<Transport> make_socket_transport(const SocketEndpoint& ep,
+                                                 int rank);
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,118 @@
+// Internals shared by the out-of-process transport backends (not part of
+// the public comm API).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace spdkfac::comm::detail {
+
+/// Per-peer send queues pumped on a dedicated exec worker — what makes
+/// Transport::send non-blocking over a bounded carrier (socket buffer, shm
+/// ring).  send() enqueues an encoded frame and returns; a flush task per
+/// peer drains that peer's queue FIFO through `write` (which may block on
+/// the carrier).  The single pump worker serializes writes across peers,
+/// mirroring the AsyncCommEngine's one-pump discipline.
+///
+/// A write failure (peer died, carrier torn) is captured and rethrown from
+/// the next send()/flush() — pool tasks must not throw.
+class FrameSender {
+ public:
+  /// `write(dst, bytes)` delivers one encoded frame to `dst`, blocking as
+  /// needed; it must be callable from the pump worker.
+  FrameSender(int peers,
+              std::function<void(int, std::span<const unsigned char>)> write)
+      : peers_(static_cast<std::size_t>(peers)),
+        write_(std::move(write)),
+        pool_(1) {}
+
+  /// Drains every queue (or surfaces a captured write error).
+  ~FrameSender() {
+    try {
+      flush();
+    } catch (...) {
+      // Destructor context: the error was already observable via send().
+    }
+  }
+
+  void send(int dst, std::vector<unsigned char> frame) {
+    bool schedule = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (error_) std::rethrow_exception(error_);
+      Peer& peer = peers_[static_cast<std::size_t>(dst)];
+      peer.queue.push_back(std::move(frame));
+      if (!peer.pumping) {
+        peer.pumping = true;
+        schedule = true;
+      }
+    }
+    if (schedule) {
+      pool_.submit([this, dst] { pump(dst); });
+    }
+  }
+
+  /// Blocks until every enqueued frame has been written; rethrows the
+  /// first write error.
+  void flush() {
+    std::unique_lock lock(mutex_);
+    drained_.wait(lock, [this] {
+      if (error_) return true;
+      for (const Peer& p : peers_) {
+        if (!p.queue.empty() || p.pumping) return false;
+      }
+      return true;
+    });
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  struct Peer {
+    std::deque<std::vector<unsigned char>> queue;
+    bool pumping = false;  ///< a flush task for this peer is scheduled
+  };
+
+  void pump(int dst) {
+    Peer& peer = peers_[static_cast<std::size_t>(dst)];
+    for (;;) {
+      std::vector<unsigned char> frame;
+      {
+        std::lock_guard lock(mutex_);
+        if (peer.queue.empty() || error_) {
+          peer.pumping = false;
+          drained_.notify_all();
+          return;
+        }
+        frame = std::move(peer.queue.front());
+        peer.queue.pop_front();
+      }
+      try {
+        write_(dst, frame);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        error_ = std::current_exception();
+        peer.queue.clear();
+        peer.pumping = false;
+        drained_.notify_all();
+        return;
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable drained_;
+  std::vector<Peer> peers_;
+  std::function<void(int, std::span<const unsigned char>)> write_;
+  std::exception_ptr error_;
+  exec::ThreadPool pool_;  ///< last member: joins before queues die
+};
+
+}  // namespace spdkfac::comm::detail

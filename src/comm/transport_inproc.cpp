@@ -1,0 +1,89 @@
+// In-process transport backend: ranks are threads of one process, messages
+// move through the Channel mailboxes (comm/channel.hpp) exactly as the
+// pre-transport cluster did.  This is the test default and the only
+// backend ThreadSanitizer can see end-to-end.
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/transport.hpp"
+
+namespace spdkfac::comm {
+
+/// State shared by all ranks of one in-process cluster: the directed
+/// channel matrix and the condvar barrier.  Owned jointly by the per-rank
+/// transports (shared_ptr), so a group outlives every worker using it.
+class InProcessGroup {
+ public:
+  explicit InProcessGroup(int size)
+      : size_(size), barrier_(static_cast<std::size_t>(size)) {
+    channels_.resize(static_cast<std::size_t>(size) * size);
+    for (auto& ch : channels_) ch = std::make_unique<Channel>();
+  }
+
+  int size() const noexcept { return size_; }
+
+  Channel& channel(int src, int dst) {
+    return *channels_[static_cast<std::size_t>(src) * size_ + dst];
+  }
+
+  Barrier& barrier() noexcept { return barrier_; }
+
+ private:
+  int size_;
+  Barrier barrier_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // [src * size + dst]
+};
+
+namespace {
+
+class InProcessTransport final : public Transport {
+ public:
+  InProcessTransport(std::shared_ptr<InProcessGroup> group, int rank)
+      : group_(std::move(group)), rank_(rank) {}
+
+  TransportKind kind() const noexcept override {
+    return TransportKind::kInProcess;
+  }
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return group_->size(); }
+
+  void send(int dst, std::span<const double> payload, std::uint16_t /*tag*/,
+            int /*plan_task*/) override {
+    group_->channel(rank_, dst).send(payload);
+  }
+
+  std::vector<double> recv(int src) override {
+    return group_->channel(src, rank_).recv();
+  }
+
+  bool recv_into(int src, std::span<double> out) override {
+    return group_->channel(src, rank_).recv_into(out);
+  }
+
+  void barrier() override { group_->barrier().arrive_and_wait(); }
+
+ private:
+  std::shared_ptr<InProcessGroup> group_;
+  int rank_;
+};
+
+}  // namespace
+
+std::shared_ptr<InProcessGroup> make_in_process_group(int size) {
+  if (size <= 0) {
+    throw std::invalid_argument("in-process group size must be positive");
+  }
+  return std::make_shared<InProcessGroup>(size);
+}
+
+std::unique_ptr<Transport> make_in_process_transport(
+    std::shared_ptr<InProcessGroup> group, int rank) {
+  if (rank < 0 || rank >= group->size()) {
+    throw std::invalid_argument("in-process transport: bad rank");
+  }
+  return std::make_unique<InProcessTransport>(std::move(group), rank);
+}
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,307 @@
+// Shared-memory transport backend: process-per-rank on one host.
+//
+// The launcher maps one anonymous MAP_SHARED arena *before* forking the
+// worker processes, so every rank inherits the same physical pages.  The
+// arena holds one fixed-capacity SPSC byte ring per directed (src, dst)
+// pair — src's processes produce, dst's consume — plus a sense-reversing
+// barrier.  Messages are wire.hpp frames streamed through the ring; a
+// message larger than the ring simply flows through it in chunks (the
+// producer blocks on ring-full, the consumer on ring-empty, both on futex
+// doorbells, FUTEX_WAIT/WAKE on the shared 32-bit ring cursors).
+//
+// Ring cursors are free-running uint32 byte counts (capacity divides 2^32
+// because it is a power of two, so `tail - head` stays exact across
+// wraparound).  send() never blocks on the consumer: frames are queued
+// locally and pumped into the ring by a dedicated exec worker
+// (detail::FrameSender), preserving the unbounded-send contract the
+// collectives' neighbour exchanges rely on.
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <linux/futex.h>
+
+#include <algorithm>
+#include <atomic>
+#include <climits>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "comm/transport_detail.hpp"
+#include "comm/wire.hpp"
+
+namespace spdkfac::comm {
+
+namespace {
+
+void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  // Spurious returns (EINTR, EAGAIN on a stale expected value) are fine:
+  // every caller re-checks its condition in a loop.
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
+          expected, nullptr, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAKE,
+          INT_MAX, nullptr, nullptr, 0);
+}
+
+/// SPSC ring cursors, one cache line each so producer and consumer never
+/// false-share.  head = bytes consumed, tail = bytes produced; both wrap
+/// freely (capacity divides 2^32).
+struct RingState {
+  alignas(64) std::atomic<std::uint32_t> head;
+  alignas(64) std::atomic<std::uint32_t> tail;
+};
+
+struct BarrierState {
+  std::atomic<std::uint32_t> arrived;
+  std::atomic<std::uint32_t> generation;
+};
+
+struct alignas(64) ArenaControl {
+  int size;
+  std::uint32_t ring_bytes;
+  BarrierState barrier;
+};
+
+constexpr std::size_t kRingStateBytes = sizeof(RingState);
+
+std::size_t slot_bytes(std::size_t ring_bytes) {
+  return kRingStateBytes + ring_bytes;
+}
+
+}  // namespace
+
+/// The mmap'd arena (see file comment).  Created once by the launcher;
+/// worker processes inherit the mapping across fork and address it through
+/// their own copy of this handle.
+class ShmArena {
+ public:
+  ShmArena(int size, std::size_t ring_bytes)
+      : size_(size), ring_bytes_(ring_bytes) {
+    total_ = sizeof(ArenaControl) +
+             static_cast<std::size_t>(size) * size * slot_bytes(ring_bytes);
+    void* mem = ::mmap(nullptr, total_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      throw std::runtime_error("ShmArena: mmap failed");
+    }
+    base_ = static_cast<unsigned char*>(mem);
+    auto* control = new (base_) ArenaControl;
+    control->size = size;
+    control->ring_bytes = static_cast<std::uint32_t>(ring_bytes);
+    control->barrier.arrived.store(0, std::memory_order_relaxed);
+    control->barrier.generation.store(0, std::memory_order_relaxed);
+    for (int src = 0; src < size; ++src) {
+      for (int dst = 0; dst < size; ++dst) {
+        auto* ring = new (slot(src, dst)) RingState;
+        ring->head.store(0, std::memory_order_relaxed);
+        ring->tail.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  ~ShmArena() { ::munmap(base_, total_); }
+
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  int size() const noexcept { return size_; }
+  std::uint32_t ring_bytes() const noexcept {
+    return static_cast<std::uint32_t>(ring_bytes_);
+  }
+
+  RingState& ring(int src, int dst) {
+    return *reinterpret_cast<RingState*>(slot(src, dst));
+  }
+  unsigned char* ring_data(int src, int dst) {
+    return slot(src, dst) + kRingStateBytes;
+  }
+  BarrierState& barrier() {
+    return reinterpret_cast<ArenaControl*>(base_)->barrier;
+  }
+
+ private:
+  unsigned char* slot(int src, int dst) {
+    return base_ + sizeof(ArenaControl) +
+           (static_cast<std::size_t>(src) * size_ + dst) *
+               slot_bytes(ring_bytes_);
+  }
+
+  int size_;
+  std::size_t ring_bytes_;
+  std::size_t total_ = 0;
+  unsigned char* base_ = nullptr;
+};
+
+namespace {
+
+/// Streams `n` bytes into the (src -> dst) ring, blocking on ring-full.
+void ring_write(RingState& st, unsigned char* data, std::uint32_t cap,
+                const unsigned char* src, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint32_t tail = st.tail.load(std::memory_order_relaxed);
+    const std::uint32_t head = st.head.load(std::memory_order_acquire);
+    const std::uint32_t free_bytes = cap - (tail - head);
+    if (free_bytes == 0) {
+      futex_wait(&st.head, head);
+      continue;
+    }
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(n - done, free_bytes));
+    const std::uint32_t pos = tail & (cap - 1);
+    const std::uint32_t first = std::min(chunk, cap - pos);
+    std::memcpy(data + pos, src + done, first);
+    std::memcpy(data, src + done + first, chunk - first);
+    st.tail.store(tail + chunk, std::memory_order_release);
+    futex_wake_all(&st.tail);
+    done += chunk;
+  }
+}
+
+/// Streams `n` bytes out of the ring into dst, blocking on ring-empty.
+void ring_read(RingState& st, const unsigned char* data, std::uint32_t cap,
+               unsigned char* dst, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint32_t head = st.head.load(std::memory_order_relaxed);
+    const std::uint32_t tail = st.tail.load(std::memory_order_acquire);
+    const std::uint32_t avail = tail - head;
+    if (avail == 0) {
+      futex_wait(&st.tail, tail);
+      continue;
+    }
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<std::size_t>(n - done, avail));
+    const std::uint32_t pos = head & (cap - 1);
+    const std::uint32_t first = std::min(chunk, cap - pos);
+    std::memcpy(dst + done, data + pos, first);
+    std::memcpy(dst + done + first, data, chunk - first);
+    st.head.store(head + chunk, std::memory_order_release);
+    futex_wake_all(&st.head);
+    done += chunk;
+  }
+}
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(std::shared_ptr<ShmArena> arena, int rank)
+      : arena_(std::move(arena)),
+        rank_(rank),
+        sender_(arena_->size(),
+                [this](int dst, std::span<const unsigned char> bytes) {
+                  ring_write(arena_->ring(rank_, dst),
+                             arena_->ring_data(rank_, dst),
+                             arena_->ring_bytes(), bytes.data(),
+                             bytes.size());
+                }) {}
+
+  TransportKind kind() const noexcept override {
+    return TransportKind::kSharedMemory;
+  }
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return arena_->size(); }
+
+  void send(int dst, std::span<const double> payload, std::uint16_t tag,
+            int plan_task) override {
+    wire::FrameHeader header;
+    header.tag = tag;
+    header.src = rank_;
+    header.plan_task = plan_task;
+    header.elements = payload.size();
+    sender_.send(dst, wire::encode_frame(header, payload));
+  }
+
+  std::vector<double> recv(int src) override {
+    const wire::FrameHeader header = read_header(src);
+    std::vector<double> payload(static_cast<std::size_t>(header.elements));
+    read_payload(src, payload);
+    return payload;
+  }
+
+  bool recv_into(int src, std::span<double> out) override {
+    const wire::FrameHeader header = read_header(src);
+    if (header.elements != out.size()) {
+      // Consume and discard the mismatched message, like Channel::recv_into.
+      std::vector<double> scratch(static_cast<std::size_t>(header.elements));
+      read_payload(src, scratch);
+      return false;
+    }
+    read_payload(src, out);
+    return true;
+  }
+
+  void barrier() override {
+    BarrierState& b = arena_->barrier();
+    const auto parties = static_cast<std::uint32_t>(arena_->size());
+    const std::uint32_t gen = b.generation.load(std::memory_order_acquire);
+    if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == parties) {
+      b.arrived.store(0, std::memory_order_relaxed);
+      b.generation.store(gen + 1, std::memory_order_release);
+      futex_wake_all(&b.generation);
+    } else {
+      while (b.generation.load(std::memory_order_acquire) == gen) {
+        futex_wait(&b.generation, gen);
+      }
+    }
+  }
+
+ private:
+  wire::FrameHeader read_header(int src) {
+    unsigned char raw[wire::kHeaderBytes];
+    ring_read(arena_->ring(src, rank_), arena_->ring_data(src, rank_),
+              arena_->ring_bytes(), raw, wire::kHeaderBytes);
+    wire::FrameHeader header;
+    const wire::DecodeStatus status = wire::decode_header(raw, header);
+    if (status != wire::DecodeStatus::kOk) {
+      throw std::runtime_error(std::string("shm transport: corrupt frame (") +
+                               wire::to_string(status) + ")");
+    }
+    if (header.src != src) {
+      throw std::runtime_error("shm transport: frame src mismatch");
+    }
+    return header;
+  }
+
+  void read_payload(int src, std::span<double> out) {
+    if (out.empty()) return;
+    ring_read(arena_->ring(src, rank_), arena_->ring_data(src, rank_),
+              arena_->ring_bytes(),
+              reinterpret_cast<unsigned char*>(out.data()), out.size_bytes());
+  }
+
+  std::shared_ptr<ShmArena> arena_;
+  int rank_;
+  detail::FrameSender sender_;  ///< last member: flushes before arena_ dies
+};
+
+}  // namespace
+
+std::shared_ptr<ShmArena> make_shm_arena(int size, std::size_t ring_bytes) {
+  if (size <= 0) {
+    throw std::invalid_argument("shm arena: size must be positive");
+  }
+  if (ring_bytes < 1024 || (ring_bytes & (ring_bytes - 1)) != 0 ||
+      ring_bytes > (std::size_t{1} << 31)) {
+    throw std::invalid_argument(
+        "shm arena: ring_bytes must be a power of two in [1024, 2^31]");
+  }
+  return std::make_shared<ShmArena>(size, ring_bytes);
+}
+
+std::unique_ptr<Transport> make_shm_transport(std::shared_ptr<ShmArena> arena,
+                                              int rank) {
+  if (rank < 0 || rank >= arena->size()) {
+    throw std::invalid_argument("shm transport: bad rank");
+  }
+  return std::make_unique<ShmTransport>(std::move(arena), rank);
+}
+
+}  // namespace spdkfac::comm

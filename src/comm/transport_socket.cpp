@@ -1,0 +1,281 @@
+// Socket transport backend: process-per-rank over a full mesh of
+// SOCK_STREAM Unix-domain sockets.  Multi-host-shaped: nothing below the
+// factory assumes a shared filesystem beyond the endpoint paths, and the
+// framing (wire.hpp) assumes only an ordered byte stream, so swapping the
+// address family for TCP changes setup code only.
+//
+// Setup (accept/connect handshake):
+//   1. every rank binds and listens at `<base_path>.r<rank>`;
+//   2. rank r actively connects to every s < r — retrying while the peer's
+//      listener is still appearing — and sends a handshake frame
+//      (kHandshakeTag, src = r, empty payload);
+//   3. rank r accepts size-1-r connections from the ranks above it and
+//      identifies each by its handshake frame.
+//   After the mesh is up the listener is closed and unlinked; each peer
+//   pair shares exactly one socket.
+//
+// Data path: send() encodes one frame and enqueues it on the peer's send
+// queue, pumped by a dedicated exec worker (detail::FrameSender) — so
+// send never blocks on a full kernel buffer, which keeps the collectives'
+// neighbour exchanges deadlock-free.  recv(src) reads the peer's socket
+// into a FrameParser, reassembling frames across short reads; a torn or
+// corrupt stream (bad magic/version/length, unexpected src, EOF) throws
+// instead of hanging.
+//
+// Teardown: the destructor flushes every send queue, then shuts down and
+// closes the sockets.  Flushed bytes survive the close (kernel-buffered),
+// so a rank that finishes early never strands a peer mid-collective.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "comm/transport_detail.hpp"
+#include "comm/wire.hpp"
+
+namespace spdkfac::comm {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("socket transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_un endpoint_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("socket transport: endpoint path too long: " +
+                                path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void write_all(int fd, const unsigned char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a SIGPIPE kill.
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+void read_exact(int fd, unsigned char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, data + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (r == 0) {
+      throw std::runtime_error("socket transport: peer closed mid-frame");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(const SocketEndpoint& ep, int rank)
+      : rank_(rank),
+        size_(ep.size),
+        listen_path_(listener_path(ep.base_path, rank)),
+        peer_fds_(static_cast<std::size_t>(ep.size), -1),
+        parsers_(static_cast<std::size_t>(ep.size)) {
+    try {
+      connect_mesh(ep);
+    } catch (...) {
+      close_all();
+      throw;
+    }
+    sender_ = std::make_unique<detail::FrameSender>(
+        size_, [this](int dst, std::span<const unsigned char> bytes) {
+          write_all(peer_fds_[static_cast<std::size_t>(dst)], bytes.data(),
+                    bytes.size());
+        });
+  }
+
+  ~SocketTransport() override {
+    sender_.reset();  // flush every queued frame before closing
+    close_all();
+  }
+
+  TransportKind kind() const noexcept override {
+    return TransportKind::kSocket;
+  }
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return size_; }
+
+  void send(int dst, std::span<const double> payload, std::uint16_t tag,
+            int plan_task) override {
+    wire::FrameHeader header;
+    header.tag = tag;
+    header.src = rank_;
+    header.plan_task = plan_task;
+    header.elements = payload.size();
+    sender_->send(dst, wire::encode_frame(header, payload));
+  }
+
+  std::vector<double> recv(int src) override {
+    wire::FrameParser& parser = parsers_[static_cast<std::size_t>(src)];
+    const int fd = peer_fds_[static_cast<std::size_t>(src)];
+    while (!parser.has_frame()) {
+      unsigned char chunk[1 << 16];
+      const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("read");
+      }
+      if (r == 0) {
+        throw std::runtime_error("socket transport: peer " +
+                                 std::to_string(src) + " closed");
+      }
+      if (!parser.feed({chunk, static_cast<std::size_t>(r)})) {
+        throw std::runtime_error(
+            std::string("socket transport: corrupt stream from peer ") +
+            std::to_string(src) + " (" + wire::to_string(parser.error()) +
+            ")");
+      }
+    }
+    wire::Frame frame = parser.pop_frame();
+    if (frame.header.src != src) {
+      throw std::runtime_error("socket transport: frame src mismatch");
+    }
+    return std::move(frame.payload);
+  }
+
+ private:
+  static std::string listener_path(const std::string& base, int rank) {
+    return base + ".r" + std::to_string(rank);
+  }
+
+  void connect_mesh(const SocketEndpoint& ep) {
+    // 1. Listener first, so any peer's connect can queue in the backlog
+    //    even while this rank is still dialing lower ranks.
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    ::unlink(listen_path_.c_str());
+    sockaddr_un addr = endpoint_address(listen_path_);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind " + listen_path_);
+    }
+    if (::listen(listen_fd_, size_) != 0) throw_errno("listen");
+
+    // 2. Dial every lower rank (their listeners may still be appearing).
+    for (int peer = 0; peer < rank_; ++peer) {
+      peer_fds_[static_cast<std::size_t>(peer)] = dial(ep, peer);
+    }
+
+    // 3. Accept the higher ranks, identified by their handshake frame.
+    for (int pending = size_ - 1 - rank_; pending > 0; --pending) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) throw_errno("accept");
+      const wire::FrameHeader hello = read_handshake(fd);
+      if (hello.src <= rank_ || hello.src >= size_ ||
+          peer_fds_[static_cast<std::size_t>(hello.src)] != -1) {
+        ::close(fd);
+        throw std::runtime_error("socket transport: bad handshake rank");
+      }
+      peer_fds_[static_cast<std::size_t>(hello.src)] = fd;
+    }
+
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(listen_path_.c_str());
+  }
+
+  int dial(const SocketEndpoint& ep, int peer) {
+    const std::string path = listener_path(ep.base_path, peer);
+    const sockaddr_un addr = endpoint_address(path);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) throw_errno("socket");
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        // Identify ourselves; the peer's accept loop reads this first.
+        wire::FrameHeader hello;
+        hello.tag = wire::kHandshakeTag;
+        hello.src = rank_;
+        const auto frame = wire::encode_frame(hello, {});
+        write_all(fd, frame.data(), frame.size());
+        return fd;
+      }
+      const int err = errno;
+      ::close(fd);
+      if ((err != ENOENT && err != ECONNREFUSED) ||
+          std::chrono::steady_clock::now() > deadline) {
+        errno = err;
+        throw_errno("connect " + path);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  wire::FrameHeader read_handshake(int fd) {
+    unsigned char raw[wire::kHeaderBytes];
+    read_exact(fd, raw, wire::kHeaderBytes);
+    wire::FrameHeader header;
+    const wire::DecodeStatus status = wire::decode_header(raw, header);
+    if (status != wire::DecodeStatus::kOk ||
+        header.tag != wire::kHandshakeTag || header.elements != 0) {
+      throw std::runtime_error("socket transport: bad handshake frame");
+    }
+    return header;
+  }
+
+  void close_all() {
+    for (int& fd : peer_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(listen_path_.c_str());
+    }
+  }
+
+  int rank_;
+  int size_;
+  std::string listen_path_;
+  int listen_fd_ = -1;
+  std::vector<int> peer_fds_;           // one socket per peer, -1 = self
+  std::vector<wire::FrameParser> parsers_;  // per-peer reassembly
+  std::unique_ptr<detail::FrameSender> sender_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_socket_transport(const SocketEndpoint& ep,
+                                                 int rank) {
+  if (ep.size <= 0) {
+    throw std::invalid_argument("socket transport: size must be positive");
+  }
+  if (rank < 0 || rank >= ep.size) {
+    throw std::invalid_argument("socket transport: bad rank");
+  }
+  return std::make_unique<SocketTransport>(SocketEndpoint{ep.base_path,
+                                                          ep.size},
+                                           rank);
+}
+
+}  // namespace spdkfac::comm

@@ -1,0 +1,138 @@
+#include "comm/wire.hpp"
+
+#include <cstring>
+
+namespace spdkfac::comm::wire {
+
+namespace {
+
+void put_u16(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kBadMagic:
+      return "bad magic";
+    case DecodeStatus::kBadVersion:
+      return "bad version";
+    case DecodeStatus::kOversize:
+      return "oversize payload";
+  }
+  return "?";
+}
+
+void encode_header(const FrameHeader& header, std::span<unsigned char> out) {
+  put_u32(out.data(), kMagic);
+  put_u16(out.data() + 4, header.version);
+  put_u16(out.data() + 6, header.tag);
+  put_u32(out.data() + 8, static_cast<std::uint32_t>(header.src));
+  put_u32(out.data() + 12, static_cast<std::uint32_t>(header.plan_task));
+  put_u64(out.data() + 16, header.elements);
+}
+
+DecodeStatus decode_header(std::span<const unsigned char> in,
+                           FrameHeader& out) {
+  if (get_u32(in.data()) != kMagic) return DecodeStatus::kBadMagic;
+  out.version = get_u16(in.data() + 4);
+  if (out.version != kVersion) return DecodeStatus::kBadVersion;
+  out.tag = get_u16(in.data() + 6);
+  out.src = static_cast<std::int32_t>(get_u32(in.data() + 8));
+  out.plan_task = static_cast<std::int32_t>(get_u32(in.data() + 12));
+  out.elements = get_u64(in.data() + 16);
+  if (out.elements > kMaxElements) return DecodeStatus::kOversize;
+  return DecodeStatus::kOk;
+}
+
+std::vector<unsigned char> encode_frame(const FrameHeader& header,
+                                        std::span<const double> payload) {
+  std::vector<unsigned char> frame(kHeaderBytes + payload.size_bytes());
+  encode_header(header, frame);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(),
+                payload.size_bytes());
+  }
+  return frame;
+}
+
+bool FrameParser::feed(std::span<const unsigned char> bytes) {
+  if (corrupt()) return false;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  extract_frames();
+  return !corrupt();
+}
+
+Frame FrameParser::pop_frame() {
+  Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void FrameParser::extract_frames() {
+  for (;;) {
+    if (buf_.size() - cursor_ < kHeaderBytes) break;
+    FrameHeader header;
+    const DecodeStatus status = decode_header(
+        std::span<const unsigned char>(buf_).subspan(cursor_, kHeaderBytes),
+        header);
+    if (status != DecodeStatus::kOk) {
+      status_ = status;
+      buf_.clear();
+      cursor_ = 0;
+      return;
+    }
+    const std::size_t payload_bytes =
+        static_cast<std::size_t>(header.elements) * sizeof(double);
+    if (buf_.size() - cursor_ < kHeaderBytes + payload_bytes) break;
+    Frame frame;
+    frame.header = header;
+    frame.payload.resize(static_cast<std::size_t>(header.elements));
+    if (payload_bytes > 0) {
+      std::memcpy(frame.payload.data(), buf_.data() + cursor_ + kHeaderBytes,
+                  payload_bytes);
+    }
+    frames_.push_back(std::move(frame));
+    cursor_ += kHeaderBytes + payload_bytes;
+  }
+  // Compact once the consumed prefix dominates, so the buffer does not grow
+  // without bound across a long-lived connection.
+  if (cursor_ > 0 && cursor_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    cursor_ = 0;
+  }
+}
+
+}  // namespace spdkfac::comm::wire

@@ -1,0 +1,119 @@
+// Length-prefixed wire protocol shared by the out-of-process transports.
+//
+// Every message the shared-memory and socket backends move between ranks is
+// one *frame*: a fixed 24-byte header followed by the payload doubles.  The
+// header carries enough to validate the stream (magic, version), identify
+// the sender (rank), and tag the traffic class (data / barrier / handshake)
+// plus the sched::IterationPlan task the payload realizes — the same
+// metadata the async engine's OpRecords carry in-process:
+//
+//   offset  size  field
+//        0     4  magic          0x53'50'44'4B ("SPDK", little-endian)
+//        4     2  version        protocol version (kVersion)
+//        6     2  tag            traffic class (kDataTag / kBarrierTag / ...)
+//        8     4  src            sender rank (int32)
+//       12     4  plan_task      plan task id, -1 for out-of-plan traffic
+//       16     8  elements       payload length in doubles (uint64)
+//       24  8*elements           payload (raw IEEE-754 bits, host-endian)
+//
+// All multi-byte fields are little-endian (encode/decode below serialize
+// byte-by-byte, so the layout is identical regardless of host struct
+// padding).  decode_header() rejects bad magic, unknown versions and
+// absurd payload lengths with a typed status instead of trusting the
+// stream — a torn or corrupt connection must fail loudly, never hang or
+// over-allocate.  FrameParser reassembles frames from arbitrary byte
+// chunks (short socket reads tear frames at any offset) and goes into a
+// terminal corrupt state on the first bad header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace spdkfac::comm::wire {
+
+inline constexpr std::uint32_t kMagic = 0x5350'444B;  // "SPDK"
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/// Traffic classes (header `tag`).
+inline constexpr std::uint16_t kDataTag = 0;
+inline constexpr std::uint16_t kBarrierTag = 0xB0;
+inline constexpr std::uint16_t kHandshakeTag = 0xC0;
+
+/// Sanity cap on one frame's payload (doubles): 1 Gi elements = 8 GiB.  A
+/// header announcing more is corruption, not a real message — rejecting it
+/// keeps a flipped length byte from turning into an 8 GiB allocation.
+inline constexpr std::uint64_t kMaxElements = 1ull << 30;
+
+struct FrameHeader {
+  std::uint16_t version = kVersion;
+  std::uint16_t tag = kDataTag;
+  std::int32_t src = 0;
+  std::int32_t plan_task = -1;
+  std::uint64_t elements = 0;
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+enum class DecodeStatus {
+  kOk,
+  kBadMagic,
+  kBadVersion,
+  kOversize,
+};
+
+const char* to_string(DecodeStatus status) noexcept;
+
+/// Serializes `header` into out[0..kHeaderBytes); out must be large enough.
+void encode_header(const FrameHeader& header, std::span<unsigned char> out);
+
+/// Parses a header from in[0..kHeaderBytes) (in must hold at least that
+/// many bytes).  On kOk, `out` holds the decoded fields; on any other
+/// status `out` is unspecified and the stream must be abandoned.
+DecodeStatus decode_header(std::span<const unsigned char> in,
+                           FrameHeader& out);
+
+/// Encodes one complete frame (header + payload bytes) into a contiguous
+/// buffer — what the senders enqueue per peer.
+std::vector<unsigned char> encode_frame(const FrameHeader& header,
+                                        std::span<const double> payload);
+
+struct Frame {
+  FrameHeader header;
+  std::vector<double> payload;
+};
+
+/// Incremental frame reassembler for a byte stream that tears frames at
+/// arbitrary offsets (short reads).  feed() appends bytes and extracts
+/// every complete frame; a bad header makes the parser corrupt —
+/// terminally: further feeds are ignored and error() reports why.
+class FrameParser {
+ public:
+  /// Appends bytes to the stream.  Returns false once the stream is
+  /// corrupt (the first bad header; see error()).
+  bool feed(std::span<const unsigned char> bytes);
+
+  bool has_frame() const noexcept { return !frames_.empty(); }
+
+  /// Pops the oldest complete frame (has_frame() must be true).
+  Frame pop_frame();
+
+  bool corrupt() const noexcept { return status_ != DecodeStatus::kOk; }
+  DecodeStatus error() const noexcept { return status_; }
+
+  /// Bytes buffered but not yet assembled into a frame.
+  std::size_t pending_bytes() const noexcept { return buf_.size() - cursor_; }
+
+ private:
+  void extract_frames();
+
+  std::vector<unsigned char> buf_;
+  std::size_t cursor_ = 0;  ///< consumed prefix of buf_
+  std::deque<Frame> frames_;
+  DecodeStatus status_ = DecodeStatus::kOk;
+};
+
+}  // namespace spdkfac::comm::wire

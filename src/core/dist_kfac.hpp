@@ -154,12 +154,24 @@ struct DistKfacOptions {
   /// profile or trajectory (see tests/sched/test_adaptive.cpp).
   std::size_t plan_cache_capacity = sched::PlanCache::kDefaultCapacity;
 
+  /// Transport backend the launcher builds the cluster on (the optimizer
+  /// itself is transport-agnostic — it talks to whatever Communicator it
+  /// is handed).  kInProcess runs ranks as threads; kSharedMemory and
+  /// kSocket run one process per rank (see comm/transport.hpp).  Training
+  /// is bitwise identical across all three (tests/core/test_determinism).
+  comm::TransportKind transport = comm::TransportKind::kInProcess;
+
+  /// Per-pair ring capacity of the shared-memory transport, in bytes; a
+  /// power of two in [1024, 2^31].  Ignored by the other backends.
+  std::size_t shm_ring_bytes = comm::kDefaultShmRingBytes;
+
   /// Throws std::invalid_argument on nonsensical settings: zero update
   /// frequencies, non-positive lr/damping, a grad_fusion_threshold /
   /// pool_size / replan_interval / plan_cache_capacity that is a negative
   /// value wrapped to unsigned, a profile_ema outside (0, 1], a profile or
-  /// trajectory entry containing negative/non-finite entries, or both
-  /// `profile` and `profile_trajectory` set.
+  /// trajectory entry containing negative/non-finite entries, both
+  /// `profile` and `profile_trajectory` set, or a shm_ring_bytes that is
+  /// not a power of two in [1024, 2^31].
   void validate() const;
 };
 

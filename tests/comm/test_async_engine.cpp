@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "comm/cluster.hpp"
+#include "testsupport/backends.hpp"
 
 namespace spdkfac::comm {
 namespace {
@@ -145,6 +146,76 @@ TEST(AsyncEngine, ManySmallOpsAcrossWorldSizes) {
     });
   }
 }
+
+// ---------------------------------------------------------------------------
+// The engine over every transport backend: the Communicator it pumps is
+// backend-agnostic, so the async semantics (results, FIFO order, wait_all)
+// must hold identically when the ranks are real processes on a real wire.
+// ---------------------------------------------------------------------------
+
+class AsyncEngineBackend : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  void SetUp() override {
+    SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(GetParam());
+  }
+};
+
+TEST_P(AsyncEngineBackend, AllReduceMatchesSyncResult) {
+  const auto results = Cluster::launch_collect(
+      GetParam(), Topology::flat(4), [](Communicator& comm) {
+        AsyncCommEngine engine(comm);
+        std::vector<double> data(100, comm.rank() + 1.0);
+        auto handle = engine.all_reduce_async(data, ReduceOp::kSum);
+        handle.wait();
+        return data;
+      });
+  for (const auto& rank_result : results) {
+    ASSERT_EQ(rank_result.size(), 100u);
+    for (double v : rank_result) EXPECT_NEAR(v, 10.0, 1e-12);
+  }
+}
+
+TEST_P(AsyncEngineBackend, BroadcastDeliversRootBuffer) {
+  const auto results = Cluster::launch_collect(
+      GetParam(), Topology::flat(3), [](Communicator& comm) {
+        AsyncCommEngine engine(comm);
+        std::vector<double> data(8, comm.rank() == 2 ? 3.25 : 0.0);
+        engine.broadcast_async(data, 2).wait();
+        return data;
+      });
+  for (const auto& rank_result : results) {
+    for (double v : rank_result) EXPECT_EQ(v, 3.25);
+  }
+}
+
+TEST_P(AsyncEngineBackend, OpsExecuteInSubmissionOrderAndDrain) {
+  const auto results = Cluster::launch_collect(
+      GetParam(), Topology::flat(2), [](Communicator& comm) {
+        AsyncCommEngine engine(comm);
+        std::vector<double> data(16, 1.0);
+        auto h1 = engine.all_reduce_async(data, ReduceOp::kSum);  // -> 2
+        auto h2 = engine.all_reduce_async(data, ReduceOp::kSum);  // -> 4
+        h2.wait();
+        const double fifo = h1.done() ? 1.0 : 0.0;  // op1 before op2
+        engine.wait_all();
+        return std::vector<double>{fifo,
+                                   static_cast<double>(engine.completed()),
+                                   data[0]};
+      });
+  for (const auto& rank_result : results) {
+    ASSERT_EQ(rank_result.size(), 3u);
+    EXPECT_EQ(rank_result[0], 1.0);  // FIFO held
+    EXPECT_EQ(rank_result[1], 2.0);  // both ops completed
+    EXPECT_EQ(rank_result[2], 4.0);  // second reduce saw the first's result
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, AsyncEngineBackend,
+    ::testing::ValuesIn(testsupport::kAllTransports),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      return testsupport::backend_name(info.param);
+    });
 
 }  // namespace
 }  // namespace spdkfac::comm

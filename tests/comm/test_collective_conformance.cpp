@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "comm/collectives.hpp"
+#include "testsupport/backends.hpp"
 
 namespace spdkfac::comm {
 namespace {
@@ -63,18 +64,22 @@ std::vector<std::size_t> sizes_for(int world, std::uint64_t seed) {
   return sizes;
 }
 
-void expect_conformant(const Topology& topo, AllReduceAlgo algo, ReduceOp op,
-                       std::size_t n, std::uint64_t seed) {
+void expect_conformant(TransportKind kind, const Topology& topo,
+                       AllReduceAlgo algo, ReduceOp op, std::size_t n,
+                       std::uint64_t seed) {
   const int world = topo.world_size();
   const auto inputs = random_inputs(world, n, seed);
   const auto expected = sequential_reference(inputs, op);
 
-  std::vector<std::vector<double>> results(world);
-  Cluster::launch(topo, [&](Communicator& comm) {
-    std::vector<double> data = inputs[comm.rank()];
-    comm.all_reduce(data, op, algo);
-    results[comm.rank()] = std::move(data);
-  });
+  // launch_collect runs the ranks as threads (kInProcess) or forked
+  // processes (kSharedMemory / kSocket) and ships each rank's result back —
+  // the same conformance contract is held on every backend.
+  const auto results =
+      Cluster::launch_collect(kind, topo, [&](Communicator& comm) {
+        std::vector<double> data = inputs[comm.rank()];
+        comm.all_reduce(data, op, algo);
+        return data;
+      });
 
   const char* ctx_algo = to_string(algo);
   for (int r = 0; r < world; ++r) {
@@ -98,18 +103,20 @@ void expect_conformant(const Topology& topo, AllReduceAlgo algo, ReduceOp op,
 struct Case {
   AllReduceAlgo algo;
   int world;
+  TransportKind kind = TransportKind::kInProcess;
 };
 
 class ConformanceFlat : public ::testing::TestWithParam<Case> {};
 
 TEST_P(ConformanceFlat, RandomSizesAllOps) {
   const Case c = GetParam();
+  SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(c.kind);
   const Topology topo = Topology::flat(c.world);
   std::uint64_t seed = 0xC0FFEE + 977 * c.world +
                        31 * static_cast<std::uint64_t>(c.algo);
   for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kAverage, ReduceOp::kMax}) {
     for (std::size_t n : sizes_for(c.world, ++seed)) {
-      expect_conformant(topo, c.algo, op, n, ++seed);
+      expect_conformant(c.kind, topo, c.algo, op, n, ++seed);
     }
   }
 }
@@ -119,7 +126,8 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
   for (char& ch : algo) {
     if (ch == '-') ch = '_';
   }
-  return algo + "_P" + std::to_string(info.param.world);
+  return algo + "_P" + std::to_string(info.param.world) + "_" +
+         testsupport::backend_name(info.param.kind);
 }
 
 /// Every concrete algorithm plus the kAuto dispatch path.
@@ -133,7 +141,14 @@ std::vector<AllReduceAlgo> algos_under_test() {
 std::vector<Case> all_cases() {
   std::vector<Case> cases;
   for (AllReduceAlgo algo : algos_under_test()) {
+    // Full world sweep in-process; the process-per-rank backends cover
+    // P in {2, 3, 4} (the same algorithms over a real wire — forking 8
+    // ranks per cell buys no additional coverage).
     for (int world : {1, 2, 3, 4, 8}) cases.push_back({algo, world});
+    for (TransportKind kind :
+         {TransportKind::kSharedMemory, TransportKind::kSocket}) {
+      for (int world : {2, 3, 4}) cases.push_back({algo, world, kind});
+    }
   }
   return cases;
 }
@@ -143,17 +158,23 @@ INSTANTIATE_TEST_SUITE_P(AlgoByWorld, ConformanceFlat,
 
 // The hierarchical algorithm on genuinely hierarchical shapes (and the
 // other algorithms, which must ignore the shape and still be correct).
-class ConformanceHierarchical
-    : public ::testing::TestWithParam<std::pair<int, int>> {};
+struct HierCase {
+  int nodes;
+  int gpus;
+  TransportKind kind = TransportKind::kInProcess;
+};
+
+class ConformanceHierarchical : public ::testing::TestWithParam<HierCase> {};
 
 TEST_P(ConformanceHierarchical, NodesByGpusAllAlgorithms) {
-  const auto [nodes, gpus] = GetParam();
+  const auto [nodes, gpus, kind] = GetParam();
+  SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(kind);
   const Topology topo = Topology::multi_node(nodes, gpus);
   std::uint64_t seed = 0xBEEF + 101 * nodes + 7 * gpus;
   for (AllReduceAlgo algo : algos_under_test()) {
     for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kAverage, ReduceOp::kMax}) {
       for (std::size_t n : sizes_for(topo.world_size(), ++seed)) {
-        expect_conformant(topo, algo, op, n, ++seed);
+        expect_conformant(kind, topo, algo, op, n, ++seed);
       }
     }
   }
@@ -161,10 +182,13 @@ TEST_P(ConformanceHierarchical, NodesByGpusAllAlgorithms) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ConformanceHierarchical,
-    ::testing::Values(std::pair{2, 2}, std::pair{2, 4}, std::pair{4, 2}),
+    ::testing::Values(HierCase{2, 2}, HierCase{2, 4}, HierCase{4, 2},
+                      HierCase{2, 2, TransportKind::kSharedMemory},
+                      HierCase{2, 2, TransportKind::kSocket}),
     [](const auto& info) {
-      return std::to_string(info.param.first) + "x" +
-             std::to_string(info.param.second);
+      return std::to_string(info.param.nodes) + "x" +
+             std::to_string(info.param.gpus) + "_" +
+             testsupport::backend_name(info.param.kind);
     });
 
 // A topology whose world size disagrees with the cluster must degrade to

@@ -22,6 +22,7 @@
 #include "sched/planner.hpp"
 #include "sched/serialize.hpp"
 #include "tensor/matrix.hpp"
+#include "testsupport/backends.hpp"
 
 namespace spdkfac::core {
 namespace {
@@ -63,67 +64,101 @@ std::vector<sched::PassTiming> trajectory_for(
   return {base, scale(base, 12.0), scale(base, 150.0)};
 }
 
-/// N steps with a fixed profile (or trajectory); returns rank-0 final
-/// weights and, when `plan_texts` is given, every rank's serialized final
-/// plan (indexed by rank).
-std::vector<Matrix> train(const RunConfig& cfg,
-                          std::vector<std::string>* plan_texts = nullptr) {
+/// The per-rank training body shared by every launch mode: N steps with a
+/// fixed profile (or trajectory), returning this rank's final weights.
+std::vector<Matrix> train_rank(const RunConfig& cfg, comm::Communicator& comm,
+                               std::string* plan_text = nullptr) {
   const models::ModelSpec spec = models::mlp_spec(kWidths);
   const auto cal =
       perf::ClusterCalibration::for_topology(comm::Topology::flat(cfg.world));
+  Rng init(2024);
+  nn::Sequential model = nn::make_mlp(kWidths, init);
+  auto layers = model.preconditioned_layers();
+  DistKfacOptions opts;
+  opts.strategy = cfg.strategy;
+  opts.pool_size = cfg.pool_size;
+  opts.lr = 0.1;
+  opts.damping = 0.1;
+  opts.stat_decay = 0.5;
+  opts.grad_fusion_threshold = 64;  // several WFBP groups
+  // Fixed profile/trajectory: the fusion plan must not depend on
+  // wall-clock measurements, or different pool sizes would legitimately
+  // produce different (equally correct) schedules.
+  if (cfg.adaptive) {
+    opts.profile_trajectory = trajectory_for(spec, cal);
+    opts.replan_interval = 2;
+  } else {
+    opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
+                                            /*second_order=*/true);
+  }
+  DistKfacOptimizer optimizer(layers, comm, opts);
+
+  nn::SyntheticClassification data(kClasses, kIn, 1, 55);
+  Rng shard(300 + comm.rank());
+  nn::SoftmaxCrossEntropy loss;
+  for (int s = 0; s < cfg.steps; ++s) {
+    auto batch = data.sample(kBatch, shard);
+    Tensor4D flat(batch.inputs.n, kIn, 1, 1);
+    flat.data = batch.inputs.data;
+    if (cfg.hooked) {
+      const nn::PassHooks hooks = optimizer.pass_hooks();
+      loss.forward(model.forward(flat, hooks), batch.labels);
+      model.backward(loss.backward(), hooks);
+    } else {
+      loss.forward(model.forward(flat), batch.labels);
+      model.backward(loss.backward());
+    }
+    optimizer.step();
+  }
+  if (plan_text != nullptr) {
+    *plan_text = sched::plan_to_text(optimizer.plan());
+  }
+  std::vector<Matrix> weights;
+  for (auto* l : layers) weights.push_back(l->weight());
+  return weights;
+}
+
+/// In-process launch; returns rank-0 final weights and, when `plan_texts`
+/// is given, every rank's serialized final plan (indexed by rank).
+std::vector<Matrix> train(const RunConfig& cfg,
+                          std::vector<std::string>* plan_texts = nullptr) {
   std::vector<Matrix> weights;
   if (plan_texts != nullptr) {
     plan_texts->assign(static_cast<std::size_t>(cfg.world), "");
   }
   comm::Cluster::launch(cfg.world, [&](comm::Communicator& comm) {
-    Rng init(2024);
-    nn::Sequential model = nn::make_mlp(kWidths, init);
-    auto layers = model.preconditioned_layers();
-    DistKfacOptions opts;
-    opts.strategy = cfg.strategy;
-    opts.pool_size = cfg.pool_size;
-    opts.lr = 0.1;
-    opts.damping = 0.1;
-    opts.stat_decay = 0.5;
-    opts.grad_fusion_threshold = 64;  // several WFBP groups
-    // Fixed profile/trajectory: the fusion plan must not depend on
-    // wall-clock measurements, or different pool sizes would legitimately
-    // produce different (equally correct) schedules.
-    if (cfg.adaptive) {
-      opts.profile_trajectory = trajectory_for(spec, cal);
-      opts.replan_interval = 2;
-    } else {
-      opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
-                                              /*second_order=*/true);
-    }
-    DistKfacOptimizer optimizer(layers, comm, opts);
-
-    nn::SyntheticClassification data(kClasses, kIn, 1, 55);
-    Rng shard(300 + comm.rank());
-    nn::SoftmaxCrossEntropy loss;
-    for (int s = 0; s < cfg.steps; ++s) {
-      auto batch = data.sample(kBatch, shard);
-      Tensor4D flat(batch.inputs.n, kIn, 1, 1);
-      flat.data = batch.inputs.data;
-      if (cfg.hooked) {
-        const nn::PassHooks hooks = optimizer.pass_hooks();
-        loss.forward(model.forward(flat, hooks), batch.labels);
-        model.backward(loss.backward(), hooks);
-      } else {
-        loss.forward(model.forward(flat), batch.labels);
-        model.backward(loss.backward());
-      }
-      optimizer.step();
-    }
-    if (comm.rank() == 0) {
-      for (auto* l : layers) weights.push_back(l->weight());
-    }
+    std::string plan_text;
+    auto rank_weights = train_rank(cfg, comm, &plan_text);
+    if (comm.rank() == 0) weights = std::move(rank_weights);
     if (plan_texts != nullptr) {
       (*plan_texts)[static_cast<std::size_t>(comm.rank())] =
-          sched::plan_to_text(optimizer.plan());
+          std::move(plan_text);
     }
   });
   return weights;
+}
+
+/// The same training over any transport backend; returns every rank's
+/// final weights flattened to doubles (processes report through pipes, so
+/// the result must be a plain vector).
+std::vector<std::vector<double>> train_over(comm::TransportKind kind,
+                                            const RunConfig& cfg) {
+  return comm::Cluster::launch_collect(
+      kind, comm::Topology::flat(cfg.world), [&](comm::Communicator& comm) {
+        std::vector<double> flat;
+        for (const Matrix& w : train_rank(cfg, comm)) {
+          flat.insert(flat.end(), w.data().begin(), w.data().end());
+        }
+        return flat;
+      });
+}
+
+std::vector<double> flatten(const std::vector<Matrix>& weights) {
+  std::vector<double> flat;
+  for (const Matrix& w : weights) {
+    flat.insert(flat.end(), w.data().begin(), w.data().end());
+  }
+  return flat;
 }
 
 void expect_bitwise_equal(const std::vector<Matrix>& a,
@@ -208,6 +243,59 @@ TEST(Determinism, AdaptiveHookedMatchesPostHocAndRepeats) {
   expect_bitwise_equal(first, train(posthoc), "adaptive hooked==post-hoc");
   expect_bitwise_equal(first, train(hooked), "adaptive repeat");
 }
+
+// ---------------------------------------------------------------------------
+// Cross-backend determinism: moving the ranks out of process — onto shared
+// memory rings or a socket mesh — must be invisible to the numerics.  The
+// wire carries raw IEEE-754 bits and the collectives apply the identical
+// reduction orders, so P=4 training must be bitwise-identical across all
+// three transports (and across pool sizes on a real wire).
+// ---------------------------------------------------------------------------
+
+class DeterminismBackend
+    : public ::testing::TestWithParam<comm::TransportKind> {
+ protected:
+  void SetUp() override {
+    SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(GetParam());
+  }
+};
+
+TEST_P(DeterminismBackend, TrainingMatchesInProcessBitwise) {
+  RunConfig cfg{4, 2, DistStrategy::kSpdKfac, true};
+  const std::vector<double> reference = flatten(train(cfg));
+  const auto results = train_over(GetParam(), cfg);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    // Every rank ends with the same model (synchronous training), and that
+    // model is bit-for-bit the in-process one.
+    EXPECT_EQ(results[r], reference)
+        << testsupport::backend_name(GetParam()) << " rank " << r
+        << " diverged from the in-process run";
+  }
+}
+
+TEST_P(DeterminismBackend, PoolSizesAgreeOverTheWire) {
+  // Serial executor vs a 2-worker pool, both on this backend: executor
+  // concurrency must stay invisible even when the collectives cross a
+  // process boundary mid-step.
+  RunConfig cfg{4, 0, DistStrategy::kSpdKfac, true};
+  const auto serial = train_over(GetParam(), cfg);
+  cfg.pool_size = 2;
+  const auto pooled = train_over(GetParam(), cfg);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r], pooled[r])
+        << testsupport::backend_name(GetParam()) << " rank " << r
+        << " pool=2 diverged from serial";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, DeterminismBackend,
+    ::testing::ValuesIn(testsupport::kAllTransports),
+    [](const ::testing::TestParamInfo<comm::TransportKind>& info) {
+      return testsupport::backend_name(info.param);
+    });
 
 TEST(Determinism, AdaptiveReplannedPlansAreRankIdentical) {
   // After the last re-plan epoch every rank must hold the byte-identical

@@ -31,7 +31,36 @@ TEST(DistKfacOptionsTest, DefaultsMatchPaperConfiguration) {
   EXPECT_EQ(opts.grad_fusion_threshold, sched::kHorovodThresholdElements);
   EXPECT_EQ(opts.pool_size, 2u);
   EXPECT_TRUE(opts.profile.empty());
+  EXPECT_EQ(opts.transport, comm::TransportKind::kInProcess);
+  EXPECT_EQ(opts.shm_ring_bytes, comm::kDefaultShmRingBytes);
   EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(DistKfacOptionsTest, ValidateRejectsBadShmRingBytes) {
+  DistKfacOptions opts;
+  opts.shm_ring_bytes = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.shm_ring_bytes = 512;  // below the 1 KiB floor
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.shm_ring_bytes = 3000;  // not a power of two
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.shm_ring_bytes = std::size_t{1} << 32;  // above the 2^31 cap
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.shm_ring_bytes = 1024;
+  EXPECT_NO_THROW(opts.validate());
+  opts.shm_ring_bytes = std::size_t{1} << 20;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(TransportKindTest, ToStringRoundTripsAndRejectsUnknown) {
+  for (const comm::TransportKind kind :
+       {comm::TransportKind::kInProcess, comm::TransportKind::kSharedMemory,
+        comm::TransportKind::kSocket}) {
+    EXPECT_EQ(comm::transport_from_string(comm::to_string(kind)), kind);
+  }
+  EXPECT_THROW(comm::transport_from_string("infiniband"),
+               std::invalid_argument);
+  EXPECT_THROW(comm::transport_from_string(""), std::invalid_argument);
 }
 
 TEST(DistKfacOptionsTest, ValidateRejectsZeroUpdateFrequencies) {

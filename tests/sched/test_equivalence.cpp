@@ -22,7 +22,9 @@
 #include "nn/layers.hpp"
 #include "perf/models.hpp"
 #include "sched/planner.hpp"
+#include "sched/serialize.hpp"
 #include "sim/iteration.hpp"
+#include "testsupport/backends.hpp"
 
 namespace spdkfac {
 namespace {
@@ -114,52 +116,63 @@ struct RuntimeCapture {
   sched::Placement placement;
 };
 
-/// One distributed K-FAC step (hooked or post-hoc) with the model-derived
-/// planning profile; returns rank 0's observable schedule.
+/// The per-rank side of one distributed K-FAC step (hooked or post-hoc)
+/// with the model-derived planning profile; calls `inspect(optimizer)`
+/// after the step so the caller can capture its observable schedule.
+template <typename Inspect>
+void train_one_step(const Config& c, const models::ModelSpec& spec,
+                    const perf::ClusterCalibration& cal, bool hooked,
+                    comm::Communicator& comm, Inspect&& inspect) {
+  Rng init(4242);
+  nn::Sequential model = model_for(c.model, init);
+  auto layers = model.preconditioned_layers();
+
+  core::DistKfacOptions opts;
+  opts.strategy = c.strategy;
+  opts.factor_comm = c.factor_comm;
+  opts.collective_algo = c.algo;
+  opts.grad_fusion_threshold = kGradThreshold;
+  opts.lr = 0.1;
+  opts.damping = 0.1;
+  // Plan with the calibration's cost models and pass timing — the exact
+  // inputs simulate_iteration hands the planner.
+  opts.allreduce_model = cal.allreduce;
+  opts.broadcast_model = cal.bcast_fabric;
+  opts.inverse_model = cal.inverse;
+  opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
+                                          /*second_order=*/true);
+  core::DistKfacOptimizer optimizer(layers, comm, opts);
+
+  Rng shard(100 + comm.rank());
+  nn::SoftmaxCrossEntropy loss;
+  const nn::Batch batch = sample_for(c.model, kBatch, shard);
+  const Tensor4D input = input_for(c.model, batch);
+  if (hooked) {
+    const nn::PassHooks hooks = optimizer.pass_hooks();
+    loss.forward(model.forward(input, hooks), batch.labels);
+    model.backward(loss.backward(), hooks);
+  } else {
+    loss.forward(model.forward(input), batch.labels);
+    model.backward(loss.backward());
+  }
+  optimizer.step();
+  inspect(optimizer);
+}
+
+/// One step across `world` in-process ranks; returns rank 0's observable
+/// schedule.
 RuntimeCapture run_runtime(int world, const Config& c,
                            const models::ModelSpec& spec,
                            const perf::ClusterCalibration& cal, bool hooked) {
   RuntimeCapture capture;
   comm::Cluster::launch(world, [&](comm::Communicator& comm) {
-    Rng init(4242);
-    nn::Sequential model = model_for(c.model, init);
-    auto layers = model.preconditioned_layers();
-
-    core::DistKfacOptions opts;
-    opts.strategy = c.strategy;
-    opts.factor_comm = c.factor_comm;
-    opts.collective_algo = c.algo;
-    opts.grad_fusion_threshold = kGradThreshold;
-    opts.lr = 0.1;
-    opts.damping = 0.1;
-    // Plan with the calibration's cost models and pass timing — the exact
-    // inputs simulate_iteration hands the planner.
-    opts.allreduce_model = cal.allreduce;
-    opts.broadcast_model = cal.bcast_fabric;
-    opts.inverse_model = cal.inverse;
-    opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
-                                            /*second_order=*/true);
-    core::DistKfacOptimizer optimizer(layers, comm, opts);
-
-    Rng shard(100 + comm.rank());
-    nn::SoftmaxCrossEntropy loss;
-    const nn::Batch batch = sample_for(c.model, kBatch, shard);
-    const Tensor4D input = input_for(c.model, batch);
-    if (hooked) {
-      const nn::PassHooks hooks = optimizer.pass_hooks();
-      loss.forward(model.forward(input, hooks), batch.labels);
-      model.backward(loss.backward(), hooks);
-    } else {
-      loss.forward(model.forward(input), batch.labels);
-      model.backward(loss.backward());
-    }
-    optimizer.step();
-
-    if (comm.rank() == 0) {
-      capture.records = optimizer.comm_records();
-      capture.plan = optimizer.plan();
-      capture.placement = optimizer.placement();
-    }
+    train_one_step(c, spec, cal, hooked, comm, [&](auto& optimizer) {
+      if (comm.rank() == 0) {
+        capture.records = optimizer.comm_records();
+        capture.plan = optimizer.plan();
+        capture.placement = optimizer.placement();
+      }
+    });
   });
   return capture;
 }
@@ -311,6 +324,90 @@ INSTANTIATE_TEST_SUITE_P(WorldSizes, Equivalence,
                            name += std::to_string(info.param);
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Equivalence on a real wire: the same strategy cells over the socket
+// transport, with the ranks as separate processes.  Rank 0 ships its
+// recorded submissions and serialized plan back through the launcher pipe
+// (encoded as doubles — integers and character codes are exact), and the
+// parent holds them against the simulator byte for byte.  Moving the
+// collectives onto a length-prefixed socket protocol must not change one
+// submission, element count, or plan byte.
+// ---------------------------------------------------------------------------
+
+TEST(EquivalenceOverTheWire, SocketRuntimeMatchesSimulator) {
+  SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(comm::TransportKind::kSocket);
+  const Config cells[] = {
+      {core::DistStrategy::kSpdKfac, sched::FactorCommMode::kOptimalFuse},
+      {core::DistStrategy::kMpdKfac, sched::FactorCommMode::kBulk},
+  };
+  for (const int world : {2, 4}) {
+    for (const Config& c : cells) {
+      const std::string context =
+          config_name(c) + " P=" + std::to_string(world) + " socket";
+      const models::ModelSpec spec = spec_for(c.model);
+      const auto cal =
+          perf::ClusterCalibration::for_topology(comm::Topology::flat(world));
+      const sim::IterationResult sim_res =
+          sim::simulate_iteration(spec, kBatch, cal, sim_config(c));
+
+      const auto results = comm::Cluster::launch_collect(
+          comm::TransportKind::kSocket, comm::Topology::flat(world),
+          [&](comm::Communicator& comm) {
+            std::vector<double> out;
+            train_one_step(c, spec, cal, /*hooked=*/true, comm,
+                           [&](auto& optimizer) {
+                             if (comm.rank() != 0) return;
+                             const auto records = optimizer.comm_records();
+                             out.push_back(
+                                 static_cast<double>(records.size()));
+                             for (const comm::OpRecord& rec : records) {
+                               out.push_back(rec.plan_task);
+                               out.push_back(
+                                   static_cast<double>(rec.elements));
+                               out.push_back(
+                                   static_cast<double>(rec.name.size()));
+                               for (const char ch : rec.name) {
+                                 out.push_back(ch);
+                               }
+                             }
+                             const std::string plan_text =
+                                 sched::plan_to_text(optimizer.plan());
+                             out.push_back(
+                                 static_cast<double>(plan_text.size()));
+                             for (const char ch : plan_text) {
+                               out.push_back(ch);
+                             }
+                           });
+            return out;
+          });
+
+      // Decode rank 0's capture and hold it against the simulator.
+      const std::vector<double>& enc = results[0];
+      std::size_t pos = 0;
+      auto next = [&]() { return enc.at(pos++); };
+      const auto n_records = static_cast<std::size_t>(next());
+      const std::vector<int> canonical = sim_res.plan.collective_order();
+      ASSERT_EQ(n_records, sim_res.collectives.size()) << context;
+      for (std::size_t i = 0; i < n_records; ++i) {
+        const int plan_task = static_cast<int>(next());
+        const auto elements = static_cast<std::size_t>(next());
+        std::string name(static_cast<std::size_t>(next()), '\0');
+        for (char& ch : name) ch = static_cast<char>(next());
+        const sim::CollectiveChoice& col = sim_res.collectives[i];
+        const std::string at = context + " collective " + std::to_string(i);
+        EXPECT_EQ(plan_task, canonical[i]) << at;
+        EXPECT_EQ(plan_task, col.plan_task) << at;
+        EXPECT_EQ(elements, col.elements) << at;
+        EXPECT_EQ(name, col.label) << at;
+      }
+      std::string plan_text(static_cast<std::size_t>(next()), '\0');
+      for (char& ch : plan_text) ch = static_cast<char>(next());
+      EXPECT_EQ(pos, enc.size()) << context;
+      EXPECT_EQ(plan_text, sched::plan_to_text(sim_res.plan)) << context;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace spdkfac
