@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "comm/fault.hpp"
+
 namespace spdkfac::comm {
 
 AsyncCommEngine::AsyncCommEngine(Communicator& comm, exec::ThreadPool* pool)
@@ -106,9 +108,45 @@ void AsyncCommEngine::pump() {
     record.submit_s = op.submit_s;
     record.elements = op.elements;
     record.plan_task = op.plan_task;
+
+    // Let blocked peers know this rank is alive even when it spent the gap
+    // since the last op computing rather than communicating.
+    comm_.transport().heartbeat();
+
+    std::exception_ptr err;
+    {
+      std::lock_guard lock(mutex_);
+      err = error_;  // already poisoned: fail fast, don't touch the wire
+    }
     record.start_s = now_s();
-    op.fn(comm_);
+    if (!err) {
+      try {
+        op.fn(comm_);
+      } catch (RankFailure& failure) {
+        // Surface the schedule-level context: which collective, which
+        // sched-plan task.  current_exception() is captured *after* the
+        // annotation, so the stored error carries it.
+        failure.set_context(op.name, op.plan_task);
+        err = std::current_exception();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (err) {
+        std::lock_guard lock(mutex_);
+        if (!error_) error_ = err;  // first failure wins
+      }
+    }
     record.end_s = now_s();
+    if (err) {
+      record.failed = true;
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        record.error = e.what();
+      } catch (...) {
+        record.error = "unknown error";
+      }
+    }
 
     {
       std::lock_guard lock(records_mutex_);
@@ -116,6 +154,7 @@ void AsyncCommEngine::pump() {
     }
     {
       std::lock_guard lock(op.state->mutex);
+      op.state->error = err;
       op.state->done.store(true, std::memory_order_release);
     }
     op.state->cv.notify_all();

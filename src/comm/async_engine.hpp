@@ -53,13 +53,25 @@ class CommHandle {
     return state_ != nullptr && state_->done.load(std::memory_order_acquire);
   }
 
-  /// Blocks until the operation completes.  No-op for invalid handles.
+  /// Blocks until the operation completes, then rethrows its error if it
+  /// failed (RankFailure for a dead peer).  No-op for invalid handles.
   /// Must not be called from a task running on the engine's pool.
   void wait() const {
     if (!state_) return;
     std::unique_lock lock(state_->mutex);
     state_->cv.wait(lock,
                     [s = state_.get()] { return s->done.load(); });
+    if (state_->error) std::rethrow_exception(state_->error);
+  }
+
+  /// True once the operation completed *with* an error (wait() would
+  /// throw).  Never true before done().
+  bool failed() const {
+    if (!state_ || !state_->done.load(std::memory_order_acquire)) {
+      return false;
+    }
+    std::lock_guard lock(state_->mutex);
+    return state_->error != nullptr;
   }
 
  private:
@@ -68,6 +80,7 @@ class CommHandle {
     std::mutex mutex;
     std::condition_variable cv;
     std::atomic<bool> done{false};
+    std::exception_ptr error;  ///< set before done when the op failed
   };
   std::shared_ptr<State> state_;
 };
@@ -83,6 +96,11 @@ struct OpRecord {
   /// Id of the sched::IterationPlan task this operation executes, or -1 for
   /// out-of-plan traffic (e.g. the factor-time profile sync).
   int plan_task = -1;
+  /// True when the operation threw instead of completing (a dead peer, or
+  /// fail-fast after an earlier failure poisoned the engine); `error`
+  /// carries its what().  Failed records must not feed the profiler.
+  bool failed = false;
+  std::string error;
 
   /// Pump-side execution time — what the online profiler accumulates as
   /// the measured cost of this collective.
@@ -142,8 +160,19 @@ class AsyncCommEngine {
   void set_completion_listener(std::function<void(const OpRecord&)> listener);
 
   /// Blocks until every operation submitted so far has completed.  Must not
-  /// be called from a pool task.
+  /// be called from a pool task.  Never throws — a failure is observable
+  /// per-handle (wait()), via failed records, or through error().
   void wait_all();
+
+  /// First failure the pump observed (nullptr while healthy).  Once set,
+  /// every subsequently pumped operation fails fast without touching the
+  /// transport — a dead peer must not hang the rest of the schedule.
+  std::exception_ptr error() const {
+    std::lock_guard lock(mutex_);
+    return error_;
+  }
+
+  bool failed() const { return error() != nullptr; }
 
   /// Number of operations fully executed.
   std::size_t completed() const noexcept {
@@ -184,6 +213,7 @@ class AsyncCommEngine {
   mutable std::mutex mutex_;
   std::deque<Op> queue_;
   bool pumping_ = false;  ///< a pump task is scheduled or running
+  std::exception_ptr error_;  ///< first pump failure; poisons later ops
   std::atomic<std::size_t> completed_{0};
   std::condition_variable drained_cv_;
   std::function<void(const OpRecord&)> listener_;

@@ -17,8 +17,12 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/topology.hpp"
 #include "comm/transport.hpp"
 
@@ -113,6 +117,67 @@ class Communicator {
 /// the per-pair shared-memory rings (ignored by the other backends).
 struct LaunchOptions {
   std::size_t shm_ring_bytes = kDefaultShmRingBytes;
+  /// Deadline for every blocking transport primitive on every rank
+  /// (Transport::set_timeout); <= 0 keeps the wait-forever behavior.  With
+  /// a timeout armed a dead peer surfaces as RankFailure instead of a hang.
+  double comm_timeout_s = 0.0;
+  /// Launcher-side deadline for draining each rank's result pipe; <= 0
+  /// waits forever.  On expiry the straggler is SIGKILLed and reported in
+  /// the LaunchFailure — the backstop that keeps a wedged mesh from
+  /// wedging the launcher too.
+  double collect_timeout_s = 0.0;
+  /// Deterministic fault injection: the spec's victim rank gets its
+  /// transport wrapped by with_fault_injection().  Default: disabled.
+  FaultSpec fault;
+};
+
+/// Post-mortem of one worker rank after a launch.
+struct RankExit {
+  int rank = -1;
+  bool wrote_result = false;  ///< full result payload arrived on the pipe
+  bool signaled = false;      ///< process backends: terminated by a signal
+  int term_signal = 0;        ///< WTERMSIG when signaled
+  int exit_status = 0;        ///< WEXITSTATUS when it exited
+  std::string error;          ///< thread backend: the exception's what()
+
+  bool clean() const noexcept {
+    return wrote_result && !signaled && exit_status == 0 && error.empty();
+  }
+
+  /// "rank 2: killed by signal 9 (Killed)" / "rank 1: exit status 3" / ...
+  std::string describe() const;
+};
+
+/// Thrown by launch_collect when any rank fails.  Carries the per-rank
+/// post-mortems (which rank died how: signal, exit status, in-thread
+/// exception) and the results the surviving ranks still delivered — which
+/// is how the fault-injection suite asserts every survivor observed the
+/// planted death.
+class LaunchFailure : public std::runtime_error {
+ public:
+  LaunchFailure(const std::string& message, std::vector<RankExit> exits,
+                std::vector<std::vector<double>> partial)
+      : std::runtime_error(message),
+        exits_(std::move(exits)),
+        partial_(std::move(partial)) {}
+
+  const std::vector<RankExit>& exits() const noexcept { return exits_; }
+
+  const std::vector<std::vector<double>>& partial_results() const noexcept {
+    return partial_;
+  }
+
+  std::vector<int> failed_ranks() const {
+    std::vector<int> failed;
+    for (const RankExit& e : exits_) {
+      if (!e.clean()) failed.push_back(e.rank);
+    }
+    return failed;
+  }
+
+ private:
+  std::vector<RankExit> exits_;
+  std::vector<std::vector<double>> partial_;  ///< index == rank; failed empty
 };
 
 /// Builds per-rank transports and drives worker threads or processes.
@@ -145,8 +210,9 @@ class Cluster {
   /// kSharedMemory / kSocket fork one worker *process* per rank (the shm
   /// arena is mapped before fork; socket ranks rendezvous under a private
   /// temp directory), ship each rank's result back over a pipe, and reap
-  /// the children.  Any rank failure (exception or abnormal exit) throws
-  /// std::runtime_error in the launcher after all workers finish.
+  /// the children.  Any rank failure (exception, abnormal exit, death by
+  /// signal) throws LaunchFailure in the launcher after all workers
+  /// finish, carrying per-rank post-mortems and the survivors' results.
   static std::vector<std::vector<double>> launch_collect(
       TransportKind kind, const Topology& topo,
       const std::function<std::vector<double>(Communicator&)>& fn,

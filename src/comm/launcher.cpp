@@ -8,19 +8,27 @@
 //   1. prepare shared state (arena mmap / mkdtemp for socket paths);
 //   2. fork one child per rank — no exec, so the caller's std::function
 //      survives into the child via copy-on-write;
-//   3. each child builds its transport, runs fn, writes its result vector
-//      to a pipe (uint64 count + raw doubles) and _exit()s — _exit skips
-//      atexit/leak-check machinery that must not run twice;
+//   3. each child builds its transport (wrapped with fault injection and
+//      armed with the comm timeout per LaunchOptions), runs fn, writes its
+//      result vector to a pipe (uint64 count + raw doubles) and _exit()s —
+//      _exit skips atexit/leak-check machinery that must not run twice;
 //   4. the parent reads every pipe in rank order (children progress
-//      independently, so no pipe-capacity deadlock), reaps with waitpid,
-//      and throws if any rank failed.
+//      independently, so no pipe-capacity deadlock) under the optional
+//      collect deadline — a straggler past it is SIGKILLed — then reaps
+//      with waitpid and throws a LaunchFailure detailing *how* each rank
+//      died (signal number, exit status, missing result) plus the results
+//      the surviving ranks still delivered.
 //
 // kInProcess goes through the same entry point with threads and a shared
 // results vector, so tests can iterate one API over all three backends.
+#include <dirent.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,12 +39,33 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "comm/fault.hpp"
 #include "comm/transport.hpp"
 
 namespace spdkfac::comm {
+
+std::string RankExit::describe() const {
+  std::string out = "rank " + std::to_string(rank) + ": ";
+  if (signaled) {
+    out += "killed by signal " + std::to_string(term_signal);
+    if (const char* name = ::strsignal(term_signal)) {
+      out += std::string(" (") + name + ")";
+    }
+  } else if (exit_status != 0) {
+    out += "exit status " + std::to_string(exit_status);
+  } else if (!error.empty()) {
+    out += error;
+  } else if (!wrote_result) {
+    out += "no result";
+  } else {
+    out += "ok";
+  }
+  return out;
+}
 
 namespace {
 
@@ -56,10 +85,30 @@ bool write_exact(int fd, const void* data, std::size_t n) {
   return true;
 }
 
-bool read_exact(int fd, void* data, std::size_t n) {
+/// read_exact with an optional deadline (<= 0: wait forever).  Returns
+/// false on EOF, error, or deadline expiry.
+bool read_exact_for(int fd, void* data, std::size_t n, double timeout_s) {
+  const bool timed = timeout_s > 0.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
   auto* p = static_cast<unsigned char*>(data);
   std::size_t done = 0;
   while (done < n) {
+    if (timed) {
+      const double left = std::chrono::duration<double>(
+                              deadline - std::chrono::steady_clock::now())
+                              .count();
+      if (left <= 0.0) return false;
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int r = ::poll(&pfd, 1, static_cast<int>(left * 1e3) + 1);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (r == 0) return false;  // deadline expired
+    }
     const ssize_t r = ::read(fd, p + done, n - done);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -69,6 +118,17 @@ bool read_exact(int fd, void* data, std::size_t n) {
     done += static_cast<std::size_t>(r);
   }
   return true;
+}
+
+/// Applies LaunchOptions to a freshly built transport: fault-injection
+/// wrap for the victim rank, comm deadline for everyone.
+std::unique_ptr<Transport> arm_transport(std::unique_ptr<Transport> transport,
+                                         int rank, const LaunchOptions& opts) {
+  if (opts.fault.enabled_for(rank)) {
+    transport = with_fault_injection(std::move(transport), opts.fault);
+  }
+  transport->set_timeout(opts.comm_timeout_s);
+  return transport;
 }
 
 /// Child side: run fn over the given transport and report the result
@@ -97,7 +157,8 @@ bool read_exact(int fd, void* data, std::size_t n) {
 
 std::vector<std::vector<double>> launch_processes(
     const Topology& topo, const RankFn& fn,
-    const std::function<std::unique_ptr<Transport>(int)>& make_transport) {
+    const std::function<std::unique_ptr<Transport>(int)>& make_transport,
+    const LaunchOptions& opts) {
   const int world = topo.world_size();
   std::vector<pid_t> pids(static_cast<std::size_t>(world), -1);
   std::vector<int> read_fds(static_cast<std::size_t>(world), -1);
@@ -120,7 +181,7 @@ std::vector<std::vector<double>> launch_processes(
       }
       std::unique_ptr<Transport> transport;
       try {
-        transport = make_transport(r);
+        transport = arm_transport(make_transport(r), r, opts);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "[spdkfac rank] %s\n", e.what());
         ::_exit(1);
@@ -133,68 +194,100 @@ std::vector<std::vector<double>> launch_processes(
   }
 
   // Collect results in rank order first (each child can fill its pipe and
-  // exit independently), then reap.
+  // exit independently), then reap.  A rank that blows the collect
+  // deadline is SIGKILLed so a wedged mesh cannot wedge the launcher.
   std::vector<std::vector<double>> results(static_cast<std::size_t>(world));
-  std::vector<bool> ok(static_cast<std::size_t>(world), false);
+  std::vector<RankExit> exits(static_cast<std::size_t>(world));
   for (int r = 0; r < world; ++r) {
+    RankExit& exit_info = exits[static_cast<std::size_t>(r)];
+    exit_info.rank = r;
     const int fd = read_fds[static_cast<std::size_t>(r)];
     std::uint64_t count = 0;
-    if (read_exact(fd, &count, sizeof(count))) {
+    if (read_exact_for(fd, &count, sizeof(count), opts.collect_timeout_s)) {
       auto& out = results[static_cast<std::size_t>(r)];
       out.resize(static_cast<std::size_t>(count));
-      ok[static_cast<std::size_t>(r)] =
-          read_exact(fd, out.data(), out.size() * sizeof(double));
+      exit_info.wrote_result = read_exact_for(
+          fd, out.data(), out.size() * sizeof(double), opts.collect_timeout_s);
+      if (!exit_info.wrote_result) out.clear();
     }
     ::close(fd);
+    if (!exit_info.wrote_result && opts.collect_timeout_s > 0.0) {
+      ::kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+    }
   }
 
+  bool any_failed = false;
   std::string failures;
   for (int r = 0; r < world; ++r) {
+    RankExit& exit_info = exits[static_cast<std::size_t>(r)];
     int status = 0;
     while (::waitpid(pids[static_cast<std::size_t>(r)], &status, 0) < 0 &&
            errno == EINTR) {
     }
-    const bool exited_clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-    if (!exited_clean || !ok[static_cast<std::size_t>(r)]) {
-      failures += (failures.empty() ? "rank " : ", rank ") + std::to_string(r);
+    if (WIFSIGNALED(status)) {
+      exit_info.signaled = true;
+      exit_info.term_signal = WTERMSIG(status);
+    } else if (WIFEXITED(status)) {
+      exit_info.exit_status = WEXITSTATUS(status);
+    }
+    if (!exit_info.clean()) {
+      any_failed = true;
+      failures += (failures.empty() ? "" : "; ") + exit_info.describe();
     }
   }
-  if (!failures.empty()) {
-    throw std::runtime_error("launch_collect: worker failure (" + failures +
-                             ")");
+  if (any_failed) {
+    throw LaunchFailure("launch_collect: worker failure (" + failures + ")",
+                        std::move(exits), std::move(results));
   }
   return results;
 }
 
 std::vector<std::vector<double>> launch_threads(const Topology& topo,
-                                                const RankFn& fn) {
+                                                const RankFn& fn,
+                                                const LaunchOptions& opts) {
   const int world = topo.world_size();
   auto group = make_in_process_group(world);
   std::vector<std::vector<double>> results(static_cast<std::size_t>(world));
+  std::vector<RankExit> exits(static_cast<std::size_t>(world));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(world));
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
 
   for (int r = 0; r < world; ++r) {
+    exits[static_cast<std::size_t>(r)].rank = r;
     threads.emplace_back([&, r] {
+      RankExit& exit_info = exits[static_cast<std::size_t>(r)];
       try {
-        auto transport = make_in_process_transport(group, r);
+        auto transport =
+            arm_transport(make_in_process_transport(group, r), r, opts);
         Communicator comm(*transport, topo);
         results[static_cast<std::size_t>(r)] = fn(comm);
+        exit_info.wrote_result = true;
+      } catch (const std::exception& e) {
+        exit_info.error = e.what();
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        exit_info.error = "unknown exception";
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  bool any_failed = false;
+  std::string failures;
+  for (const RankExit& exit_info : exits) {
+    if (exit_info.clean()) continue;
+    any_failed = true;
+    failures += (failures.empty() ? "" : "; ") + exit_info.describe();
+  }
+  if (any_failed) {
+    throw LaunchFailure("launch_collect: worker failure (" + failures + ")",
+                        std::move(exits), std::move(results));
+  }
   return results;
 }
 
-/// Rendezvous directory for one socket cluster; removed (with any leftover
-/// listener sockets) when the launch finishes.
+/// Rendezvous directory for one socket cluster; removed — with whatever a
+/// crashed child left behind (listener sockets a SIGKILLed rank never
+/// unlinked) — when the launch finishes.
 class SocketRendezvous {
  public:
   SocketRendezvous() {
@@ -206,8 +299,16 @@ class SocketRendezvous {
   }
 
   ~SocketRendezvous() {
-    for (int r = 0; r < cleaned_ranks_; ++r) {
-      ::unlink((base_path() + ".r" + std::to_string(r)).c_str());
+    // Sweep everything in the directory, not a precomputed rank list: a
+    // rank killed mid-handshake strands its listener socket here, and a
+    // leftover entry would make rmdir fail and leak the directory.
+    if (DIR* dir = ::opendir(dir_.c_str())) {
+      while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((dir_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
     }
     ::rmdir(dir_.c_str());
   }
@@ -216,11 +317,9 @@ class SocketRendezvous {
   SocketRendezvous& operator=(const SocketRendezvous&) = delete;
 
   std::string base_path() const { return dir_ + "/s"; }
-  void set_world(int world) { cleaned_ranks_ = world; }
 
  private:
   std::string dir_;
-  int cleaned_ranks_ = 0;
 };
 
 }  // namespace
@@ -234,20 +333,21 @@ std::vector<std::vector<double>> Cluster::launch_collect(
   }
   switch (kind) {
     case TransportKind::kInProcess:
-      return launch_threads(topo, fn);
+      return launch_threads(topo, fn, opts);
     case TransportKind::kSharedMemory: {
       // Map the arena pre-fork; every child inherits the same pages.
       auto arena = make_shm_arena(topo.world_size(), opts.shm_ring_bytes);
-      return launch_processes(topo, fn, [&arena](int rank) {
-        return make_shm_transport(arena, rank);
-      });
+      return launch_processes(
+          topo, fn,
+          [&arena](int rank) { return make_shm_transport(arena, rank); },
+          opts);
     }
     case TransportKind::kSocket: {
       SocketRendezvous rendezvous;
-      rendezvous.set_world(topo.world_size());
       const SocketEndpoint ep{rendezvous.base_path(), topo.world_size()};
       return launch_processes(
-          topo, fn, [&ep](int rank) { return make_socket_transport(ep, rank); });
+          topo, fn,
+          [&ep](int rank) { return make_socket_transport(ep, rank); }, opts);
     }
   }
   throw std::invalid_argument("launch_collect: unknown transport");

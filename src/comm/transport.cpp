@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "comm/fault.hpp"
 #include "comm/wire.hpp"
 
 namespace spdkfac::comm {
@@ -40,9 +41,15 @@ void Transport::barrier() {
   // FIFO streams as data, and since barriers are collectives (called in
   // the same global order on every rank) the streams stay aligned.
   const int world = size();
-  for (int hop = 1; hop < world; hop <<= 1) {
-    send((rank() + hop) % world, {}, wire::kBarrierTag);
-    recv((rank() - hop + world) % world);
+  try {
+    for (int hop = 1; hop < world; hop <<= 1) {
+      send((rank() + hop) % world, {}, wire::kBarrierTag);
+      recv((rank() - hop + world) % world);
+    }
+  } catch (RankFailure& failure) {
+    // Surface the primitive-level failure as the collective it broke.
+    failure.set_context("barrier", failure.plan_task());
+    throw;
   }
 }
 

@@ -87,6 +87,39 @@ class Transport {
   /// zero-length tagged messages (log2(P) rounds); the in-process and
   /// shared-memory backends override it with condvar/futex barriers.
   virtual void barrier();
+
+  // -------------------------------------------------------------------------
+  // Failure detection (see comm/fault.hpp).  With a timeout armed, every
+  // blocking primitive becomes deadline-aware: a blocked call that sees no
+  // progress from the awaited rank for `seconds` throws a RankFailure
+  // naming it, after best-effort broadcasting a failure notice so every
+  // other survivor learns the *root* dead rank instead of blaming the
+  // stalled-but-alive neighbour it happens to be waiting on.  While
+  // blocked, a rank emits heartbeat frames to all peers every quarter
+  // deadline, so alive-but-waiting ranks are never declared dead.
+  // -------------------------------------------------------------------------
+
+  /// Arms (seconds > 0) or disarms (<= 0, the default) the failure
+  /// deadline.  Disarmed, every primitive blocks forever — the exact
+  /// pre-fault-tolerance behavior.  Set before concurrent use begins.
+  virtual void set_timeout(double seconds) noexcept { timeout_s_ = seconds; }
+  virtual double timeout_s() const noexcept { return timeout_s_; }
+
+  /// Best-effort liveness ping to every peer, internally rate-limited to a
+  /// quarter of the timeout; no-op when the deadline is disarmed.  The
+  /// async engine calls this between operations so a rank busy executing a
+  /// long collective queue still reads as alive.
+  virtual void heartbeat() {}
+
+ protected:
+  /// Deadline slice between heartbeat emissions while blocked.
+  double heartbeat_interval_s() const noexcept {
+    const double quarter = timeout_s_ / 4.0;
+    return quarter < 0.001 ? 0.001 : quarter;
+  }
+
+ private:
+  double timeout_s_ = 0.0;
 };
 
 // ---------------------------------------------------------------------------

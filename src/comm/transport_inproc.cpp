@@ -2,12 +2,24 @@
 // move through the Channel mailboxes (comm/channel.hpp) exactly as the
 // pre-transport cluster did.  This is the test default and the only
 // backend ThreadSanitizer can see end-to-end.
+//
+// Failure detection (timeout armed — see comm/fault.hpp): recv() waits in
+// heartbeat-interval slices, pinging all peers while blocked and resetting
+// the deadline on any frame from the awaited rank (heartbeats included).
+// On expiry it broadcasts a failure notice naming the silent rank and
+// throws RankFailure; a notice received while waiting is rethrown as-is,
+// so every survivor names the same root dead rank.  The barrier names the
+// lowest non-arrived rank via the Barrier's arrival stamps.
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "comm/channel.hpp"
+#include "comm/fault.hpp"
 #include "comm/transport.hpp"
+#include "comm/wire.hpp"
 
 namespace spdkfac::comm {
 
@@ -49,24 +61,102 @@ class InProcessTransport final : public Transport {
   int rank() const noexcept override { return rank_; }
   int size() const noexcept override { return group_->size(); }
 
-  void send(int dst, std::span<const double> payload, std::uint16_t /*tag*/,
+  void send(int dst, std::span<const double> payload, std::uint16_t tag,
             int /*plan_task*/) override {
-    group_->channel(rank_, dst).send(payload);
+    group_->channel(rank_, dst).send(payload, tag);
   }
 
   std::vector<double> recv(int src) override {
-    return group_->channel(src, rank_).recv();
+    Channel& ch = group_->channel(src, rank_);
+    const double timeout = timeout_s();
+    if (timeout <= 0.0) {
+      for (;;) {
+        Channel::Message msg = ch.recv();
+        if (msg.tag == wire::kHeartbeatTag) continue;
+        if (msg.tag == wire::kFailureTag) throw forward_notice(msg);
+        return std::move(msg.payload);
+      }
+    }
+    const auto clock_now = [] { return std::chrono::steady_clock::now(); };
+    auto deadline = clock_now() + std::chrono::duration<double>(timeout);
+    for (;;) {
+      auto msg = ch.recv_for(heartbeat_interval_s());
+      if (msg) {
+        // Any frame from `src` — heartbeat or data — proves it alive.
+        deadline = clock_now() + std::chrono::duration<double>(timeout);
+        if (msg->tag == wire::kHeartbeatTag) continue;
+        if (msg->tag == wire::kFailureTag) throw forward_notice(*msg);
+        return std::move(msg->payload);
+      }
+      heartbeat();
+      if (clock_now() >= deadline) {
+        notify_failure(src);
+        throw RankFailure(src, "recv", FailureCause::kTimeout, rank_,
+                          timeout);
+      }
+    }
   }
 
   bool recv_into(int src, std::span<double> out) override {
-    return group_->channel(src, rank_).recv_into(out);
+    std::vector<double> msg = recv(src);
+    if (msg.size() != out.size()) return false;
+    std::copy(msg.begin(), msg.end(), out.begin());
+    return true;
   }
 
-  void barrier() override { group_->barrier().arrive_and_wait(); }
+  void barrier() override {
+    const int missing = group_->barrier().arrive_and_wait_for(
+        static_cast<std::size_t>(rank_), timeout_s());
+    if (missing >= 0) {
+      // Every timed-out waiter computes the same missing rank from the
+      // arrival stamps, so no notice broadcast is needed.
+      throw RankFailure(missing, "barrier", FailureCause::kTimeout, rank_,
+                        timeout_s());
+    }
+  }
+
+  void heartbeat() override {
+    if (timeout_s() <= 0.0) return;
+    const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    const auto interval_ns = static_cast<std::int64_t>(
+        heartbeat_interval_s() * 1e9);
+    std::int64_t last = last_heartbeat_ns_.load(std::memory_order_relaxed);
+    if (now_ns - last < interval_ns ||
+        !last_heartbeat_ns_.compare_exchange_strong(
+            last, now_ns, std::memory_order_relaxed)) {
+      return;
+    }
+    for (int peer = 0; peer < size(); ++peer) {
+      if (peer == rank_) continue;
+      group_->channel(rank_, peer).send({}, wire::kHeartbeatTag);
+    }
+  }
 
  private:
+  /// Re-broadcasts a received failure notice before rethrowing it (gossip):
+  /// a peer blocked on *this* rank learns the root dead rank instead of
+  /// later misattributing the failure to us when our heartbeats stop.
+  RankFailure forward_notice(const Channel::Message& msg) {
+    const int dead =
+        msg.payload.empty() ? -1 : static_cast<int>(msg.payload.front());
+    notify_failure(dead);
+    return RankFailure(dead, "recv", FailureCause::kPeerNotice, rank_,
+                       timeout_s());
+  }
+
+  void notify_failure(int dead) {
+    const std::vector<double> who{static_cast<double>(dead)};
+    for (int peer = 0; peer < size(); ++peer) {
+      if (peer == rank_ || peer == dead) continue;
+      group_->channel(rank_, peer).send(who, wire::kFailureTag);
+    }
+  }
+
   std::shared_ptr<InProcessGroup> group_;
   int rank_;
+  std::atomic<std::int64_t> last_heartbeat_ns_{0};
 };
 
 }  // namespace

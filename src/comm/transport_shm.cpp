@@ -15,14 +15,24 @@
 // locally and pumped into the ring by a dedicated exec worker
 // (detail::FrameSender), preserving the unbounded-send contract the
 // collectives' neighbour exchanges rely on.
+//
+// Failure detection (timeout armed — see comm/fault.hpp): every futex wait
+// becomes a timed wait in heartbeat-interval slices.  A blocked reader
+// pings all peers each slice and resets its deadline on any ring progress
+// (heartbeat frames included); on expiry it forwards a failure notice and
+// throws RankFailure.  The barrier stamps each rank's arrival generation
+// in the arena, so every timed-out waiter independently names the same
+// lowest non-arrived rank — no notice traffic needed.
 #include <sys/mman.h>
 #include <sys/syscall.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <linux/futex.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <climits>
 #include <cstring>
 #include <memory>
@@ -31,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/transport.hpp"
 #include "comm/transport_detail.hpp"
 #include "comm/wire.hpp"
@@ -44,6 +55,17 @@ void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
   // every caller re-checks its condition in a loop.
   syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
           expected, nullptr, nullptr, 0);
+}
+
+/// Timed FUTEX_WAIT (relative timeout); same spurious-return contract.
+void futex_wait_for(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                    double timeout_s) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_s);
+  ts.tv_nsec = static_cast<long>((timeout_s - static_cast<double>(ts.tv_sec)) *
+                                 1e9);
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
 }
 
 void futex_wake_all(std::atomic<std::uint32_t>* addr) {
@@ -71,10 +93,23 @@ struct alignas(64) ArenaControl {
 };
 
 constexpr std::size_t kRingStateBytes = sizeof(RingState);
+/// One cache line per rank for the barrier arrival stamp (no false sharing
+/// between arriving ranks).
+constexpr std::size_t kStampBytes = 64;
 
 std::size_t slot_bytes(std::size_t ring_bytes) {
   return kRingStateBytes + ring_bytes;
 }
+
+/// Deadline policy for a blocking ring operation.  `timeout_s <= 0` waits
+/// forever (the pre-fault-tolerance behavior); otherwise the wait runs in
+/// `slice_s` futex slices, invoking `on_stall` (may be null) each slice,
+/// and gives up `timeout_s` after the last observed progress.
+struct RingDeadline {
+  double timeout_s = 0.0;
+  double slice_s = 0.0;
+  const std::function<void()>* on_stall = nullptr;
+};
 
 }  // namespace
 
@@ -86,6 +121,7 @@ class ShmArena {
   ShmArena(int size, std::size_t ring_bytes)
       : size_(size), ring_bytes_(ring_bytes) {
     total_ = sizeof(ArenaControl) +
+             static_cast<std::size_t>(size) * kStampBytes +
              static_cast<std::size_t>(size) * size * slot_bytes(ring_bytes);
     void* mem = ::mmap(nullptr, total_, PROT_READ | PROT_WRITE,
                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
@@ -98,6 +134,10 @@ class ShmArena {
     control->ring_bytes = static_cast<std::uint32_t>(ring_bytes);
     control->barrier.arrived.store(0, std::memory_order_relaxed);
     control->barrier.generation.store(0, std::memory_order_relaxed);
+    for (int r = 0; r < size; ++r) {
+      auto* stamp = new (stamp_slot(r)) std::atomic<std::uint32_t>;
+      stamp->store(0, std::memory_order_relaxed);
+    }
     for (int src = 0; src < size; ++src) {
       for (int dst = 0; dst < size; ++dst) {
         auto* ring = new (slot(src, dst)) RingState;
@@ -126,10 +166,20 @@ class ShmArena {
   BarrierState& barrier() {
     return reinterpret_cast<ArenaControl*>(base_)->barrier;
   }
+  /// Per-rank barrier arrival stamp: generation + 1, stored on entry.
+  std::atomic<std::uint32_t>& barrier_stamp(int rank) {
+    return *reinterpret_cast<std::atomic<std::uint32_t>*>(stamp_slot(rank));
+  }
 
  private:
+  unsigned char* stamp_slot(int rank) {
+    return base_ + sizeof(ArenaControl) +
+           static_cast<std::size_t>(rank) * kStampBytes;
+  }
+
   unsigned char* slot(int src, int dst) {
     return base_ + sizeof(ArenaControl) +
+           static_cast<std::size_t>(size_) * kStampBytes +
            (static_cast<std::size_t>(src) * size_ + dst) *
                slot_bytes(ring_bytes_);
   }
@@ -143,15 +193,27 @@ class ShmArena {
 namespace {
 
 /// Streams `n` bytes into the (src -> dst) ring, blocking on ring-full.
-void ring_write(RingState& st, unsigned char* data, std::uint32_t cap,
-                const unsigned char* src, std::size_t n) {
+/// Returns false when the deadline expires with the consumer not draining.
+bool ring_write(RingState& st, unsigned char* data, std::uint32_t cap,
+                const unsigned char* src, std::size_t n,
+                const RingDeadline& dl) {
+  const bool timed = dl.timeout_s > 0.0;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(dl.timeout_s);
   std::size_t done = 0;
   while (done < n) {
     const std::uint32_t tail = st.tail.load(std::memory_order_relaxed);
     const std::uint32_t head = st.head.load(std::memory_order_acquire);
     const std::uint32_t free_bytes = cap - (tail - head);
     if (free_bytes == 0) {
-      futex_wait(&st.head, head);
+      if (!timed) {
+        futex_wait(&st.head, head);
+        continue;
+      }
+      futex_wait_for(&st.head, head, dl.slice_s);
+      if (st.head.load(std::memory_order_acquire) != head) continue;
+      if (dl.on_stall && *dl.on_stall) (*dl.on_stall)();
+      if (std::chrono::steady_clock::now() >= deadline) return false;
       continue;
     }
     const std::uint32_t chunk = static_cast<std::uint32_t>(
@@ -163,19 +225,37 @@ void ring_write(RingState& st, unsigned char* data, std::uint32_t cap,
     st.tail.store(tail + chunk, std::memory_order_release);
     futex_wake_all(&st.tail);
     done += chunk;
+    if (timed) {
+      // Progress resets the deadline: a large frame chunking through a
+      // small ring is flow, not failure.
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(dl.timeout_s);
+    }
   }
+  return true;
 }
 
 /// Streams `n` bytes out of the ring into dst, blocking on ring-empty.
-void ring_read(RingState& st, const unsigned char* data, std::uint32_t cap,
-               unsigned char* dst, std::size_t n) {
+/// Returns false when the deadline expires with the producer silent.
+bool ring_read(RingState& st, const unsigned char* data, std::uint32_t cap,
+               unsigned char* dst, std::size_t n, const RingDeadline& dl) {
+  const bool timed = dl.timeout_s > 0.0;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(dl.timeout_s);
   std::size_t done = 0;
   while (done < n) {
     const std::uint32_t head = st.head.load(std::memory_order_relaxed);
     const std::uint32_t tail = st.tail.load(std::memory_order_acquire);
     const std::uint32_t avail = tail - head;
     if (avail == 0) {
-      futex_wait(&st.tail, tail);
+      if (!timed) {
+        futex_wait(&st.tail, tail);
+        continue;
+      }
+      futex_wait_for(&st.tail, tail, dl.slice_s);
+      if (st.tail.load(std::memory_order_acquire) != tail) continue;
+      if (dl.on_stall && *dl.on_stall) (*dl.on_stall)();
+      if (std::chrono::steady_clock::now() >= deadline) return false;
       continue;
     }
     const std::uint32_t chunk =
@@ -187,7 +267,12 @@ void ring_read(RingState& st, const unsigned char* data, std::uint32_t cap,
     st.head.store(head + chunk, std::memory_order_release);
     futex_wake_all(&st.head);
     done += chunk;
+    if (timed) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(dl.timeout_s);
+    }
   }
+  return true;
 }
 
 class ShmTransport final : public Transport {
@@ -195,12 +280,20 @@ class ShmTransport final : public Transport {
   ShmTransport(std::shared_ptr<ShmArena> arena, int rank)
       : arena_(std::move(arena)),
         rank_(rank),
+        stall_ping_([this] { heartbeat(); }),
         sender_(arena_->size(),
                 [this](int dst, std::span<const unsigned char> bytes) {
-                  ring_write(arena_->ring(rank_, dst),
-                             arena_->ring_data(rank_, dst),
-                             arena_->ring_bytes(), bytes.data(),
-                             bytes.size());
+                  // No stall ping here: this runs on the pump worker, which
+                  // is the thread heartbeats would need to drain through.
+                  const RingDeadline dl{timeout_s(), heartbeat_interval_s(),
+                                        nullptr};
+                  if (!ring_write(arena_->ring(rank_, dst),
+                                  arena_->ring_data(rank_, dst),
+                                  arena_->ring_bytes(), bytes.data(),
+                                  bytes.size(), dl)) {
+                    throw RankFailure(dst, "send", FailureCause::kTimeout,
+                                      rank_, timeout_s());
+                  }
                 }) {}
 
   TransportKind kind() const noexcept override {
@@ -242,43 +335,141 @@ class ShmTransport final : public Transport {
     BarrierState& b = arena_->barrier();
     const auto parties = static_cast<std::uint32_t>(arena_->size());
     const std::uint32_t gen = b.generation.load(std::memory_order_acquire);
+    arena_->barrier_stamp(rank_).store(gen + 1, std::memory_order_release);
     if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == parties) {
       b.arrived.store(0, std::memory_order_relaxed);
       b.generation.store(gen + 1, std::memory_order_release);
       futex_wake_all(&b.generation);
-    } else {
+      return;
+    }
+    const double timeout = timeout_s();
+    if (timeout <= 0.0) {
       while (b.generation.load(std::memory_order_acquire) == gen) {
         futex_wait(&b.generation, gen);
+      }
+      return;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout);
+    while (b.generation.load(std::memory_order_acquire) == gen) {
+      futex_wait_for(&b.generation, gen, heartbeat_interval_s());
+      if (b.generation.load(std::memory_order_acquire) != gen) break;
+      if (std::chrono::steady_clock::now() < deadline) continue;
+      // Every timed-out waiter reads the same stamps, so all survivors
+      // name the same (lowest) missing rank, with no notice traffic.
+      for (int r = 0; r < arena_->size(); ++r) {
+        if (arena_->barrier_stamp(r).load(std::memory_order_acquire) !=
+            gen + 1) {
+          throw RankFailure(r, "barrier", FailureCause::kTimeout, rank_,
+                            timeout);
+        }
+      }
+      // All stamped but the generation not yet advanced: the last arriver
+      // is mid-publish — keep waiting, completion is imminent.
+    }
+  }
+
+  void heartbeat() override {
+    if (timeout_s() <= 0.0) return;
+    const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    const auto interval_ns =
+        static_cast<std::int64_t>(heartbeat_interval_s() * 1e9);
+    std::int64_t last = last_heartbeat_ns_.load(std::memory_order_relaxed);
+    if (now_ns - last < interval_ns ||
+        !last_heartbeat_ns_.compare_exchange_strong(
+            last, now_ns, std::memory_order_relaxed)) {
+      return;
+    }
+    wire::FrameHeader ping;
+    ping.tag = wire::kHeartbeatTag;
+    ping.src = rank_;
+    const auto frame = wire::encode_frame(ping, {});
+    for (int peer = 0; peer < arena_->size(); ++peer) {
+      if (peer == rank_) continue;
+      try {
+        sender_.send(peer, frame);
+      } catch (...) {
+        // Liveness pings are best-effort; a poisoned peer queue must not
+        // break the detection path that is trying to report it.
       }
     }
   }
 
  private:
+  RingDeadline deadline() const noexcept {
+    return RingDeadline{timeout_s(), heartbeat_interval_s(), &stall_ping_};
+  }
+
+  /// Next data-bearing frame header from `src`: filters heartbeat frames,
+  /// turns failure notices into (forwarded) RankFailures.
   wire::FrameHeader read_header(int src) {
-    unsigned char raw[wire::kHeaderBytes];
-    ring_read(arena_->ring(src, rank_), arena_->ring_data(src, rank_),
-              arena_->ring_bytes(), raw, wire::kHeaderBytes);
-    wire::FrameHeader header;
-    const wire::DecodeStatus status = wire::decode_header(raw, header);
-    if (status != wire::DecodeStatus::kOk) {
-      throw std::runtime_error(std::string("shm transport: corrupt frame (") +
-                               wire::to_string(status) + ")");
+    for (;;) {
+      unsigned char raw[wire::kHeaderBytes];
+      if (!ring_read(arena_->ring(src, rank_), arena_->ring_data(src, rank_),
+                     arena_->ring_bytes(), raw, wire::kHeaderBytes,
+                     deadline())) {
+        notify_failure(src);
+        throw RankFailure(src, "recv", FailureCause::kTimeout, rank_,
+                          timeout_s());
+      }
+      wire::FrameHeader header;
+      const wire::DecodeStatus status = wire::decode_header(raw, header);
+      if (status != wire::DecodeStatus::kOk) {
+        throw std::runtime_error(
+            std::string("shm transport: corrupt frame (") +
+            wire::to_string(status) + ")");
+      }
+      if (header.src != src) {
+        throw std::runtime_error("shm transport: frame src mismatch");
+      }
+      if (header.tag == wire::kHeartbeatTag) continue;
+      if (header.tag == wire::kFailureTag) {
+        std::vector<double> who(static_cast<std::size_t>(header.elements));
+        read_payload(src, who);
+        const int dead = who.empty() ? -1 : static_cast<int>(who.front());
+        notify_failure(dead);  // gossip: peers blocked on *us* learn it too
+        throw RankFailure(dead, "recv", FailureCause::kPeerNotice, rank_,
+                          timeout_s());
+      }
+      return header;
     }
-    if (header.src != src) {
-      throw std::runtime_error("shm transport: frame src mismatch");
-    }
-    return header;
   }
 
   void read_payload(int src, std::span<double> out) {
     if (out.empty()) return;
-    ring_read(arena_->ring(src, rank_), arena_->ring_data(src, rank_),
-              arena_->ring_bytes(),
-              reinterpret_cast<unsigned char*>(out.data()), out.size_bytes());
+    if (!ring_read(arena_->ring(src, rank_), arena_->ring_data(src, rank_),
+                   arena_->ring_bytes(),
+                   reinterpret_cast<unsigned char*>(out.data()),
+                   out.size_bytes(), deadline())) {
+      notify_failure(src);
+      throw RankFailure(src, "recv", FailureCause::kTimeout, rank_,
+                        timeout_s());
+    }
+  }
+
+  void notify_failure(int dead) {
+    wire::FrameHeader header;
+    header.tag = wire::kFailureTag;
+    header.src = rank_;
+    header.elements = 1;
+    const double who[] = {static_cast<double>(dead)};
+    const auto frame = wire::encode_frame(header, who);
+    for (int peer = 0; peer < arena_->size(); ++peer) {
+      if (peer == rank_ || peer == dead) continue;
+      try {
+        sender_.send(peer, frame);
+      } catch (...) {
+        // Best-effort: the local RankFailure is thrown regardless.
+      }
+    }
   }
 
   std::shared_ptr<ShmArena> arena_;
   int rank_;
+  std::atomic<std::int64_t> last_heartbeat_ns_{0};
+  std::function<void()> stall_ping_;
   detail::FrameSender sender_;  ///< last member: flushes before arena_ dies
 };
 

@@ -19,25 +19,38 @@
 // send never blocks on a full kernel buffer, which keeps the collectives'
 // neighbour exchanges deadlock-free.  recv(src) reads the peer's socket
 // into a FrameParser, reassembling frames across short reads; a torn or
-// corrupt stream (bad magic/version/length, unexpected src, EOF) throws
+// corrupt stream (bad magic/version/length, unexpected src) throws
 // instead of hanging.
+//
+// Failure detection (timeout armed — see comm/fault.hpp): recv polls the
+// peer socket in heartbeat-interval slices, pinging all peers while
+// blocked; any bytes from the awaited peer (heartbeats included) reset the
+// deadline.  A dead peer surfaces three ways, all as RankFailure: EOF /
+// ECONNRESET (kPeerClosed — the kernel noticed the SIGKILL), deadline
+// expiry (kTimeout), or a forwarded failure notice naming the root dead
+// rank (kPeerNotice).
 //
 // Teardown: the destructor flushes every send queue, then shuts down and
 // closes the sockets.  Flushed bytes survive the close (kernel-buffered),
 // so a rank that finishes early never strands a peer mid-collective.
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/transport.hpp"
 #include "comm/transport_detail.hpp"
 #include "comm/wire.hpp"
@@ -50,6 +63,33 @@ namespace {
   throw std::runtime_error("socket transport: " + what + ": " +
                            std::strerror(errno));
 }
+
+/// Owns one file descriptor until release()d — keeps the fds that are in
+/// flight during the handshake (accepted / freshly dialed, not yet stored
+/// in peer_fds_) from leaking when a later setup step throws.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd = -1) noexcept : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  int get() const noexcept { return fd_; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_;
+};
 
 sockaddr_un endpoint_address(const std::string& path) {
   sockaddr_un addr{};
@@ -90,6 +130,24 @@ void read_exact(int fd, unsigned char* data, std::size_t n) {
   }
 }
 
+/// poll() one fd for `events`, retrying EINTR.  Returns true when ready,
+/// false on timeout.
+bool poll_fd(int fd, short events, double timeout_s) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      timeout_s >= 0.0 ? static_cast<int>(timeout_s * 1e3) + 1 : -1;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return r > 0;
+  }
+}
+
 class SocketTransport final : public Transport {
  public:
   SocketTransport(const SocketEndpoint& ep, int rank)
@@ -97,7 +155,9 @@ class SocketTransport final : public Transport {
         size_(ep.size),
         listen_path_(listener_path(ep.base_path, rank)),
         peer_fds_(static_cast<std::size_t>(ep.size), -1),
-        parsers_(static_cast<std::size_t>(ep.size)) {
+        parsers_(static_cast<std::size_t>(ep.size)),
+        pending_data_(static_cast<std::size_t>(ep.size)),
+        pending_barrier_(static_cast<std::size_t>(ep.size)) {
     try {
       connect_mesh(ep);
     } catch (...) {
@@ -106,8 +166,7 @@ class SocketTransport final : public Transport {
     }
     sender_ = std::make_unique<detail::FrameSender>(
         size_, [this](int dst, std::span<const unsigned char> bytes) {
-          write_all(peer_fds_[static_cast<std::size_t>(dst)], bytes.data(),
-                    bytes.size());
+          timed_write(dst, bytes.data(), bytes.size());
         });
   }
 
@@ -133,18 +192,136 @@ class SocketTransport final : public Transport {
   }
 
   std::vector<double> recv(int src) override {
+    return next_frame_of(src, /*want_barrier=*/false).payload;
+  }
+
+  void barrier() override {
+    // Dissemination barrier (as Transport::barrier), but pulling frames
+    // through the tag demultiplexer: after a lost or out-of-phase message
+    // the stream can interleave barrier signals with data frames, and a
+    // barrier signal consumed by a pending data recv (or vice versa) would
+    // turn one rank's failure into a protocol-corruption crash on a
+    // healthy one.
+    const int world = size_;
+    try {
+      for (int hop = 1; hop < world; hop <<= 1) {
+        send((rank_ + hop) % world, {}, wire::kBarrierTag, -1);
+        next_frame_of((rank_ - hop + world) % world, /*want_barrier=*/true);
+      }
+    } catch (RankFailure& failure) {
+      failure.set_context("barrier", failure.plan_task());
+      throw;
+    }
+  }
+
+  void heartbeat() override {
+    if (timeout_s() <= 0.0 || !sender_) return;
+    const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    const auto interval_ns =
+        static_cast<std::int64_t>(heartbeat_interval_s() * 1e9);
+    std::int64_t last = last_heartbeat_ns_.load(std::memory_order_relaxed);
+    if (now_ns - last < interval_ns ||
+        !last_heartbeat_ns_.compare_exchange_strong(
+            last, now_ns, std::memory_order_relaxed)) {
+      return;
+    }
+    wire::FrameHeader ping;
+    ping.tag = wire::kHeartbeatTag;
+    ping.src = rank_;
+    const auto frame = wire::encode_frame(ping, {});
+    for (int peer = 0; peer < size_; ++peer) {
+      if (peer == rank_) continue;
+      try {
+        sender_->send(peer, frame);
+      } catch (...) {
+        // Liveness pings are best-effort; a poisoned peer queue must not
+        // break the detection path that is trying to report it.
+      }
+    }
+  }
+
+ private:
+  static std::string listener_path(const std::string& base, int rank) {
+    return base + ".r" + std::to_string(rank);
+  }
+
+  /// Tag demultiplexer: returns `src`'s next barrier or data frame, as
+  /// requested, stashing frames of the other class for their own consumer.
+  /// In lockstep operation nothing is ever stashed (collectives keep the
+  /// streams aligned); the queues only fill when a fault desynced a peer,
+  /// and then they are what keeps a barrier signal from being misread as a
+  /// short data message.  Heartbeats are dropped here; a failure notice is
+  /// re-broadcast (gossip — peers blocked on *us* learn the root dead rank
+  /// too) and rethrown as a structured RankFailure.
+  wire::Frame next_frame_of(int src, bool want_barrier) {
+    auto& mine = (want_barrier ? pending_barrier_ : pending_data_)[
+        static_cast<std::size_t>(src)];
+    if (!mine.empty()) {
+      wire::Frame frame = std::move(mine.front());
+      mine.pop_front();
+      return frame;
+    }
+    for (;;) {
+      wire::Frame frame = next_frame(src);
+      if (frame.header.src != src) {
+        throw std::runtime_error("socket transport: frame src mismatch");
+      }
+      if (frame.header.tag == wire::kHeartbeatTag) continue;
+      if (frame.header.tag == wire::kFailureTag) {
+        const int dead = frame.payload.empty()
+                             ? -1
+                             : static_cast<int>(frame.payload.front());
+        notify_failure(dead);
+        throw RankFailure(dead, "recv", FailureCause::kPeerNotice, rank_,
+                          timeout_s());
+      }
+      const bool is_barrier = frame.header.tag == wire::kBarrierTag;
+      if (is_barrier == want_barrier) return frame;
+      (is_barrier ? pending_barrier_ : pending_data_)[
+          static_cast<std::size_t>(src)].push_back(std::move(frame));
+    }
+  }
+
+  /// Reassembles the next complete frame from `src`, honoring the armed
+  /// deadline.  Any bytes from the peer reset the deadline (progress ==
+  /// liveness); EOF and expiry turn into RankFailures after a best-effort
+  /// notice broadcast.
+  wire::Frame next_frame(int src) {
     wire::FrameParser& parser = parsers_[static_cast<std::size_t>(src)];
     const int fd = peer_fds_[static_cast<std::size_t>(src)];
+    const double timeout = timeout_s();
+    const bool timed = timeout > 0.0;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(timeout);
     while (!parser.has_frame()) {
+      if (timed) {
+        if (!poll_fd(fd, POLLIN, heartbeat_interval_s())) {
+          heartbeat();
+          if (std::chrono::steady_clock::now() >= deadline) {
+            notify_failure(src);
+            throw RankFailure(src, "recv", FailureCause::kTimeout, rank_,
+                              timeout);
+          }
+          continue;
+        }
+      }
       unsigned char chunk[1 << 16];
       const ssize_t r = ::read(fd, chunk, sizeof(chunk));
       if (r < 0) {
         if (errno == EINTR) continue;
+        if (errno == ECONNRESET) {
+          notify_failure(src);
+          throw RankFailure(src, "recv", FailureCause::kPeerClosed, rank_,
+                            timeout);
+        }
         throw_errno("read");
       }
       if (r == 0) {
-        throw std::runtime_error("socket transport: peer " +
-                                 std::to_string(src) + " closed");
+        notify_failure(src);
+        throw RankFailure(src, "recv", FailureCause::kPeerClosed, rank_,
+                          timeout);
       }
       if (!parser.feed({chunk, static_cast<std::size_t>(r)})) {
         throw std::runtime_error(
@@ -152,17 +329,64 @@ class SocketTransport final : public Transport {
             std::to_string(src) + " (" + wire::to_string(parser.error()) +
             ")");
       }
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(timeout);
     }
-    wire::Frame frame = parser.pop_frame();
-    if (frame.header.src != src) {
-      throw std::runtime_error("socket transport: frame src mismatch");
-    }
-    return std::move(frame.payload);
+    return parser.pop_frame();
   }
 
- private:
-  static std::string listener_path(const std::string& base, int rank) {
-    return base + ".r" + std::to_string(rank);
+  /// FrameSender write hook: delivers one frame to `dst`, bounding each
+  /// stall at the armed deadline (a peer that stops draining its socket is
+  /// as dead as one that stopped sending).
+  void timed_write(int dst, const unsigned char* data, std::size_t n) {
+    const int fd = peer_fds_[static_cast<std::size_t>(dst)];
+    const double timeout = timeout_s();
+    if (timeout <= 0.0) {
+      write_all(fd, data, n);
+      return;
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(timeout);
+    std::size_t done = 0;
+    while (done < n) {
+      if (!poll_fd(fd, POLLOUT, heartbeat_interval_s())) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          throw RankFailure(dst, "send", FailureCause::kTimeout, rank_,
+                            timeout);
+        }
+        continue;
+      }
+      const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          throw RankFailure(dst, "send", FailureCause::kPeerClosed, rank_,
+                            timeout);
+        }
+        throw_errno("send");
+      }
+      done += static_cast<std::size_t>(w);
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(timeout);
+    }
+  }
+
+  void notify_failure(int dead) {
+    if (!sender_) return;
+    wire::FrameHeader header;
+    header.tag = wire::kFailureTag;
+    header.src = rank_;
+    header.elements = 1;
+    const double who[] = {static_cast<double>(dead)};
+    const auto frame = wire::encode_frame(header, who);
+    for (int peer = 0; peer < size_; ++peer) {
+      if (peer == rank_ || peer == dead) continue;
+      try {
+        sender_->send(peer, frame);
+      } catch (...) {
+        // Best-effort: the local RankFailure is thrown regardless.
+      }
+    }
   }
 
   void connect_mesh(const SocketEndpoint& ep) {
@@ -180,20 +404,29 @@ class SocketTransport final : public Transport {
 
     // 2. Dial every lower rank (their listeners may still be appearing).
     for (int peer = 0; peer < rank_; ++peer) {
-      peer_fds_[static_cast<std::size_t>(peer)] = dial(ep, peer);
+      peer_fds_[static_cast<std::size_t>(peer)] = dial(ep, peer).release();
     }
 
     // 3. Accept the higher ranks, identified by their handshake frame.
+    //    The guard owns each accepted fd until it is identified and
+    //    stored, so a bad handshake can't leak it.
     for (int pending = size_ - 1 - rank_; pending > 0; --pending) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) throw_errno("accept");
-      const wire::FrameHeader hello = read_handshake(fd);
+      FdGuard conn;
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd >= 0) {
+          conn = FdGuard(fd);
+          break;
+        }
+        if (errno == EINTR) continue;  // signal-interrupted, not an error
+        throw_errno("accept");
+      }
+      const wire::FrameHeader hello = read_handshake(conn.get());
       if (hello.src <= rank_ || hello.src >= size_ ||
           peer_fds_[static_cast<std::size_t>(hello.src)] != -1) {
-        ::close(fd);
         throw std::runtime_error("socket transport: bad handshake rank");
       }
-      peer_fds_[static_cast<std::size_t>(hello.src)] = fd;
+      peer_fds_[static_cast<std::size_t>(hello.src)] = conn.release();
     }
 
     ::close(listen_fd_);
@@ -201,26 +434,27 @@ class SocketTransport final : public Transport {
     ::unlink(listen_path_.c_str());
   }
 
-  int dial(const SocketEndpoint& ep, int peer) {
+  FdGuard dial(const SocketEndpoint& ep, int peer) {
     const std::string path = listener_path(ep.base_path, peer);
     const sockaddr_un addr = endpoint_address(path);
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(20);
     for (;;) {
-      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-      if (fd < 0) throw_errno("socket");
-      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+      FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+      if (fd.get() < 0) throw_errno("socket");
+      if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                     sizeof(addr)) == 0) {
         // Identify ourselves; the peer's accept loop reads this first.
+        // The guard still owns the fd, so a failed write can't leak it.
         wire::FrameHeader hello;
         hello.tag = wire::kHandshakeTag;
         hello.src = rank_;
         const auto frame = wire::encode_frame(hello, {});
-        write_all(fd, frame.data(), frame.size());
+        write_all(fd.get(), frame.data(), frame.size());
         return fd;
       }
       const int err = errno;
-      ::close(fd);
+      fd = FdGuard();
       if ((err != ENOENT && err != ECONNREFUSED) ||
           std::chrono::steady_clock::now() > deadline) {
         errno = err;
@@ -260,6 +494,10 @@ class SocketTransport final : public Transport {
   int listen_fd_ = -1;
   std::vector<int> peer_fds_;           // one socket per peer, -1 = self
   std::vector<wire::FrameParser> parsers_;  // per-peer reassembly
+  // Per-peer stashes for frames that arrived while the other class was
+  // awaited (see next_frame_of).  Empty in lockstep operation.
+  std::vector<std::deque<wire::Frame>> pending_data_, pending_barrier_;
+  std::atomic<std::int64_t> last_heartbeat_ns_{0};
   std::unique_ptr<detail::FrameSender> sender_;
 };
 

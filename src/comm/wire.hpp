@@ -42,6 +42,14 @@ inline constexpr std::size_t kHeaderBytes = 24;
 inline constexpr std::uint16_t kDataTag = 0;
 inline constexpr std::uint16_t kBarrierTag = 0xB0;
 inline constexpr std::uint16_t kHandshakeTag = 0xC0;
+/// Liveness ping (empty payload): emitted by blocked ranks every quarter
+/// deadline so an alive-but-waiting peer is never declared dead.  Filtered
+/// out of every recv stream; its arrival resets the sender's deadline.
+inline constexpr std::uint16_t kHeartbeatTag = 0xD0;
+/// Failure notice (payload: one double holding the dead rank): broadcast
+/// best-effort by whichever rank's deadline fired first, so every survivor
+/// surfaces a RankFailure naming the *root* dead rank.
+inline constexpr std::uint16_t kFailureTag = 0xE0;
 
 /// Sanity cap on one frame's payload (doubles): 1 Gi elements = 8 GiB.  A
 /// header announcing more is corruption, not a real message — rejecting it

@@ -71,6 +71,10 @@ void DistKfacOptions::validate() const {
     throw std::invalid_argument(
         "DistKfacOptions: profile_ema must be in (0, 1]");
   }
+  if (comm_timeout_s < 0.0 || !std::isfinite(comm_timeout_s)) {
+    throw std::invalid_argument(
+        "DistKfacOptions: comm_timeout_s must be finite and >= 0");
+  }
   const auto check_pass_timing = [](const sched::PassTiming& timing,
                                     const char* what) {
     const auto check_timing = [what](const std::vector<double>& v,
@@ -147,6 +151,11 @@ DistKfacOptimizer::DistKfacOptimizer(
   if (layers_.empty()) {
     throw std::invalid_argument("DistKfacOptimizer: no preconditioned layers");
   }
+  if (options_.comm_timeout_s > 0.0) {
+    // Arm the transport's failure detection; 0 leaves whatever the
+    // launcher configured (possibly already armed) untouched.
+    comm_.transport().set_timeout(options_.comm_timeout_s);
+  }
   if (!options_.profile.empty()) {
     // Static planning profile: the timing never changes, so install it once
     // (re-plan points become no-ops and the cache holds one entry per step
@@ -196,6 +205,13 @@ DistKfacOptimizer::DistKfacOptimizer(
   // waited inline by its submitter and carries no node.
   engine_.set_completion_listener([this](const comm::OpRecord& rec) {
     if (rec.plan_task < 0) return;
+    if (rec.failed) {
+      // A dead peer broke this collective (or poisoned the engine before
+      // it ran).  Poison the dataflow so step()'s wait() unblocks and
+      // rethrows instead of waiting for successors that can never fire.
+      executor_.abort(engine_.error());
+      return;
+    }
     profiler_.record_collective(rec.elements, rec.duration_s());
     const int id = rec.plan_task;
     if (pool_ != nullptr) {
@@ -246,6 +262,11 @@ void DistKfacOptimizer::refresh_planning_profile(bool measured_fusion) {
 }
 
 void DistKfacOptimizer::begin_step() {
+  if (failed_) {
+    throw std::logic_error(
+        "DistKfacOptimizer: a prior step observed a rank failure; restore "
+        "a checkpoint into a freshly launched cluster to continue");
+  }
   if (!executor_.idle()) {
     // A previous step was abandoned mid-flight — e.g. a hooked step whose
     // backward hooks never ran threw from step().  Gated nodes of that
@@ -321,7 +342,8 @@ void DistKfacOptimizer::begin_step() {
   if (options_.plan_cache_capacity > 0) {
     sched::PlanCache::Key key{opt.factor_update, opt.inverse_update,
                               opt.factor_comm,
-                              sched::ProfileSignature::of(current_timing_)};
+                              sched::ProfileSignature::of(current_timing_,
+                                                          comm_.size())};
     if (auto hit = plan_cache_.find(key)) {
       plan_ = std::move(hit);
     } else {
@@ -663,6 +685,20 @@ nn::PassHooks DistKfacOptimizer::pass_hooks() {
 // ---------------------------------------------------------------------------
 
 void DistKfacOptimizer::step() {
+  try {
+    step_body();
+  } catch (const comm::RankFailure&) {
+    // A peer died mid-step.  Quiesce the engine (queued ops fail fast
+    // against its poisoned state — never throws) so no pump work runs
+    // after the caller observes the failure, then refuse further steps:
+    // the surviving ranks' collective state has diverged.
+    failed_ = true;
+    engine_.wait_all();
+    throw;
+  }
+}
+
+void DistKfacOptimizer::step_body() {
   const std::size_t L = layers_.size();
   if (hooked_active_) {
     // Hooked step: the passes already released the in-pass gates; verify

@@ -54,6 +54,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -165,13 +166,25 @@ struct DistKfacOptions {
   /// power of two in [1024, 2^31].  Ignored by the other backends.
   std::size_t shm_ring_bytes = comm::kDefaultShmRingBytes;
 
+  /// Deadline for every blocking communication primitive, in seconds; > 0
+  /// arms the transport's failure detection (comm/fault.hpp), so a dead
+  /// peer surfaces as comm::RankFailure — naming the rank, the collective
+  /// and the plan task — instead of hanging the step forever.  Must exceed
+  /// the longest compute gap between this rank's collectives (a rank busy
+  /// inverting a large factor does not heartbeat; see the engine's
+  /// between-ops heartbeat).  0 (default) keeps wait-forever semantics.
+  /// When the launcher already armed a timeout (LaunchOptions), 0 leaves
+  /// it in place.
+  double comm_timeout_s = 0.0;
+
   /// Throws std::invalid_argument on nonsensical settings: zero update
   /// frequencies, non-positive lr/damping, a grad_fusion_threshold /
   /// pool_size / replan_interval / plan_cache_capacity that is a negative
   /// value wrapped to unsigned, a profile_ema outside (0, 1], a profile or
   /// trajectory entry containing negative/non-finite entries, both
-  /// `profile` and `profile_trajectory` set, or a shm_ring_bytes that is
-  /// not a power of two in [1024, 2^31].
+  /// `profile` and `profile_trajectory` set, a shm_ring_bytes that is
+  /// not a power of two in [1024, 2^31], or a negative/non-finite
+  /// comm_timeout_s.
   void validate() const;
 };
 
@@ -184,7 +197,11 @@ class DistKfacOptimizer {
                     comm::Communicator& comm, DistKfacOptions options = {});
 
   /// One synchronous step; every rank must call it the same number of
-  /// times, each after its local forward + backward pass.
+  /// times, each after its local forward + backward pass.  With a
+  /// comm_timeout_s armed, a dead peer makes step() throw
+  /// comm::RankFailure (naming the rank, collective and plan task) instead
+  /// of hanging; the optimizer is then permanently failed() and further
+  /// steps throw std::logic_error.
   void step();
 
   /// Hooks implementing the SPDKFACOptimizer architecture of Fig. 6: pass
@@ -210,6 +227,29 @@ class DistKfacOptimizer {
 
   std::size_t steps() const noexcept { return step_count_; }
   DistStrategy strategy() const noexcept { return options_.strategy; }
+
+  /// True after a step observed a rank failure (step() threw
+  /// comm::RankFailure).  The optimizer refuses further steps — its
+  /// collective state diverged from the dead cluster's — and should be
+  /// checkpointed out of / reconstructed from a prior checkpoint.
+  bool failed() const noexcept { return failed_; }
+
+  /// Serializes the full optimizer state — step counters, re-planning
+  /// epoch, layer weights, Kronecker factors and inverses, the online
+  /// profiler, and the planning timing — as a versioned, CRC-guarded
+  /// journal (core/checkpoint.hpp).  Call between steps, on every rank
+  /// (each rank's state is rank-identical by construction, so any one
+  /// rank's checkpoint restores the whole cluster).  A run resumed from
+  /// the checkpoint is bitwise identical to the uninterrupted run.
+  void save_checkpoint(std::ostream& out) const;
+
+  /// Restores state saved by save_checkpoint into this optimizer.  Layer
+  /// count, layer shapes and strategy must match (throws
+  /// std::runtime_error otherwise); the world size may differ — the
+  /// elastic-restart path — in which case the next step re-plans for the
+  /// new cluster (the plan cache keys on world size, and plans are pure
+  /// functions of profile x options x P).
+  void restore_checkpoint(std::istream& in);
 
   /// Algorithm this optimizer submits for an all-reduce of `elements`
   /// doubles (resolves kAuto through the topology-derived selector).
@@ -305,6 +345,8 @@ class DistKfacOptimizer {
   /// Builds this step's plan (through the plan cache), stages the packing
   /// layout, and installs the plan as a dataflow graph on the executor.
   void begin_step();
+  /// step() minus the rank-failure teardown wrapper.
+  void step_body();
   /// Plan-task -> executor-node translation (see begin_step).
   std::vector<exec::DataflowExecutor::Node> build_nodes();
 
@@ -341,6 +383,7 @@ class DistKfacOptimizer {
   std::vector<tensor::Matrix> agg_grads_;
   std::vector<std::size_t> a_sizes_, g_sizes_;  // packed sizes, pass order
   std::size_t step_count_ = 0;
+  bool failed_ = false;  ///< a step observed a rank failure; see failed()
 
   // Adaptive re-planning state.  `current_timing_` is refreshed only at
   // re-plan points; between them every step plans from it through the

@@ -70,6 +70,9 @@ void DataflowExecutor::begin(std::vector<Node> nodes, std::vector<int> lane,
     pool_ = (pool != nullptr && pool->workers() > 0) ? pool : nullptr;
     lane_head_ = 0;
     retired_ = 0;
+    poisoned_ = false;
+    error_ = nullptr;
+    inflight_ = 0;
     states_.assign(nodes_.size(), NodeState{});
     successors_.assign(nodes_.size(), {});
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -99,11 +102,13 @@ void DataflowExecutor::release_locked(int id, std::vector<int>& inline_runs) {
       break;
     case NodeKind::kCompute:
       if (pool_ != nullptr) {
+        ++inflight_;
         pool_->submit([this, id] {
           run_compute(id);
           std::vector<int> runs;
           {
             std::lock_guard lock(mutex_);
+            --inflight_;
             retire_locked(id, runs);
           }
           run_inline(runs);
@@ -122,10 +127,19 @@ void DataflowExecutor::release_locked(int id, std::vector<int>& inline_runs) {
 void DataflowExecutor::retire_locked(int id, std::vector<int>& inline_runs) {
   NodeState& state = states_[static_cast<std::size_t>(id)];
   if (state.retired) {
+    // Tolerated on a poisoned graph: an engine completion can race the
+    // abort that already gave up on the node.
+    if (poisoned_) return;
     throw std::logic_error("DataflowExecutor: node retired twice");
   }
   state.retired = true;
   if (++retired_ == nodes_.size()) done_cv_.notify_all();
+  if (poisoned_) {
+    // No successor releases: the graph is being torn down, and firing more
+    // collectives against a dead rank would just hang the pump longer.
+    done_cv_.notify_all();
+    return;
+  }
   for (int s : successors_[static_cast<std::size_t>(id)]) {
     if (--states_[static_cast<std::size_t>(s)].remaining == 0) {
       release_locked(s, inline_runs);
@@ -137,7 +151,7 @@ void DataflowExecutor::advance_lane_locked() {
   // Fire every dep-ready submission at the head of the lane, in lane order.
   // Actions run under the lock: a concurrent retire elsewhere cannot slip a
   // later collective onto the engine first.
-  while (lane_head_ < lane_.size() &&
+  while (!poisoned_ && lane_head_ < lane_.size() &&
          states_[static_cast<std::size_t>(lane_[lane_head_])].lane_ready) {
     const int id = lane_[lane_head_++];
     nodes_[static_cast<std::size_t>(id)].work();
@@ -160,6 +174,7 @@ void DataflowExecutor::satisfy(int id) {
   std::vector<int> inline_runs;
   {
     std::lock_guard lock(mutex_);
+    if (poisoned_) return;
     if (--states_[static_cast<std::size_t>(id)].remaining == 0) {
       release_locked(id, inline_runs);
     }
@@ -171,14 +186,34 @@ void DataflowExecutor::complete(int id) {
   std::vector<int> inline_runs;
   {
     std::lock_guard lock(mutex_);
+    if (poisoned_) return;
     retire_locked(id, inline_runs);
   }
   run_inline(inline_runs);
 }
 
+void DataflowExecutor::abort(std::exception_ptr error) {
+  std::lock_guard lock(mutex_);
+  if (poisoned_) return;  // first failure wins
+  poisoned_ = true;
+  error_ = std::move(error);
+  done_cv_.notify_all();
+}
+
 void DataflowExecutor::wait() {
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return retired_ == nodes_.size(); });
+  done_cv_.wait(lock, [this] {
+    return retired_ == nodes_.size() || (poisoned_ && inflight_ == 0);
+  });
+  if (!poisoned_) return;
+  // Poisoned teardown: declare the graph over (unreleased nodes are
+  // abandoned, the executor becomes reusable) and surface the error once.
+  retired_ = nodes_.size();
+  std::exception_ptr err = std::exchange(error_, nullptr);
+  if (err) {
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 bool DataflowExecutor::idle() const {

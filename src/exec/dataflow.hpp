@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <vector>
@@ -85,7 +86,18 @@ class DataflowExecutor {
   /// post-processing finished.
   void complete(int id);
 
-  /// Blocks until every node of the current graph retired.
+  /// Poisons the in-flight graph: no further node is released, fired or
+  /// retired; already-dispatched pool work finishes, then wait() unblocks
+  /// and rethrows `error` (once).  How a dead rank tears down a schedule
+  /// mid-iteration without deadlocking on nodes whose collectives will
+  /// never complete.  satisfy()/complete() on a poisoned graph are no-ops,
+  /// so late engine-completion callbacks are harmless.  The executor is
+  /// reusable after wait() returns; begin() clears the poison.
+  void abort(std::exception_ptr error);
+
+  /// Blocks until every node of the current graph retired, or — after
+  /// abort() — until dispatched work drained; then rethrows the abort
+  /// error (first wait() only).
   void wait();
 
   /// True when no graph is in flight (before the first begin() or after
@@ -121,6 +133,9 @@ class DataflowExecutor {
   std::vector<int> lane_;
   std::size_t lane_head_ = 0;
   std::size_t retired_ = 0;
+  bool poisoned_ = false;        ///< abort() called for this graph
+  std::exception_ptr error_;     ///< rethrown by the first wait() after abort
+  std::size_t inflight_ = 0;     ///< pool compute tasks dispatched, unretired
 };
 
 }  // namespace spdkfac::exec

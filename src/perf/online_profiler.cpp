@@ -82,4 +82,45 @@ void OnlineProfiler::load_packed(std::span<const double> values) {
   }
 }
 
+std::vector<double> OnlineProfiler::serialize() const {
+  std::vector<double> out;
+  out.reserve(6 * layers_ + 5);
+  for (const auto* v : {&factor_a_, &factor_g_, &forward_, &backward_,
+                        &inverse_}) {
+    out.insert(out.end(), v->begin(), v->end());
+  }
+  // Counters ride as doubles: realistic values stay far below 2^53, so the
+  // round-trip is exact.
+  out.push_back(static_cast<double>(
+      factor_samples_.load(std::memory_order_acquire)));
+  out.push_back(static_cast<double>(collective_ops_));
+  out.push_back(static_cast<double>(collective_elements_));
+  out.push_back(collective_seconds_);
+  out.push_back(collective_per_element_);
+  return out;
+}
+
+void OnlineProfiler::restore(std::span<const double> values) {
+  if (values.size() != 6 * layers_ + 5) {
+    throw std::invalid_argument("OnlineProfiler::restore: size mismatch");
+  }
+  for (double v : values) {
+    // Timings are EMAs of wall-clock samples and counters are counts:
+    // nothing in this vector can legitimately be negative.
+    if (v < 0.0) {
+      throw std::invalid_argument("OnlineProfiler::restore: negative value");
+    }
+  }
+  std::size_t offset = 0;
+  for (auto* v : {&factor_a_, &factor_g_, &forward_, &backward_, &inverse_}) {
+    for (double& slot : *v) slot = values[offset++];
+  }
+  factor_samples_.store(static_cast<std::size_t>(values[offset++]),
+                        std::memory_order_release);
+  collective_ops_ = static_cast<std::size_t>(values[offset++]);
+  collective_elements_ = static_cast<std::size_t>(values[offset++]);
+  collective_seconds_ = values[offset++];
+  collective_per_element_ = values[offset++];
+}
+
 }  // namespace spdkfac::perf

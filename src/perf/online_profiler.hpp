@@ -98,6 +98,20 @@ class OnlineProfiler {
   /// std::invalid_argument on a size mismatch.
   void load_packed(std::span<const double> values);
 
+  /// Full profiler state as a flat vector of 6L+5 doubles, for
+  /// checkpointing.  Unlike packed() this covers *everything* the profiler
+  /// holds — inverse times, collective aggregates, the warm-up sample
+  /// count — so a restore() resumes the EMA streams exactly where they
+  /// left off and the re-planning loop replays bitwise-identically.
+  /// Layout: [factor_a | factor_g | forward | backward | inverse(2L) |
+  /// factor_samples | collective_ops | collective_elements |
+  /// collective_seconds | collective_per_element].
+  std::vector<double> serialize() const;
+
+  /// Inverse of serialize().  Throws std::invalid_argument on a size
+  /// mismatch or negative counters.
+  void restore(std::span<const double> values);
+
  private:
   void fold(double& slot, double sample) const {
     slot = slot == 0.0 ? sample : (1.0 - ema_) * slot + ema_ * sample;

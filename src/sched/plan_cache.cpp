@@ -29,7 +29,7 @@ void quantize_into(const std::vector<double>& values, double quantum,
 }  // namespace
 
 ProfileSignature ProfileSignature::of(const PassTiming& timing,
-                                      int resolution_bits) {
+                                      int world_size, int resolution_bits) {
   // The walk's span sets the relative grid.  backward_end is the natural
   // span; guard against degenerate profiles (all zeros) with a floor that
   // keeps the division meaningful.
@@ -44,7 +44,11 @@ ProfileSignature ProfileSignature::of(const PassTiming& timing,
 
   ProfileSignature sig;
   sig.buckets.reserve(timing.a_ready.size() + timing.g_ready.size() +
-                      timing.grad_ready.size() + 5);
+                      timing.grad_ready.size() + 6);
+  // Cluster population first: plans are P-specific (fusion-group shapes,
+  // LBP placement, all-reduce cost) — an elastic restart at a different P
+  // must miss every entry built for the old one.
+  sig.buckets.push_back(static_cast<std::int64_t>(world_size));
   // Absolute scale on a 1/16-octave log grid: two profiles with the same
   // shape but different magnitudes must not collide (fusion decisions
   // compare pass gaps against the absolute all-reduce startup cost).

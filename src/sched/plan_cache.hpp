@@ -39,8 +39,12 @@ struct ProfileSignature {
   /// Quantizes `timing` with 2^resolution_bits relative buckets across the
   /// pass walk plus a log-scale bucket of the absolute walk length (scale
   /// changes flip Eq. (15) decisions even when the shape is unchanged,
-  /// because the all-reduce alpha/beta costs are absolute).
-  static ProfileSignature of(const PassTiming& timing,
+  /// because the all-reduce alpha/beta costs are absolute).  `world_size`
+  /// folds the cluster population into the key: after an elastic restart
+  /// at a different P, every fusion-group size, LBP placement and
+  /// all-reduce cost changes, so a plan built for the old P must never be
+  /// replayed (0 keeps the legacy P-agnostic signature).
+  static ProfileSignature of(const PassTiming& timing, int world_size = 0,
                              int resolution_bits = 12);
 };
 
@@ -51,8 +55,9 @@ struct ProfileSignatureHash {
 /// FIFO-evicting cache of iteration plans, keyed by the step kind (factor /
 /// inverse phases due, resolved factor-comm mode) and the profile
 /// signature.  One cache serves one fixed planning context (layer shapes,
-/// world size, options, cost models) — the key deliberately excludes them;
-/// callers with several contexts hold several caches.
+/// options, cost models) — the key deliberately excludes them; callers
+/// with several contexts hold several caches.  World size rides inside the
+/// signature (ProfileSignature::of) so an elastic restart re-keys cleanly.
 class PlanCache {
  public:
   struct Key {
