@@ -1,0 +1,250 @@
+// Microkernel throughput: GFLOP/s for every hot-path kernel at each
+// runtime-dispatchable ISA level (scalar vs AVX2/FMA), across the factor
+// sizes the optimizer actually sees, plus the buffer arena's
+// copies-eliminated accounting from a live 2-rank run.  Emits
+// BENCH_kernels.json for cross-PR tracking; the headline acceptance number
+// is the factor+inverse speedup of the best level over scalar.
+//
+// All kernel timings are single-threaded (the ambient exec context is
+// serial here), so they measure the raw microkernel — the executor's
+// chunked parallelism multiplies on top and is benched elsewhere
+// (bench_overlap, bench_runtime).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/random.hpp"
+
+using namespace spdkfac;
+namespace kernels = tensor::kernels;
+
+namespace {
+
+/// Seconds per call, self-calibrating rep count (>= ~30 ms per sample).
+template <typename F>
+double time_call(F&& f) {
+  f();  // warm-up (and first-touch of every buffer)
+  int reps = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) f();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (dt >= 0.03) return dt / static_cast<double>(reps);
+    reps = dt <= 1e-6 ? reps * 64 : reps * 4;
+  }
+}
+
+struct KernelSample {
+  double seconds = 0.0;
+  double flops = 0.0;
+  double gflops() const { return flops / seconds / 1e9; }
+};
+
+std::vector<double> random_vec(std::size_t n, tensor::Rng& rng) {
+  std::vector<double> v(n);
+  tensor::fill_normal(v, rng);
+  return v;
+}
+
+KernelSample bench_gemm_nn(const kernels::KernelTable& kt, std::size_t d) {
+  tensor::Rng rng(1);
+  const auto a = random_vec(d * d, rng);
+  const auto b = random_vec(d * d, rng);
+  auto c = random_vec(d * d, rng);
+  KernelSample s;
+  s.flops = 2.0 * static_cast<double>(d) * d * d;
+  s.seconds = time_call([&] {
+    kt.gemm_nn(d, d, d, a.data(), d, b.data(), d, c.data(), d);
+  });
+  return s;
+}
+
+KernelSample bench_gemm_tn(const kernels::KernelTable& kt, std::size_t d) {
+  // The factor construction shape: A^T * A with K activation rows.
+  tensor::Rng rng(2);
+  const std::size_t K = 64;
+  const auto a = random_vec(K * d, rng);
+  auto c = random_vec(d * d, rng);
+  KernelSample s;
+  s.flops = 2.0 * static_cast<double>(K) * d * d;
+  s.seconds = time_call([&] {
+    kt.gemm_tn(d, K, d, a.data(), d, a.data(), d, c.data(), d);
+  });
+  return s;
+}
+
+KernelSample bench_dot(const kernels::KernelTable& kt, std::size_t n) {
+  tensor::Rng rng(3);
+  const auto x = random_vec(n, rng);
+  const auto y = random_vec(n, rng);
+  KernelSample s;
+  s.flops = 2.0 * static_cast<double>(n);
+  double sink = 0.0;
+  s.seconds = time_call([&] { sink += kt.dot(x.data(), y.data(), n); });
+  if (sink == 42.0) std::printf("%f", sink);  // defeat dead-code elimination
+  return s;
+}
+
+KernelSample bench_ema(const kernels::KernelTable& kt, std::size_t n) {
+  tensor::Rng rng(4);
+  auto state = random_vec(n, rng);
+  const auto fresh = random_vec(n, rng);
+  KernelSample s;
+  s.flops = 3.0 * static_cast<double>(n);  // two muls + add per element
+  s.seconds =
+      time_call([&] { kt.ema(state.data(), fresh.data(), n, 0.95); });
+  return s;
+}
+
+KernelSample bench_spd_inverse(std::size_t d) {
+  // Routed through linalg (Cholesky + two triangular solve sweeps), which
+  // pulls its dot products from the *active* table — force() selects it.
+  tensor::Rng rng(5);
+  const tensor::Matrix a = tensor::random_spd(d, rng);
+  KernelSample s;
+  s.flops = tensor::spd_inverse_flops(d);
+  tensor::Matrix inv;
+  s.seconds = time_call([&] { inv = tensor::spd_inverse(a); });
+  return s;
+}
+
+KernelSample bench_transpose(const kernels::KernelTable& kt, std::size_t d) {
+  tensor::Rng rng(6);
+  const auto in = random_vec(d * d, rng);
+  std::vector<double> out(d * d);
+  KernelSample s;
+  s.flops = static_cast<double>(d) * d;  // elements moved (not real flops)
+  s.seconds = time_call(
+      [&] { kt.transpose(in.data(), d, d, d, out.data(), d); });
+  return s;
+}
+
+/// Copies-eliminated accounting from a real 2-rank step (rank 0's arena).
+struct ArenaReport {
+  double bytes_saved_per_step = 0.0;
+  double slab_bytes = 0.0;
+};
+
+ArenaReport measure_arena() {
+  ArenaReport report;
+  comm::Cluster::launch(2, [&](comm::Communicator& comm) {
+    tensor::Rng init(7);
+    const std::size_t widths[] = {32, 64, 48, 10};
+    nn::Sequential model = nn::make_mlp(widths, init);
+    auto layers = model.preconditioned_layers();
+    core::DistKfacOptions opts;
+    opts.lr = 0.05;
+    opts.damping = 3e-2;
+    core::DistKfacOptimizer optimizer(layers, comm, opts);
+    nn::SyntheticClassification data(10, 32, 1, 8);
+    tensor::Rng shard(100 + comm.rank());
+    nn::SoftmaxCrossEntropy loss;
+    for (int s = 0; s < 3; ++s) {
+      auto batch = data.sample(8, shard);
+      nn::Tensor4D flat(batch.inputs.n, 32, 1, 1);
+      flat.data = batch.inputs.data;
+      loss.forward(model.forward(flat), batch.labels);
+      model.backward(loss.backward());
+      optimizer.step();
+    }
+    if (comm.rank() == 0) {
+      report.bytes_saved_per_step =
+          static_cast<double>(optimizer.arena_bytes_saved_per_step());
+      report.slab_bytes = static_cast<double>(
+          optimizer.arena().capacity_doubles() * sizeof(double));
+    }
+  });
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Kernels",
+                      "Microkernel GFLOP/s per ISA level + arena savings");
+
+  std::vector<kernels::Isa> levels{kernels::Isa::kScalar};
+  if (kernels::supported(kernels::Isa::kAvx2)) {
+    levels.push_back(kernels::Isa::kAvx2);
+  } else {
+    std::printf("note: AVX2+FMA not available; scalar level only\n");
+  }
+
+  const std::size_t sizes[] = {64, 128, 256};
+  bench::BenchJson json("kernels");
+  bench::Table table({"Kernel", "d", "ISA", "GFLOP/s", "us/call"});
+
+  // factor+inverse seconds per (size, level) for the headline speedup.
+  std::vector<std::vector<double>> hot_path(levels.size());
+
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const kernels::Isa level = levels[li];
+    const kernels::KernelTable& kt = kernels::table(level);
+    kernels::force(level);  // spd_inverse reads the active table
+    const char* isa = kernels::to_string(level);
+
+    for (const std::size_t d : sizes) {
+      struct Entry {
+        const char* name;
+        KernelSample sample;
+      };
+      const Entry entries[] = {
+          {"gemm_nn", bench_gemm_nn(kt, d)},
+          {"gemm_tn", bench_gemm_tn(kt, d)},
+          {"spd_inverse", bench_spd_inverse(d)},
+          {"transpose", bench_transpose(kt, d)},
+      };
+      for (const Entry& e : entries) {
+        table.add_row({e.name, std::to_string(d), isa,
+                       bench::fmt("%.2f", e.sample.gflops()),
+                       bench::fmt("%.1f", e.sample.seconds * 1e6)});
+        json.add(std::string(e.name) + "/d=" + std::to_string(d) + "/" + isa,
+                 {{"gflops", e.sample.gflops()},
+                  {"seconds_per_call", e.sample.seconds}});
+      }
+      // The single-rank factor+inverse hot path: factor GEMM + SPD inverse.
+      hot_path[li].push_back(entries[1].sample.seconds +
+                             entries[2].sample.seconds);
+    }
+
+    const KernelSample dot = bench_dot(kt, 16384);
+    const KernelSample ema = bench_ema(kt, 128 * 128);
+    table.add_row({"dot", "16384", isa, bench::fmt("%.2f", dot.gflops()),
+                   bench::fmt("%.1f", dot.seconds * 1e6)});
+    table.add_row({"ema", "16384", isa, bench::fmt("%.2f", ema.gflops()),
+                   bench::fmt("%.1f", ema.seconds * 1e6)});
+    json.add(std::string("dot/n=16384/") + isa,
+             {{"gflops", dot.gflops()}, {"seconds_per_call", dot.seconds}});
+    json.add(std::string("ema/n=16384/") + isa,
+             {{"gflops", ema.gflops()}, {"seconds_per_call", ema.seconds}});
+  }
+  kernels::force(kernels::best_supported());
+  table.print();
+
+  if (levels.size() > 1) {
+    std::printf("\nfactor+inverse speedup (%s over scalar):\n",
+                kernels::to_string(levels.back()));
+    for (std::size_t si = 0; si < std::size(sizes); ++si) {
+      const double speedup = hot_path[0][si] / hot_path.back()[si];
+      std::printf("  d=%zu: %.2fx\n", sizes[si], speedup);
+      json.add("speedup/factor_inverse/d=" + std::to_string(sizes[si]),
+               {{"best_over_scalar", speedup}});
+    }
+  }
+
+  const ArenaReport arena = measure_arena();
+  std::printf("\narena (2 ranks, 4-layer MLP): %.0f bytes/step copies "
+              "eliminated, %.0f-byte slab\n",
+              arena.bytes_saved_per_step, arena.slab_bytes);
+  json.add("arena/world=2",
+           {{"copies_eliminated_bytes_per_step", arena.bytes_saved_per_step},
+            {"slab_bytes", arena.slab_bytes}});
+
+  json.write();
+  return 0;
+}

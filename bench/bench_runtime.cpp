@@ -25,6 +25,7 @@ struct Row {
   double comm_busy_s = 0.0;
   double mean_queue_delay_s = 0.0;  // start - submit
   double overlap_fraction = 0.0;
+  std::size_t arena_bytes_saved = 0;  // zero-copy path, per step
 };
 
 Row run(core::DistStrategy strategy, bool hooked) {
@@ -38,6 +39,7 @@ Row run(core::DistStrategy strategy, bool hooked) {
   row.step = bench::stats(res.step_seconds);
   row.ops = res.records.size();
   row.overlap_fraction = res.overlap_fraction;
+  row.arena_bytes_saved = res.arena_bytes_saved;
   double delay = 0.0;
   for (const auto& r : res.records) {
     row.comm_busy_s += r.end_s - r.start_s;
@@ -76,7 +78,9 @@ int main() {
                       row.step, row.overlap_fraction,
                       {{"comm_ops", static_cast<double>(row.ops)},
                        {"comm_busy_s", row.comm_busy_s},
-                       {"mean_queue_delay_s", row.mean_queue_delay_s}});
+                       {"mean_queue_delay_s", row.mean_queue_delay_s},
+                       {"copies_eliminated_bytes_per_step",
+                        static_cast<double>(row.arena_bytes_saved)}});
     }
   }
   table.print();

@@ -72,6 +72,10 @@ struct DistTrainResult {
   /// forward/backward passes were still running — comm the pipelining hid
   /// behind computation (engine-clock interval accounting).
   double overlap_fraction = 0.0;
+  /// Rank 0's per-step bytes the zero-copy arena stopped copying/zeroing
+  /// (DistKfacOptimizer::arena_bytes_saved_per_step; in-process backend
+  /// only, like the engine records).
+  std::size_t arena_bytes_saved = 0;
 };
 
 DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg);
@@ -140,6 +144,7 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
       result.step_seconds = std::move(step_seconds);
       result.records = optimizer.comm_records();
       result.broadcast_cts = optimizer.placement().num_cts();
+      result.arena_bytes_saved = optimizer.arena_bytes_saved_per_step();
 
       double busy = 0.0, hidden = 0.0;
       for (const comm::OpRecord& r : result.records) {

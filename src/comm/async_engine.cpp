@@ -39,23 +39,23 @@ CommHandle AsyncCommEngine::all_reduce_async(std::span<double> data,
       [data, op, algo](Communicator& comm) {
         comm.all_reduce(data, op, algo);
       },
-      std::move(name), data.size(), plan_task);
+      std::move(name), data.size(), plan_task, data.data());
 }
 
 CommHandle AsyncCommEngine::broadcast_async(std::span<double> data, int root,
                                             std::string name, int plan_task) {
   return submit(
       [data, root](Communicator& comm) { comm.broadcast(data, root); },
-      std::move(name), data.size(), plan_task);
+      std::move(name), data.size(), plan_task, data.data());
 }
 
 CommHandle AsyncCommEngine::submit(std::function<void(Communicator&)> fn,
                                    std::string name, std::size_t elements,
-                                   int plan_task) {
+                                   int plan_task, const double* data) {
   CommHandle handle;
   handle.state_ = std::make_shared<CommHandle::State>();
   Op op{std::move(fn), handle.state_, std::move(name), elements, now_s(),
-        plan_task};
+        plan_task, data};
   bool schedule = false;
   {
     std::lock_guard lock(mutex_);
@@ -107,6 +107,7 @@ void AsyncCommEngine::pump() {
     record.name = op.name;
     record.submit_s = op.submit_s;
     record.elements = op.elements;
+    record.data = op.data;
     record.plan_task = op.plan_task;
 
     // Let blocked peers know this rank is alive even when it spent the gap

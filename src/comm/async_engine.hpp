@@ -93,6 +93,11 @@ struct OpRecord {
   double start_s = 0.0;   ///< when the pump began executing
   double end_s = 0.0;     ///< when it finished
   std::size_t elements = 0;
+  /// Payload the operation ran in place over (null for custom submit()
+  /// ops).  Diagnostic only — the buffer may be reused after completion;
+  /// tests use it to verify plan collectives execute zero-copy on arena
+  /// slabs rather than staging copies.
+  const double* data = nullptr;
   /// Id of the sched::IterationPlan task this operation executes, or -1 for
   /// out-of-plan traffic (e.g. the factor-time profile sync).
   int plan_task = -1;
@@ -148,9 +153,11 @@ class AsyncCommEngine {
                              int plan_task = -1);
 
   /// Queues an arbitrary operation on the pump (escape hatch used by tests
-  /// and by fused multi-tensor operations).
+  /// and by fused multi-tensor operations).  `data` tags the record with
+  /// the payload pointer (see OpRecord::data).
   CommHandle submit(std::function<void(Communicator&)> fn, std::string name,
-                    std::size_t elements = 0, int plan_task = -1);
+                    std::size_t elements = 0, int plan_task = -1,
+                    const double* data = nullptr);
 
   /// Invoked by the pump after each operation completes (after its handle
   /// is signalled), with the operation's record.  The listener must not
@@ -198,6 +205,7 @@ class AsyncCommEngine {
     std::size_t elements = 0;
     double submit_s = 0.0;
     int plan_task = -1;
+    const double* data = nullptr;
   };
 
   /// Runs queued ops FIFO until the queue empties, then retires itself;

@@ -49,6 +49,7 @@
 
 #include "comm/cluster.hpp"
 #include "comm/topology.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace spdkfac::comm {
 
@@ -83,14 +84,16 @@ inline std::vector<std::size_t> offsets_of(
 /// Elementwise combine shared by every algorithm and every ReduceOp: kSum
 /// and kAverage accumulate (averaging is a separate finalize step so the
 /// division happens exactly once), kMax takes the elementwise maximum.
+/// Runs on the active ISA's vector kernels; add/max/scale are purely
+/// elementwise, so every level produces identical bits — reduction results
+/// never depend on which ISA a rank (or test) selected.
 inline void accumulate(std::span<double> dst, std::span<const double> src,
                        ReduceOp op) {
+  const auto& kt = tensor::kernels::active_table();
   if (op == ReduceOp::kMax) {
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = std::max(dst[i], src[i]);
-    }
+    kt.max(dst.data(), src.data(), dst.size());
   } else {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    kt.add(dst.data(), src.data(), dst.size());
   }
 }
 
@@ -99,8 +102,8 @@ inline void accumulate(std::span<double> dst, std::span<const double> src,
 /// ops need nothing.
 inline void finalize(std::span<double> data, ReduceOp op, int world) {
   if (op != ReduceOp::kAverage || world <= 1) return;
-  const double inv = 1.0 / world;
-  for (double& v : data) v *= inv;
+  tensor::kernels::active_table().scale(data.data(), data.size(),
+                                        1.0 / world);
 }
 
 }  // namespace detail

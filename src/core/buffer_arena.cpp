@@ -1,0 +1,42 @@
+#include "core/buffer_arena.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+namespace spdkfac::core {
+
+BufferArena::~BufferArena() { std::free(slab_); }
+
+void BufferArena::reset(std::size_t total_doubles) {
+  if (total_doubles > capacity_) {
+    std::free(slab_);
+    const std::size_t doubles = aligned(total_doubles);
+    // aligned_alloc requires the size to be a multiple of the alignment;
+    // `doubles` is a multiple of 8 doubles = 64 bytes already.
+    slab_ = static_cast<double*>(
+        std::aligned_alloc(kAlignBytes, doubles * sizeof(double)));
+    if (slab_ == nullptr) {
+      capacity_ = 0;
+      throw std::bad_alloc();
+    }
+    capacity_ = doubles;
+    ++rebuilds_;
+  }
+  cursor_ = 0;
+}
+
+std::span<double> BufferArena::carve(std::size_t n) {
+  if (cursor_ + n > capacity_) {
+    throw std::logic_error(
+        "BufferArena::carve: layout exceeds reset() capacity");
+  }
+  std::span<double> out(slab_ + cursor_, n);
+  cursor_ += aligned(n);
+  // The aligned cursor may overshoot capacity_ by the final span's padding;
+  // that is fine — it only matters for the *next* carve, which the check
+  // above rejects.
+  return out;
+}
+
+}  // namespace spdkfac::core

@@ -1,0 +1,85 @@
+// Per-rank zero-copy communication arena.
+//
+// Every step, the optimizer's packing layout (derived from the
+// sched::IterationPlan) needs one buffer per fused factor group, gradient
+// group, and inverse broadcast.  The seed allocated and zero-filled each of
+// them from the heap every iteration (`buffers[gi].assign(elements, 0.0)`)
+// — O(total packed bytes) of allocator traffic and memset per step, plus a
+// fresh address each time, defeating any cache residency across steps.
+//
+// The arena replaces that with one grow-only 64-byte-aligned slab per rank:
+//
+//   * reset(total) is called once per step with the plan's total element
+//     count; the slab only ever grows (amortized: after the first step of a
+//     steady-state plan it never reallocates), and nothing is zeroed — the
+//     optimizer's layout guarantees every carved element is written before
+//     it is read (factor packs, gradient stages, broadcast roots/receives
+//     each cover their span completely).
+//   * carve(n) hands out the next n doubles; every span starts on a
+//     64-byte boundary, so vector kernels and the transport see aligned
+//     payloads.  Carve order is deterministic (plan order), so a span's
+//     address is stable across steps of an unchanged plan — the async
+//     engine submits the same pointer every iteration, verifiably
+//     zero-copy (OpRecord::data ∈ arena, see tests/core/test_buffer_arena).
+//   * Ownership: the arena owns the slab; spans are valid until the next
+//     reset() that grows the slab.  In-flight collectives therefore must
+//     drain before begin_step() re-carves — the executor's step barrier
+//     already guarantees this.
+//
+// Not thread-safe: reset/carve run on the step-setup path only (single
+// thread); the carved spans are then written concurrently at disjoint
+// plan-determined offsets, which is safe without the arena's involvement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace spdkfac::core {
+
+class BufferArena {
+ public:
+  static constexpr std::size_t kAlignBytes = 64;
+  static constexpr std::size_t kAlignDoubles = kAlignBytes / sizeof(double);
+
+  BufferArena() = default;
+  ~BufferArena();
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  /// Rounds a span length up to the slab's alignment quantum, so the *next*
+  /// carve also starts 64-byte aligned.
+  static constexpr std::size_t aligned(std::size_t n) noexcept {
+    return (n + kAlignDoubles - 1) & ~(kAlignDoubles - 1);
+  }
+
+  /// Starts a step layout: guarantees capacity for `total_doubles` (already
+  /// aligned-summed by the caller) and rewinds the carve cursor.  Grows the
+  /// slab only when needed; never shrinks, never zeroes.  Any span from a
+  /// previous carve round is invalidated if the slab grew.
+  void reset(std::size_t total_doubles);
+
+  /// Next `n` doubles, 64-byte aligned start.  Contents are whatever the
+  /// slab last held — callers must fully write before reading.  Terminates
+  /// (assert-style) if carving past the reset() capacity, which would mean
+  /// the layout under-counted.
+  std::span<double> carve(std::size_t n);
+
+  /// Whether p points into the slab — the zero-copy submit check.
+  bool contains(const double* p) const noexcept {
+    return p != nullptr && p >= slab_ && p < slab_ + capacity_;
+  }
+
+  std::size_t capacity_doubles() const noexcept { return capacity_; }
+  std::size_t carved_doubles() const noexcept { return cursor_; }
+  /// Slab (re)allocations so far — 1 after warm-up on a stable plan.
+  std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  double* slab_ = nullptr;
+  std::size_t capacity_ = 0;  ///< doubles
+  std::size_t cursor_ = 0;    ///< doubles carved since last reset
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace spdkfac::core

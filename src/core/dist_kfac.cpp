@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/symmetric.hpp"
 
 namespace spdkfac::core {
@@ -357,7 +358,11 @@ void DistKfacOptimizer::begin_step() {
   if (!plan_->placement.assignments.empty()) placement_ = plan_->placement;
 
   // -------------------------------------------------------------------
-  // Packing layout: pre-size every fused/gradient/broadcast buffer and
+  // Packing layout: carve every fused/gradient/broadcast buffer from the
+  // rank's arena slab (deterministic plan order, 64-byte aligned spans, no
+  // per-step allocation or zeroing — each span is fully written before it
+  // is read: fused members by their packs, gradient groups by the staged
+  // grads, broadcasts by the root's pack or the transport's receive) and
   // record each producer's (group, offset) slot, so concurrent compute
   // tasks write disjoint ranges with no coordination.
   // -------------------------------------------------------------------
@@ -369,22 +374,49 @@ void DistKfacOptimizer::begin_step() {
   grad_buffers_.assign(plan_->grad_comm.size(), {});
   grad_slots_.assign(L, {});
   bcast_buffers_.assign(2 * L, {});
-  task_buffer_.assign(plan_->tasks.size(), nullptr);
+  task_buffer_.assign(plan_->tasks.size(), std::span<double>{});
   task_group_.assign(plan_->tasks.size(), -1);
 
+  std::size_t total = 0;        // slab doubles, aligned per span
+  std::size_t comm_bytes = 0;   // payload bytes (the seed's zero-fill)
+  const auto count_tasks = [&](const std::vector<int>& ids) {
+    for (int id : ids) {
+      const std::size_t n = plan_->task(id).elements;
+      total += BufferArena::aligned(n);
+      comm_bytes += n * sizeof(double);
+    }
+  };
+  count_tasks(plan_->a_comm);
+  count_tasks(plan_->g_comm);
+  count_tasks(plan_->grad_comm);
+  count_tasks(plan_->broadcast_tasks);
+  arena_.reset(total);
+
+  // Copies-eliminated accounting vs the seed layout: the per-step
+  // zero-fill of every comm buffer, the fused path's dense unpack
+  // intermediates (one d x d matrix per fused factor, now folded straight
+  // from the packed payload), and the per-step reallocation of aggregated
+  // gradients / broadcast inverse matrices.
+  arena_saved_bytes_ = comm_bytes;
+
   const auto layout_family = [this](const std::vector<int>& comm_tasks,
-                                    std::vector<std::vector<double>>& buffers,
+                                    std::vector<std::span<double>>& buffers,
                                     std::vector<PackSlot>& slots,
                                     const std::vector<std::size_t>& sizes) {
     for (std::size_t gi = 0; gi < comm_tasks.size(); ++gi) {
       const sched::Task& task = plan_->task(comm_tasks[gi]);
-      buffers[gi].assign(task.elements, 0.0);
-      task_buffer_[static_cast<std::size_t>(task.id)] = &buffers[gi];
+      buffers[gi] = arena_.carve(task.elements);
+      task_buffer_[static_cast<std::size_t>(task.id)] = buffers[gi];
       task_group_[static_cast<std::size_t>(task.id)] = static_cast<int>(gi);
       std::size_t offset = 0;
       for (std::size_t p = task.first; p <= task.last; ++p) {
         slots[p] = {static_cast<int>(gi), offset};
         offset += sizes[p];
+        const std::size_t d =
+            task.family == sched::Family::kA
+                ? layers_[p]->dim_a()
+                : layers_[layers_.size() - 1 - p]->dim_g();
+        arena_saved_bytes_ += d * d * sizeof(double);  // dense intermediate
       }
     }
   };
@@ -393,19 +425,23 @@ void DistKfacOptimizer::begin_step() {
 
   for (std::size_t gi = 0; gi < plan_->grad_comm.size(); ++gi) {
     const sched::Task& task = plan_->task(plan_->grad_comm[gi]);
-    grad_buffers_[gi].assign(task.elements, 0.0);
-    task_buffer_[static_cast<std::size_t>(task.id)] = &grad_buffers_[gi];
+    grad_buffers_[gi] = arena_.carve(task.elements);
+    task_buffer_[static_cast<std::size_t>(task.id)] = grad_buffers_[gi];
     task_group_[static_cast<std::size_t>(task.id)] = static_cast<int>(gi);
     std::size_t offset = 0;
     for (std::size_t l : plan_->grad_groups[gi]) {
       grad_slots_[l] = {static_cast<int>(gi), offset};
-      offset += layers_[l]->weight_grad().size();
+      const std::size_t n = layers_[l]->weight_grad().size();
+      offset += n;
+      arena_saved_bytes_ += n * sizeof(double);  // agg matrix realloc
     }
   }
   for (int id : plan_->broadcast_tasks) {
     const sched::Task& task = plan_->task(id);
-    bcast_buffers_[task.tensor].assign(task.elements, 0.0);
-    task_buffer_[static_cast<std::size_t>(id)] = &bcast_buffers_[task.tensor];
+    bcast_buffers_[task.tensor] = arena_.carve(task.elements);
+    task_buffer_[static_cast<std::size_t>(id)] = bcast_buffers_[task.tensor];
+    arena_saved_bytes_ +=
+        task.dim * task.dim * sizeof(double);  // inverse matrix realloc
   }
 
   backward_events_ = 0;
@@ -496,7 +532,7 @@ void DistKfacOptimizer::handle_backward_grad(std::size_t layer) {
   const PackSlot& slot = grad_slots_[layer];
   if (slot.group < 0) return;  // nothing communicated (P == 1)
   const auto grad = layers_[layer]->weight_grad().data();
-  std::vector<double>& buffer =
+  const std::span<double> buffer =
       grad_buffers_[static_cast<std::size_t>(slot.group)];
   std::copy(grad.begin(), grad.end(),
             buffer.begin() + static_cast<std::ptrdiff_t>(slot.offset));
@@ -526,10 +562,9 @@ void DistKfacOptimizer::run_factor_compute(int task_id) {
 
   const PackSlot& slot = (is_a ? a_slots_ : g_slots_)[task.pass_index];
   if (slot.group >= 0) {
-    std::vector<double>& buffer =
+    const std::span<double> buffer =
         (is_a ? a_buffers_ : g_buffers_)[static_cast<std::size_t>(slot.group)];
-    tensor::pack_upper(
-        fresh, std::span<double>(buffer).subspan(slot.offset, task.elements));
+    tensor::pack_upper(fresh, buffer.subspan(slot.offset, task.elements));
   } else {
     // Single worker: the fresh factor is already the aggregate; fold the
     // running average here so inverse tasks (which depend on every factor
@@ -576,8 +611,10 @@ void DistKfacOptimizer::run_update() {
 
 void DistKfacOptimizer::submit_collective(int task_id) {
   const sched::Task& task = plan_->task(task_id);
-  std::vector<double>& buffer =
-      *task_buffer_[static_cast<std::size_t>(task_id)];
+  // The span is an arena slab view — the engine operates on it in place
+  // (no staging copy); OpRecord::data lets tests verify exactly that.
+  const std::span<double> buffer =
+      task_buffer_[static_cast<std::size_t>(task_id)];
   if (task.kind == sched::TaskKind::kBroadcast) {
     engine_.broadcast_async(buffer, task.rank, task.label, task.id);
   } else {
@@ -592,32 +629,44 @@ void DistKfacOptimizer::postprocess_collective(int task_id) {
   switch (task.kind) {
     case sched::TaskKind::kFusedAllReduce: {
       const bool is_a = task.family == sched::Family::kA;
-      const std::vector<double>& buffer =
+      const std::span<const double> buffer =
           (is_a ? a_buffers_
                 : g_buffers_)[static_cast<std::size_t>(task_group_[task_id])];
+      // Fold each packed member straight from the slab into the dense EMA
+      // state — no dense unpack intermediate.  Bitwise identical to
+      // unpack + update_running_average: the pre-fold state is exactly
+      // symmetric (constructed by unpack, preserved by the elementwise
+      // EMA), so mirroring the lower triangle from the freshly folded
+      // upper one reproduces the direct per-element fold.
+      const auto& kt = tensor::kernels::active_table();
       std::size_t offset = 0;
       for (std::size_t p = task.first; p <= task.last; ++p) {
         const std::size_t l = is_a ? p : L - 1 - p;
         const std::size_t n = (is_a ? a_sizes_ : g_sizes_)[p];
-        Matrix& fresh = is_a ? fresh_a_[l] : fresh_g_[l];
-        tensor::unpack_upper(
-            std::span<const double>(buffer).subspan(offset, n), fresh);
-        offset += n;
+        const std::size_t d =
+            is_a ? layers_[l]->dim_a() : layers_[l]->dim_g();
         LayerState& st = state_[l];
-        update_running_average(is_a ? st.a : st.g, fresh,
-                               options_.stat_decay);
+        Matrix& state = is_a ? st.a : st.g;
+        const bool init = state.empty();
+        if (init) state = Matrix(d, d);
+        kt.ema_unpack(buffer.data() + offset, d, state.data().data(), d,
+                      options_.stat_decay, init);
+        offset += n;
       }
       break;
     }
     case sched::TaskKind::kGradAllReduce: {
       const std::size_t gi =
           static_cast<std::size_t>(task_group_[task_id]);
-      const std::vector<double>& buffer = grad_buffers_[gi];
+      const std::span<const double> buffer = grad_buffers_[gi];
       std::size_t offset = 0;
       for (std::size_t l : plan_->grad_groups[gi]) {
         const Matrix& grad = layers_[l]->weight_grad();
-        agg_grads_[l] = Matrix(grad.rows(), grad.cols());
-        auto dst = agg_grads_[l].data();
+        Matrix& agg = agg_grads_[l];
+        if (agg.rows() != grad.rows() || agg.cols() != grad.cols()) {
+          agg = Matrix(grad.rows(), grad.cols());  // first step / reshape
+        }
+        auto dst = agg.data();
         std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(offset),
                   buffer.begin() +
                       static_cast<std::ptrdiff_t>(offset + dst.size()),
@@ -627,9 +676,11 @@ void DistKfacOptimizer::postprocess_collective(int task_id) {
       break;
     }
     case sched::TaskKind::kBroadcast: {
-      Matrix inv(task.dim, task.dim);
+      Matrix& inv = inverse_slot(task.tensor);
+      if (inv.rows() != task.dim || inv.cols() != task.dim) {
+        inv = Matrix(task.dim, task.dim);  // first step / reshape
+      }
       tensor::unpack_upper(bcast_buffers_[task.tensor], inv);
-      inverse_slot(task.tensor) = std::move(inv);
       break;
     }
     default:

@@ -60,9 +60,12 @@
 
 #include <chrono>
 
+#include <span>
+
 #include "comm/async_engine.hpp"
 #include "comm/cluster.hpp"
 #include "comm/collectives.hpp"
+#include "core/buffer_arena.hpp"
 #include "core/kfac_optimizer.hpp"
 #include "exec/dataflow.hpp"
 #include "exec/thread_pool.hpp"
@@ -295,6 +298,20 @@ class DistKfacOptimizer {
   /// accounting.
   double engine_now_s() const { return engine_.now_s(); }
 
+  /// The zero-copy slab this rank's communication buffers live in.  Tests
+  /// check OpRecord::data of plan collectives against arena().contains()
+  /// to prove the engine runs in place on the slab.  Read between steps.
+  const BufferArena& arena() const noexcept { return arena_; }
+
+  /// Per-iteration bytes the arena path stopped copying/clearing relative
+  /// to the seed's layout (per-step buffer zero-fills, the fused path's
+  /// dense unpack intermediates, per-step aggregate/broadcast matrix
+  /// reallocations), from the last planned step.  Benchmarks report this
+  /// as "copies eliminated".
+  std::size_t arena_bytes_saved_per_step() const noexcept {
+    return arena_saved_bytes_;
+  }
+
   /// Fusion groups used for the A/G factor aggregation of the last factor
   /// step (empty on a single worker, where nothing is communicated).
   const std::vector<sched::FusionGroup>& last_a_groups() const noexcept {
@@ -408,17 +425,21 @@ class DistKfacOptimizer {
       std::make_shared<const sched::IterationPlan>();
   sched::Placement placement_;
 
-  // Per-step execution state.  Buffers are pre-sized in begin_step and
-  // written at plan-determined disjoint offsets, so concurrent compute
-  // tasks never contend.
+  // Per-step execution state.  Buffers are spans carved from the arena in
+  // begin_step (deterministic plan order, no per-step allocation or
+  // zeroing) and written at plan-determined disjoint offsets, so
+  // concurrent compute tasks never contend.  The async engine submits
+  // these spans in place — zero-copy, verified via OpRecord::data.
   bool hooked_active_ = false;
   std::size_t backward_events_ = 0;  ///< hooked completeness check
-  std::vector<std::vector<double>> a_buffers_, g_buffers_;  // per fused group
-  std::vector<PackSlot> a_slots_, g_slots_;                 // per pass index
-  std::vector<std::vector<double>> grad_buffers_;           // per grad group
-  std::vector<PackSlot> grad_slots_;                        // per layer
-  std::vector<std::vector<double>> bcast_buffers_;          // per tensor
-  std::vector<std::vector<double>*> task_buffer_;  // per plan task, or null
+  BufferArena arena_;
+  std::size_t arena_saved_bytes_ = 0;  ///< see arena_bytes_saved_per_step()
+  std::vector<std::span<double>> a_buffers_, g_buffers_;  // per fused group
+  std::vector<PackSlot> a_slots_, g_slots_;               // per pass index
+  std::vector<std::span<double>> grad_buffers_;           // per grad group
+  std::vector<PackSlot> grad_slots_;                      // per layer
+  std::vector<std::span<double>> bcast_buffers_;          // per tensor
+  std::vector<std::span<double>> task_buffer_;  // per plan task, or empty
   std::vector<int> task_group_;  ///< per plan task: fused/grad group index
 
   // Execution infrastructure — declared last, in this exact order, so

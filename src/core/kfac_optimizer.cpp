@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels/kernels.hpp"
+
 namespace spdkfac::core {
 
 using tensor::Matrix;
@@ -34,11 +36,9 @@ void update_running_average(Matrix& state, const Matrix& fresh,
     state = fresh;
     return;
   }
-  auto sd = state.data();
-  auto fd = fresh.data();
-  for (std::size_t i = 0; i < sd.size(); ++i) {
-    sd[i] = decay * sd[i] + (1.0 - decay) * fd[i];
-  }
+  tensor::kernels::active_table().ema(state.data().data(),
+                                      fresh.data().data(),
+                                      state.data().size(), decay);
 }
 
 Matrix damped_inverse_by(const Matrix& m, double damping,

@@ -1,0 +1,90 @@
+// Runtime ISA dispatch: CPUID detection, SPDKFAC_ISA override, force().
+#include "tensor/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/kernels/tables.hpp"
+
+namespace spdkfac::tensor::kernels {
+
+namespace {
+
+bool cpu_has_avx2_fma() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// Resolves the initial level once: SPDKFAC_ISA if set and usable,
+/// otherwise the best CPUID-supported level.  Unknown or unsupported
+/// values degrade silently so a pinned-ISA suite still runs everywhere.
+Isa resolve_initial() noexcept {
+  Isa pick = best_supported();
+  if (const char* env = std::getenv("SPDKFAC_ISA")) {
+    const std::string v(env);
+    if (v == "scalar") {
+      pick = Isa::kScalar;
+    } else if (v == "avx2" && supported(Isa::kAvx2)) {
+      pick = Isa::kAvx2;
+    }
+  }
+  return pick;
+}
+
+std::atomic<Isa>& active_level() noexcept {
+  static std::atomic<Isa> level{resolve_initial()};
+  return level;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool supported(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return detail::avx2_compiled() && cpu_has_avx2_fma();
+  }
+  return false;
+}
+
+Isa best_supported() noexcept {
+  return supported(Isa::kAvx2) ? Isa::kAvx2 : Isa::kScalar;
+}
+
+Isa active() noexcept {
+  return active_level().load(std::memory_order_relaxed);
+}
+
+void force(Isa isa) {
+  if (!supported(isa)) {
+    throw std::invalid_argument(
+        std::string("kernels::force: ISA level '") + to_string(isa) +
+        "' is not supported by this build/CPU");
+  }
+  active_level().store(isa, std::memory_order_relaxed);
+}
+
+const KernelTable& table(Isa isa) noexcept {
+  if (isa == Isa::kAvx2 && supported(Isa::kAvx2)) {
+    return detail::avx2_table();
+  }
+  return detail::scalar_table();
+}
+
+}  // namespace spdkfac::tensor::kernels

@@ -1,0 +1,141 @@
+// Runtime-dispatched CPU microkernels for the factor/inverse hot path.
+//
+// Everything numeric the distributed optimizer spends its time in — the
+// GEMM variants behind factor construction and preconditioning, the
+// Cholesky/triangular-solve inner products of the SPD inverse, symmetric
+// pack/unpack, the EMA fold, and the collectives' elementwise reduce
+// loops — funnels through the function-pointer table returned by
+// active().  Two implementations exist:
+//
+//   kScalar — portable C++ loops, the cross-platform numeric reference;
+//   kAvx2   — cache-blocked AVX2/FMA double-precision microkernels
+//             (4x8 register tiles for the GEMMs, 4-lane FMA dot products,
+//             4x4 in-register transposes), compiled only on x86-64 and
+//             selected only when CPUID reports AVX2+FMA.
+//
+// Dispatch is resolved once, at first use: the SPDKFAC_ISA environment
+// variable ("scalar" or "avx2") overrides CPUID detection — requesting
+// an unsupported level silently degrades to the best available one, so a
+// pinned-ISA test suite still runs (and records what it ran at) on older
+// hardware.  Tests and benches may also switch levels mid-process with
+// force().
+//
+// Determinism contract (what the bitwise test suites rely on):
+//
+//   * Every kernel's result is a pure function of (inputs, shape, ISA
+//     level).  Accumulation orders are fixed per level: the GEMMs sum k
+//     ascending per output element regardless of row chunking or register
+//     blocking, dot() uses a fixed 4-lane stripe + fixed-tree horizontal
+//     sum + ascending tail, so results never depend on the exec pool size
+//     or on how callers block their outer loops.
+//   * Different ISA levels may round differently (FMA contracts mul+add
+//     into one rounding); bitwise determinism holds *within* a level,
+//     and the scalar level is the portable reference.
+//   * The purely elementwise kernels (add/max/scale) are bitwise
+//     identical across levels — vector lanes round exactly like the
+//     scalar ops — which keeps the collectives' reduction bits stable
+//     no matter which level each test forces.
+//
+// All pointers are to row-major double storage; kernels accept leading
+// dimensions and never require alignment (unaligned loads are used
+// throughout; the BufferArena still hands out 64-byte-aligned slabs so
+// the common case hits aligned fast paths in hardware).
+#pragma once
+
+#include <cstddef>
+
+namespace spdkfac::tensor::kernels {
+
+enum class Isa { kScalar = 0, kAvx2 = 1 };
+
+const char* to_string(Isa isa) noexcept;
+
+/// Whether this build + CPU can execute the level (kScalar: always).
+bool supported(Isa isa) noexcept;
+
+/// Highest supported level (CPUID-detected at first call).
+Isa best_supported() noexcept;
+
+/// Level in effect: resolved on first use from SPDKFAC_ISA (falling back
+/// to best_supported() when unset, unparsable, or unsupported).
+Isa active() noexcept;
+
+/// Pins the active level (tests/benches).  Throws std::invalid_argument
+/// for a level this build/CPU cannot execute.  Not thread-safe against
+/// kernels running concurrently — switch between steps only.
+void force(Isa isa);
+
+/// One ISA level's kernel set.  All matrix arguments are row-major with
+/// explicit leading dimensions; `rows`-style extents are block extents, so
+/// callers pass pointers already offset to their block.
+struct KernelTable {
+  Isa isa;
+
+  /// C[0..rows)x[0..N) += A[0..rows)x[0..K) * B[0..K)x[0..N).
+  /// Per-element accumulation order: k ascending.
+  void (*gemm_nn)(std::size_t rows, std::size_t K, std::size_t N,
+                  const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double* c, std::size_t ldc);
+
+  /// C[0..rows)x[0..N) += A^T block * B: c(i,j) += a[k*lda + i] * b(k,j)
+  /// (a points at the first column of the block).  k ascending.
+  void (*gemm_tn)(std::size_t rows, std::size_t K, std::size_t N,
+                  const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double* c, std::size_t ldc);
+
+  /// C[0..rows)x[0..M) += A * B^T: c(i,j) += dot(a_i, b_j) over K.
+  void (*gemm_nt)(std::size_t rows, std::size_t K, std::size_t M,
+                  const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double* c, std::size_t ldc);
+
+  /// sum_k x[k] * y[k] — the Cholesky column update reduces to this.
+  double (*dot)(const double* x, const double* y, std::size_t n);
+
+  // Elementwise reduce loops shared with comm::detail::accumulate/finalize
+  // (bitwise identical across ISA levels — see file comment).
+  void (*add)(double* dst, const double* src, std::size_t n);
+  void (*max)(double* dst, const double* src, std::size_t n);
+  void (*scale)(double* dst, std::size_t n, double s);
+
+  /// dst[i] += alpha * src[i] — the row update of the multi-RHS triangular
+  /// solves behind spd_inverse.  Vector levels contract into FMA (like
+  /// ema): bitwise-stable within a level, close across levels.
+  void (*axpy)(double* dst, const double* src, std::size_t n, double alpha);
+
+  /// state = decay*state + (1-decay)*fresh, elementwise (the factor EMA).
+  void (*ema)(double* state, const double* fresh, std::size_t n,
+              double decay);
+
+  /// Folds a packed upper triangle straight into a dense symmetric EMA
+  /// state (both triangles), the zero-copy replacement for
+  /// unpack_upper + dense EMA: with init, state(r,c) = packed value; else
+  /// state(r,c) = decay*state(r,c) + (1-decay)*value.  Requires the dense
+  /// state to be exactly symmetric (bitwise), which the EMA preserves.
+  void (*ema_unpack)(const double* packed, std::size_t d, double* state,
+                     std::size_t lds, double decay, bool init);
+
+  /// Packed upper triangle (row-major, incl. diagonal) <-> dense symmetric.
+  void (*pack_upper)(const double* a, std::size_t d, std::size_t lda,
+                     double* out);
+  void (*unpack_upper)(const double* packed, std::size_t d, double* a,
+                       std::size_t lda);
+
+  /// Averages a(i,j)/a(j,i) pairs owned by rows [r0, r1) (pair owner:
+  /// min(i,j)), writing both mirror elements.
+  void (*symmetrize_rows)(double* a, std::size_t n, std::size_t lda,
+                          std::size_t r0, std::size_t r1);
+
+  /// out(c, r) = in(r, c), cache-blocked.
+  void (*transpose)(const double* in, std::size_t rows, std::size_t cols,
+                    std::size_t ldi, double* out, std::size_t ldo);
+};
+
+/// The table of one specific level (kernel unit tests compare levels).
+/// Requesting an unsupported level returns the scalar table.
+const KernelTable& table(Isa isa) noexcept;
+
+/// The table of the active level.  Callers should grab the reference once
+/// per operation so a concurrent force() cannot tear a multi-call kernel.
+inline const KernelTable& active_table() noexcept { return table(active()); }
+
+}  // namespace spdkfac::tensor::kernels

@@ -6,29 +6,28 @@
 #include <vector>
 
 #include "exec/context.hpp"
+#include "exec/grain.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace spdkfac::tensor {
 
 namespace {
 
-/// Shape-only chunking (see matrix.cpp): ~64k inner ops per chunk, so the
-/// kernels stay bitwise-deterministic across pool sizes and serial for
+/// Shape-only chunking (see exec/grain.hpp): ~64k inner ops per chunk, so
+/// the kernels stay bitwise-deterministic across pool sizes and serial for
 /// small factors.
 std::size_t items_per_chunk(std::size_t ops_per_item) noexcept {
-  constexpr std::size_t kTargetOps = std::size_t{1} << 16;
-  return std::max<std::size_t>(
-      1, kTargetOps / std::max<std::size_t>(ops_per_item, 1));
+  return exec::grain_for_ops(ops_per_item);
 }
 
 }  // namespace
 
 void Cholesky::solve_lower(std::span<double> b) const {
   const std::size_t n = lower.rows();
+  const auto& kt = kernels::active_table();
   for (std::size_t i = 0; i < n; ++i) {
     const double* li = lower.row_ptr(i);
-    double sum = b[i];
-    for (std::size_t k = 0; k < i; ++k) sum -= li[k] * b[k];
-    b[i] = sum / li[i];
+    b[i] = (b[i] - kt.dot(li, b.data(), i)) / li[i];
   }
 }
 
@@ -77,22 +76,21 @@ std::optional<Cholesky> cholesky(const Matrix& a) {
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
     const double* lj = l.row_ptr(j);
-    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    const double diag =
+        a(j, j) - kernels::active_table().dot(lj, lj, j);
     if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
     // The column update below the diagonal is embarrassingly parallel: each
-    // l(i, j) reads only finished rows.
+    // l(i, j) reads only finished rows; the inner product runs on the
+    // active ISA's dot microkernel over the two contiguous row prefixes.
+    const auto& kt = kernels::active_table();
     exec::parallel_for(
         n - j - 1, items_per_chunk(j + 1),
         [&, j, ljj](std::size_t s0, std::size_t s1) {
           for (std::size_t i = j + 1 + s0; i < j + 1 + s1; ++i) {
-            const double* li = l.row_ptr(i);
-            double sum = a(i, j);
-            for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
-            l(i, j) = sum / ljj;
+            l(i, j) = (a(i, j) - kt.dot(l.row_ptr(i), lj, j)) / ljj;
           }
         });
   }
@@ -105,20 +103,64 @@ Matrix spd_inverse(const Matrix& a) {
     throw std::domain_error("spd_inverse: matrix is not positive definite");
   }
   const std::size_t n = a.rows();
-  // Invert by solving A X = I one column at a time.  Columns of the identity
-  // are sparse, but the triangular solves dominate anyway (O(n^2) each).
-  // Columns are independent — this is the blocked loop SPD-KFAC's inverse
-  // tasks parallelize on the shared pool.
+  // Invert by solving A X = I with two *multi-RHS* triangular sweeps: each
+  // chunk owns a range of identity columns and sweeps the rows of L (then
+  // of U = L^T) once, updating its whole column block with contiguous
+  // axpy/scale microkernels — the same O(n^3) flops as per-column solves,
+  // but unit-stride FMA across the block width instead of the short
+  // sequential dot products that used to dominate.
+  //
+  // Determinism: an output element (i, j) accumulates its k terms in
+  // ascending order no matter how columns are chunked or blocked — the
+  // forward sweep's update widths reach column j only for k >= j, the k
+  // loops run ascending, and axpy/scale round per element independent of
+  // lane position — so results stay bitwise identical across pool sizes
+  // (within an ISA level), as the determinism suite requires.
+  const Matrix upper = chol->lower.transposed();
+  const auto& kt = kernels::active_table();
   Matrix inv(n, n);
+  for (std::size_t j = 0; j < n; ++j) inv(j, j) = 1.0;
+  // Column blocks of kBlock keep a sweep's working set (n rows x block
+  // width) L2-resident while amortizing kernel-call overhead over
+  // full-width axpy runs.  The chunk grain is floored at kBlock: narrower
+  // chunks would degrade the sweeps to short-vector updates, and the
+  // per-element accumulation order is block-width-invariant anyway.
+  constexpr std::size_t kBlock = 64;
   exec::parallel_for(
-      n, items_per_chunk(2 * n * n), [&](std::size_t j0, std::size_t j1) {
-        std::vector<double> col(n);
-        for (std::size_t j = j0; j < j1; ++j) {
-          std::fill(col.begin(), col.end(), 0.0);
-          col[j] = 1.0;
-          chol->solve_lower(col);
-          chol->solve_upper(col);
-          for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+      n, std::max(items_per_chunk(2 * n * n), kBlock),
+      [&](std::size_t j0, std::size_t j1) {
+        // Each row update is a 1-row GEMM with the negated L/U row as the
+        // coefficient vector: the destination row rides in registers
+        // across the whole k sweep instead of being re-loaded per k, and
+        // gemm_nn's k-ascending per-element order makes the bits equal to
+        // an axpy-per-k formulation (negation is exact).  Updates past a
+        // row's triangular frontier multiply exact zeros of Y, which
+        // leaves every element's bits untouched.
+        std::vector<double> neg(n);
+        for (std::size_t b0 = j0; b0 < j1; b0 += kBlock) {
+          const std::size_t b1 = std::min(j1, b0 + kBlock);
+          const std::size_t w = b1 - b0;
+          // Forward sweep: Y = L^{-1} I over columns [b0, b1).  Y is lower
+          // triangular, so rows above b0 stay zero.
+          for (std::size_t i = b0; i < n; ++i) {
+            const double* li = chol->lower.row_ptr(i);
+            double* yi = inv.row_ptr(i) + b0;
+            const std::size_t K = i - b0;
+            for (std::size_t k = 0; k < K; ++k) neg[k] = -li[b0 + k];
+            kt.gemm_nn(1, K, w, neg.data(), n, inv.row_ptr(b0) + b0, n, yi,
+                       n);
+            kt.scale(yi, w, 1.0 / li[i]);
+          }
+          // Back sweep: X = U^{-1} Y, rows descending, full block width.
+          for (std::size_t i = n; i-- > 0;) {
+            const double* ui = upper.row_ptr(i);
+            double* xi = inv.row_ptr(i) + b0;
+            const std::size_t K = n - i - 1;
+            for (std::size_t k = 0; k < K; ++k) neg[k] = -ui[i + 1 + k];
+            kt.gemm_nn(1, K, w, neg.data(), n, inv.row_ptr(i + 1) + b0, n,
+                       xi, n);
+            kt.scale(xi, w, 1.0 / ui[i]);
+          }
         }
       });
   symmetrize(inv);
@@ -146,18 +188,14 @@ void symmetrize(Matrix& a) {
     throw std::invalid_argument("symmetrize requires a square matrix");
   }
   // Each unordered pair {i, j} is owned by the chunk containing min(i, j),
-  // so chunks write disjoint element sets.
-  exec::parallel_for(
-      a.rows(), items_per_chunk(a.cols()),
-      [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-          for (std::size_t j = i + 1; j < a.cols(); ++j) {
-            const double avg = 0.5 * (a(i, j) + a(j, i));
-            a(i, j) = avg;
-            a(j, i) = avg;
-          }
-        }
-      });
+  // so chunks write disjoint element sets.  0.5*(x+y) is elementwise, so
+  // every ISA level produces identical bits here.
+  const auto& kt = kernels::active_table();
+  exec::parallel_for(a.rows(), items_per_chunk(a.cols()),
+                     [&](std::size_t r0, std::size_t r1) {
+                       kt.symmetrize_rows(a.row_ptr(0), a.rows(), a.cols(),
+                                          r0, r1);
+                     });
 }
 
 double spd_inverse_flops(std::size_t n) noexcept {

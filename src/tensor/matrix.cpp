@@ -7,19 +7,20 @@
 #include <stdexcept>
 
 #include "exec/context.hpp"
+#include "exec/grain.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace spdkfac::tensor {
 
 namespace {
 
-/// Output rows per parallel_for chunk, targeting ~64k inner operations so
-/// small matrices stay serial and large ones split with negligible per-chunk
-/// overhead.  Chunking depends only on the shape (never on the pool size),
-/// which keeps every kernel bitwise-deterministic across pool sizes — each
-/// output element is produced by exactly one chunk, by the serial code.
+/// Output rows per parallel_for chunk (see exec/grain.hpp).  Chunking
+/// depends only on the shape (never on the pool size), which keeps every
+/// kernel bitwise-deterministic across pool sizes — each output element is
+/// produced by exactly one chunk, and the microkernels' per-element
+/// accumulation order is independent of the chunk boundaries.
 std::size_t rows_per_chunk(std::size_t ops_per_row) noexcept {
-  constexpr std::size_t kTargetOps = std::size_t{1} << 16;
-  return std::max<std::size_t>(1, kTargetOps / std::max<std::size_t>(ops_per_row, 1));
+  return exec::grain_for_ops(ops_per_row);
 }
 
 }  // namespace
@@ -98,11 +99,9 @@ double Matrix::max_abs() const noexcept {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      t(c, r) = (*this)(r, c);
-    }
-  }
+  if (rows_ == 0 || cols_ == 0) return t;
+  kernels::active_table().transpose(data_.data(), rows_, cols_, cols_,
+                                    t.row_ptr(0), rows_);
   return t;
 }
 
@@ -111,25 +110,17 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul shape mismatch");
   }
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // both b and c, which is the standard cache-friendly ordering for
-  // row-major storage.  Rows of c are independent, so the outer loop blocks
-  // across the ambient pool.
+  if (c.rows() == 0 || c.cols() == 0) return c;
+  // Rows of c are independent, so the outer loop blocks across the ambient
+  // pool; each chunk runs the active ISA's register-tiled microkernel.  No
+  // zero-skip on a(i,k): it would break IEEE special-value propagation
+  // (0 * NaN must stay NaN) and defeat vectorization.
+  const auto& kt = kernels::active_table();
   exec::parallel_for(
       a.rows(), rows_per_chunk(a.cols() * b.cols()),
       [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-          double* ci = c.row_ptr(i);
-          const double* ai = a.row_ptr(i);
-          for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double aik = ai[k];
-            if (aik == 0.0) continue;
-            const double* bk = b.row_ptr(k);
-            for (std::size_t j = 0; j < b.cols(); ++j) {
-              ci[j] += aik * bk[j];
-            }
-          }
-        }
+        kt.gemm_nn(r1 - r0, a.cols(), b.cols(), a.row_ptr(r0), a.cols(),
+                   b.row_ptr(0), b.cols(), c.row_ptr(r0), c.cols());
       });
   return c;
 }
@@ -139,24 +130,17 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_tn shape mismatch");
   }
   Matrix c(a.cols(), b.cols());
-  // Parallel over blocks of c's rows (columns of a); the k-outer traversal
-  // inside each block keeps the per-element accumulation order of the
-  // serial kernel (k ascending), so results are bitwise identical.
+  if (c.rows() == 0 || c.cols() == 0) return c;
+  // Parallel over blocks of c's rows (columns of a); every microkernel
+  // accumulates each c(i,j) strictly k ascending, so results are bitwise
+  // identical across chunkings within an ISA level.  No zero-skip (IEEE
+  // NaN/Inf propagation — see matmul).
+  const auto& kt = kernels::active_table();
   exec::parallel_for(
       a.cols(), rows_per_chunk(a.rows() * b.cols()),
       [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t k = 0; k < a.rows(); ++k) {
-          const double* ak = a.row_ptr(k);
-          const double* bk = b.row_ptr(k);
-          for (std::size_t i = i0; i < i1; ++i) {
-            const double aki = ak[i];
-            if (aki == 0.0) continue;
-            double* ci = c.row_ptr(i);
-            for (std::size_t j = 0; j < b.cols(); ++j) {
-              ci[j] += aki * bk[j];
-            }
-          }
-        }
+        kt.gemm_tn(i1 - i0, a.rows(), b.cols(), a.row_ptr(0) + i0, a.cols(),
+                   b.row_ptr(0), b.cols(), c.row_ptr(i0), c.cols());
       });
   return c;
 }
@@ -166,19 +150,13 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_nt shape mismatch");
   }
   Matrix c(a.rows(), b.rows());
+  if (c.rows() == 0 || c.cols() == 0) return c;
+  const auto& kt = kernels::active_table();
   exec::parallel_for(
       a.rows(), rows_per_chunk(a.cols() * b.rows()),
       [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-          const double* ai = a.row_ptr(i);
-          double* ci = c.row_ptr(i);
-          for (std::size_t j = 0; j < b.rows(); ++j) {
-            const double* bj = b.row_ptr(j);
-            double sum = 0.0;
-            for (std::size_t k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
-            ci[j] = sum;
-          }
-        }
+        kt.gemm_nt(r1 - r0, a.cols(), b.rows(), a.row_ptr(r0), a.cols(),
+                   b.row_ptr(0), b.cols(), c.row_ptr(r0), c.cols());
       });
   return c;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/kernels/kernels.hpp"
+
 namespace spdkfac::tensor {
 
 SymmetricPacked::SymmetricPacked(std::size_t dim)
@@ -37,11 +39,9 @@ void pack_upper(const Matrix& dense, std::span<double> out) {
   if (out.size() != packed_size(d)) {
     throw std::invalid_argument("pack_upper: output span has wrong size");
   }
-  std::size_t idx = 0;
-  for (std::size_t r = 0; r < d; ++r) {
-    const double* row = dense.row_ptr(r);
-    for (std::size_t c = r; c < d; ++c) out[idx++] = row[c];
-  }
+  if (d == 0) return;
+  kernels::active_table().pack_upper(dense.row_ptr(0), d, dense.cols(),
+                                     out.data());
 }
 
 void unpack_upper(std::span<const double> packed, Matrix& dense) {
@@ -49,14 +49,9 @@ void unpack_upper(std::span<const double> packed, Matrix& dense) {
   if (!dense.square() || packed.size() != packed_size(d)) {
     throw std::invalid_argument("unpack_upper: size mismatch");
   }
-  std::size_t idx = 0;
-  for (std::size_t r = 0; r < d; ++r) {
-    for (std::size_t c = r; c < d; ++c) {
-      const double v = packed[idx++];
-      dense(r, c) = v;
-      dense(c, r) = v;
-    }
-  }
+  if (d == 0) return;
+  kernels::active_table().unpack_upper(packed.data(), d, dense.row_ptr(0),
+                                       dense.cols());
 }
 
 }  // namespace spdkfac::tensor

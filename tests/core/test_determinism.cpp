@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "perf/models.hpp"
 #include "sched/planner.hpp"
 #include "sched/serialize.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/matrix.hpp"
 #include "testsupport/backends.hpp"
 
@@ -46,6 +49,11 @@ struct RunConfig {
   /// *changes mid-run* (different fusion per epoch), and determinism must
   /// survive the re-planning loop and the plan cache.
   bool adaptive = false;
+  /// Microkernel ISA level to pin inside every rank (forked ranks force it
+  /// in-child).  Bitwise determinism is promised *within* a level, never
+  /// across levels (FMA contraction rounds differently) — so the forced-ISA
+  /// matrix never compares scalar weights against avx2 weights.
+  std::optional<tensor::kernels::Isa> isa = std::nullopt;
 };
 
 /// Deterministic trajectory spanning two decades of absolute scale — each
@@ -68,6 +76,7 @@ std::vector<sched::PassTiming> trajectory_for(
 /// fixed profile (or trajectory), returning this rank's final weights.
 std::vector<Matrix> train_rank(const RunConfig& cfg, comm::Communicator& comm,
                                std::string* plan_text = nullptr) {
+  if (cfg.isa.has_value()) tensor::kernels::force(*cfg.isa);
   const models::ModelSpec spec = models::mlp_spec(kWidths);
   const auto cal =
       perf::ClusterCalibration::for_topology(comm::Topology::flat(cfg.world));
@@ -202,8 +211,8 @@ TEST(Determinism, HookedMatchesPostHocUnderEveryPoolSize) {
   // The two trigger paths release the same gates; with a fixed profile the
   // executed dataflow (and so the model) must be bitwise identical.
   for (const std::size_t pool : {std::size_t{0}, std::size_t{4}}) {
-    RunConfig hooked{4, pool, DistStrategy::kSpdKfac, true};
-    RunConfig posthoc{4, pool, DistStrategy::kSpdKfac, false};
+    RunConfig hooked{.world = 4, .pool_size = pool, .hooked = true};
+    RunConfig posthoc{.world = 4, .pool_size = pool, .hooked = false};
     expect_bitwise_equal(train(hooked), train(posthoc),
                          "pool=" + std::to_string(pool));
   }
@@ -212,7 +221,7 @@ TEST(Determinism, HookedMatchesPostHocUnderEveryPoolSize) {
 TEST(Determinism, RepeatedPooledRunsAreBitwiseStable) {
   // Same config twice: scheduler nondeterminism (steal order, completion
   // order) must never leak into the parameters.
-  RunConfig cfg{4, 4, DistStrategy::kSpdKfac, true};
+  RunConfig cfg{.world = 4, .pool_size = 4};
   expect_bitwise_equal(train(cfg), train(cfg), "repeat");
 }
 
@@ -237,8 +246,10 @@ TEST(Determinism, AdaptiveReplanningIsBitwiseIdenticalAcrossPoolSizes) {
 }
 
 TEST(Determinism, AdaptiveHookedMatchesPostHocAndRepeats) {
-  RunConfig hooked{4, 4, DistStrategy::kSpdKfac, true, 6, true};
-  RunConfig posthoc{4, 4, DistStrategy::kSpdKfac, false, 6, true};
+  RunConfig hooked{.world = 4, .pool_size = 4, .hooked = true, .steps = 6,
+                   .adaptive = true};
+  RunConfig posthoc{.world = 4, .pool_size = 4, .hooked = false, .steps = 6,
+                    .adaptive = true};
   const auto first = train(hooked);
   expect_bitwise_equal(first, train(posthoc), "adaptive hooked==post-hoc");
   expect_bitwise_equal(first, train(hooked), "adaptive repeat");
@@ -261,7 +272,7 @@ class DeterminismBackend
 };
 
 TEST_P(DeterminismBackend, TrainingMatchesInProcessBitwise) {
-  RunConfig cfg{4, 2, DistStrategy::kSpdKfac, true};
+  RunConfig cfg{.world = 4, .pool_size = 2};
   const std::vector<double> reference = flatten(train(cfg));
   const auto results = train_over(GetParam(), cfg);
   ASSERT_EQ(results.size(), 4u);
@@ -278,7 +289,7 @@ TEST_P(DeterminismBackend, PoolSizesAgreeOverTheWire) {
   // Serial executor vs a 2-worker pool, both on this backend: executor
   // concurrency must stay invisible even when the collectives cross a
   // process boundary mid-step.
-  RunConfig cfg{4, 0, DistStrategy::kSpdKfac, true};
+  RunConfig cfg{.world = 4, .pool_size = 0};
   const auto serial = train_over(GetParam(), cfg);
   cfg.pool_size = 2;
   const auto pooled = train_over(GetParam(), cfg);
@@ -296,6 +307,153 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<comm::TransportKind>& info) {
       return testsupport::backend_name(info.param);
     });
+
+// ---------------------------------------------------------------------------
+// Forced-ISA matrix: the microkernel determinism contract says bits are a
+// pure function of (inputs, shape, ISA level) — so at *each* pinned level,
+// every pool size and every transport must reproduce the identical model.
+// ---------------------------------------------------------------------------
+
+std::vector<tensor::kernels::Isa> kernel_levels() {
+  std::vector<tensor::kernels::Isa> levels{tensor::kernels::Isa::kScalar};
+  if (tensor::kernels::supported(tensor::kernels::Isa::kAvx2)) {
+    levels.push_back(tensor::kernels::Isa::kAvx2);
+  }
+  return levels;
+}
+
+/// Restores the process-global active level on scope exit (in-process ranks
+/// force it globally; forked ranks only mutate their own copy).
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(tensor::kernels::active()) {}
+  ~IsaGuard() { tensor::kernels::force(saved_); }
+
+ private:
+  tensor::kernels::Isa saved_;
+};
+
+class ForcedIsaBackend
+    : public ::testing::TestWithParam<comm::TransportKind> {
+ protected:
+  void SetUp() override {
+    SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(GetParam());
+  }
+};
+
+TEST_P(ForcedIsaBackend, PoolSizesBitwiseIdenticalAtEveryIsaLevel) {
+  const IsaGuard guard;
+  for (const tensor::kernels::Isa level : kernel_levels()) {
+    RunConfig cfg{.world = 2, .pool_size = 0, .isa = level};
+    const auto serial = train_over(GetParam(), cfg);
+    ASSERT_EQ(serial.size(), 2u);
+    for (const std::size_t pool : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+      cfg.pool_size = pool;
+      const auto pooled = train_over(GetParam(), cfg);
+      ASSERT_EQ(pooled.size(), serial.size());
+      for (std::size_t r = 0; r < serial.size(); ++r) {
+        EXPECT_EQ(pooled[r], serial[r])
+            << testsupport::backend_name(GetParam()) << " isa="
+            << tensor::kernels::to_string(level) << " pool=" << pool
+            << " rank " << r << " diverged from serial";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ForcedIsaBackend,
+    ::testing::ValuesIn(testsupport::kAllTransports),
+    [](const ::testing::TestParamInfo<comm::TransportKind>& info) {
+      return testsupport::backend_name(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore with the buffer arena, per ISA level: restoring mid-run
+// rebuilds the optimizer (fresh arena, fresh plan cache) — the continued run
+// must still be bitwise the uninterrupted one at the same pinned level.
+// ---------------------------------------------------------------------------
+
+std::vector<Matrix> train_checkpointed(tensor::kernels::Isa level,
+                                       bool interrupted) {
+  constexpr int kWorld = 2, kCut = 2, kTotal = 4;
+  const models::ModelSpec spec = models::mlp_spec(kWidths);
+  const auto cal = perf::ClusterCalibration::for_topology(
+      comm::Topology::flat(kWorld));
+  DistKfacOptions opts;
+  opts.strategy = DistStrategy::kSpdKfac;
+  opts.pool_size = 2;
+  opts.lr = 0.1;
+  opts.damping = 0.1;
+  opts.stat_decay = 0.5;
+  opts.grad_fusion_threshold = 64;
+  opts.profile = sched::timing_from_model(spec, kBatch, cal.compute,
+                                          /*second_order=*/true);
+
+  std::vector<std::string> blobs(kWorld);
+  std::vector<Matrix> weights;
+  auto run = [&](bool restore_phase) {
+    comm::Cluster::launch(kWorld, [&](comm::Communicator& comm) {
+      tensor::kernels::force(level);
+      Rng init(2024);
+      nn::Sequential model = nn::make_mlp(kWidths, init);
+      auto layers = model.preconditioned_layers();
+      DistKfacOptimizer optimizer(layers, comm, opts);
+      nn::SyntheticClassification data(kClasses, kIn, 1, 55);
+      Rng shard(300 + comm.rank());
+      nn::SoftmaxCrossEntropy loss;
+      int first = 0, last = kTotal;
+      if (interrupted) {
+        if (restore_phase) {
+          std::istringstream in(blobs[static_cast<std::size_t>(comm.rank())]);
+          optimizer.restore_checkpoint(in);
+          for (int s = 0; s < kCut; ++s) data.sample(kBatch, shard);  // replay
+          first = kCut;
+        } else {
+          last = kCut;
+        }
+      }
+      for (int s = first; s < last; ++s) {
+        auto batch = data.sample(kBatch, shard);
+        Tensor4D flat(batch.inputs.n, kIn, 1, 1);
+        flat.data = batch.inputs.data;
+        loss.forward(model.forward(flat), batch.labels);
+        model.backward(loss.backward());
+        optimizer.step();
+      }
+      if (interrupted && !restore_phase) {
+        std::ostringstream out;
+        optimizer.save_checkpoint(out);
+        blobs[static_cast<std::size_t>(comm.rank())] = out.str();
+      } else if (comm.rank() == 0) {
+        // The restored optimizer must still run its collectives on the
+        // (new) arena slab, not on staging copies.
+        for (const auto& rec : optimizer.comm_records()) {
+          if (rec.plan_task >= 0) {
+            EXPECT_TRUE(optimizer.arena().contains(rec.data)) << rec.name;
+          }
+        }
+        weights.clear();
+        for (auto* l : layers) weights.push_back(l->weight());
+      }
+    });
+  };
+  if (interrupted) run(/*restore_phase=*/false);
+  run(/*restore_phase=*/interrupted);
+  return weights;
+}
+
+TEST(Determinism, CheckpointResumeBitwiseStableWithArenaAtEveryIsaLevel) {
+  const IsaGuard guard;
+  for (const tensor::kernels::Isa level : kernel_levels()) {
+    const auto uninterrupted = train_checkpointed(level, false);
+    const auto resumed = train_checkpointed(level, true);
+    expect_bitwise_equal(resumed, uninterrupted,
+                         std::string("checkpoint isa=") +
+                             tensor::kernels::to_string(level));
+  }
+}
 
 TEST(Determinism, AdaptiveReplannedPlansAreRankIdentical) {
   // After the last re-plan epoch every rank must hold the byte-identical

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "tensor/random.hpp"
@@ -97,6 +99,35 @@ TEST(Matrix, Transposed) {
   EXPECT_EQ(t(2, 0), 3.0);
 }
 
+// The kernel transpose is cache-blocked in 32x32 tiles (with 4x4 register
+// tiles on the vector level); sweep shapes that land on and straddle both
+// block edges, plus degenerate rows/columns.
+TEST(Matrix, TransposedNonSquareAndBlockEdges) {
+  Rng rng(23);
+  const std::size_t shapes[][2] = {{1, 1},  {1, 17}, {17, 1},  {4, 4},
+                                   {5, 7},  {32, 32}, {33, 31}, {37, 65},
+                                   {64, 33}};
+  for (const auto& s : shapes) {
+    Matrix a = random_normal(s[0], s[1], rng);
+    Matrix t = a.transposed();
+    ASSERT_EQ(t.rows(), a.cols());
+    ASSERT_EQ(t.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t c = 0; c < a.cols(); ++c) {
+        EXPECT_EQ(t(c, r), a(r, c)) << s[0] << "x" << s[1];
+      }
+    }
+    Matrix back = t.transposed();
+    EXPECT_EQ(max_abs_diff(back, a), 0.0);
+  }
+}
+
+TEST(Matrix, TransposedEmpty) {
+  Matrix t = Matrix().transposed();
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+}
+
 TEST(Matrix, FrobeniusNorm) {
   Matrix a{{3, 4}};
   EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
@@ -148,6 +179,42 @@ TEST(Matmul, NtMatchesExplicitTranspose) {
   Matrix a = random_normal(4, 6, rng);
   Matrix b = random_normal(5, 6, rng);
   EXPECT_TRUE(allclose(matmul_nt(a, b), matmul(a, b.transposed())));
+}
+
+// Regression for the old `if (aik == 0.0) continue;` zero-skip in the
+// matmul inner loops: skipping the multiply silently turned 0 * NaN and
+// 0 * inf into 0, masking upstream numerical blow-ups.  IEEE requires the
+// NaN to propagate into every output element the bad operand touches.
+TEST(Matmul, ZeroTimesNanPropagates) {
+  Matrix a{{0.0, 1.0}, {2.0, 0.0}};
+  Matrix b(2, 2);
+  b(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  b(0, 1) = std::numeric_limits<double>::infinity();
+  b(1, 0) = 3.0;
+  b(1, 1) = 4.0;
+  Matrix c = matmul(a, b);
+  // Row 0 multiplies the NaN/inf row of b by an explicit 0.
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // 0*NaN + 1*3
+  EXPECT_TRUE(std::isnan(c(0, 1)));  // 0*inf + 1*4
+  // Row 1 scales the bad row by 2: NaN and inf must survive.
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+  EXPECT_TRUE(std::isinf(c(1, 1)) || std::isnan(c(1, 1)));
+}
+
+TEST(Matmul, TnAndNtPropagateNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Matrix a(2, 2);  // all zeros
+  Matrix b{{1.0, 2.0}, {3.0, 4.0}};
+  b(0, 0) = nan;
+  // tn(i, j) sums a(k, i) * b(k, j); the NaN at b(0, 0) reaches column 0.
+  Matrix tn = matmul_tn(a, b);
+  EXPECT_TRUE(std::isnan(tn(0, 0)));
+  EXPECT_TRUE(std::isnan(tn(1, 0)));
+  EXPECT_EQ(tn(1, 1), 0.0);  // untouched by the NaN: 0*2 + 0*4
+
+  Matrix nt = matmul_nt(b, a);
+  EXPECT_TRUE(std::isnan(nt(0, 0)));
+  EXPECT_TRUE(std::isnan(nt(0, 1)));
 }
 
 TEST(Matvec, MatchesMatmul) {
