@@ -1,0 +1,207 @@
+// Compressed collectives (ROADMAP 5(a)): what the codec seam buys, measured
+// three ways —
+//
+//   1. codec microkernel throughput: encode/decode GB/s per ISA level
+//      (scalar vs AVX2 — bitwise-identical outputs, different speed);
+//   2. bytes-on-the-wire: the compressed/raw payload ratio per codec, plus
+//      the per-iteration factor/gradient wire bytes of real plans;
+//   3. end-to-end iteration time: the simulator prices the *re-derived*
+//      compressed plan (fusion groups, CT/NCT typing and algorithm choices
+//      all recomputed from the compressed alpha + beta*m' model of Eq. 14)
+//      against the lossless plan, across strategies x P on a
+//      bandwidth-bound fabric (the paper's constants with 10x the
+//      per-element network cost — a 10GbE-class cluster instead of 100Gb/s
+//      InfiniBand — where PR 8's compute speedups left communication as the
+//      dominant term).
+//
+// Emits BENCH_compression.json.  The acceptance gates of the compression PR
+// live in its fields: int8 factor comm must cut factor bytes >= 3x
+// (factor_bytes_ratio) and the compressed schedule must beat lossless by
+// >= 1.3x end-to-end on the bandwidth-bound config (speedup).
+#include <random>
+
+#include "bench_util.hpp"
+#include "comm/codec.hpp"
+#include "models/model_spec.hpp"
+#include "perf/models.hpp"
+#include "sim/iteration.hpp"
+#include "tensor/kernels/kernels.hpp"
+
+using namespace spdkfac;
+
+namespace {
+
+constexpr double kTopKRatio = 0.01;  // ship 1% of gradient elements
+
+// -------------------------------------------------------------------------
+// 1. Codec microkernel throughput per ISA level
+// -------------------------------------------------------------------------
+
+struct Throughput {
+  double encode_gbs = 0.0;
+  double decode_gbs = 0.0;
+};
+
+Throughput codec_throughput(comm::Codec codec, std::size_t n) {
+  std::vector<double> src(n);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  for (double& x : src) x = dist(rng);
+  std::vector<double> wire(comm::wire_elements(codec, n, kTopKRatio));
+  std::vector<double> dst(n);
+
+  // Best of a few repetitions: the steady-state rate, insensitive to one
+  // scheduler hiccup.  Throughput counts the *logical* bytes processed.
+  const auto best_of = [](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    }
+    return best;
+  };
+  const double bytes = static_cast<double>(n) * sizeof(double);
+  Throughput t;
+  t.encode_gbs =
+      bytes / best_of([&] { comm::encode(codec, src, wire, kTopKRatio); }) /
+      1e9;
+  t.decode_gbs =
+      bytes / best_of([&] { comm::decode(codec, wire, dst, kTopKRatio); }) /
+      1e9;
+  return t;
+}
+
+// -------------------------------------------------------------------------
+// 2 + 3. Plan bytes and end-to-end pricing
+// -------------------------------------------------------------------------
+
+std::size_t kind_bytes(const sched::IterationPlan& plan, sched::TaskKind kind,
+                       bool wire) {
+  std::size_t bytes = 0;
+  for (const sched::Task& task : plan.tasks) {
+    if (task.kind != kind) continue;
+    bytes += (wire ? task.wire_elements : task.elements) * sizeof(double);
+  }
+  return bytes;
+}
+
+/// The paper's fabric constants for P workers with 10x the per-element
+/// network cost: the bandwidth-bound regime the compression targets.
+perf::ClusterCalibration bandwidth_bound_cal(int world) {
+  comm::Topology topo = comm::Topology::flat(world);
+  topo.inter.beta *= 10.0;
+  return perf::ClusterCalibration::for_topology(topo);
+}
+
+sim::AlgorithmConfig compressed(sim::AlgorithmConfig cfg) {
+  cfg.name += "+int8+topk";
+  cfg.factor_codec = comm::Codec::kInt8;
+  cfg.grad_codec = comm::Codec::kTopK;
+  cfg.topk_ratio = kTopKRatio;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Compression",
+                      "Codec throughput, bytes on the wire, and end-to-end "
+                      "iteration time vs lossless");
+  bench::BenchJson json("compression");
+
+  // --- 1. microkernel throughput ------------------------------------------
+  {
+    constexpr std::size_t kN = std::size_t{1} << 22;  // 32 MiB of doubles
+    bench::Table table({"Codec", "ISA", "encode (GB/s)", "decode (GB/s)",
+                        "wire ratio"});
+    for (auto isa :
+         {tensor::kernels::Isa::kScalar, tensor::kernels::Isa::kAvx2}) {
+      if (!tensor::kernels::supported(isa)) continue;
+      tensor::kernels::force(isa);
+      for (comm::Codec codec :
+           {comm::Codec::kFp16, comm::Codec::kInt8, comm::Codec::kTopK}) {
+        const Throughput t = codec_throughput(codec, kN);
+        const double ratio = 1.0 / comm::wire_ratio(codec, kTopKRatio);
+        table.add_row({to_string(codec), to_string(isa),
+                       bench::fmt("%.2f", t.encode_gbs),
+                       bench::fmt("%.2f", t.decode_gbs),
+                       bench::fmt("%.1fx", ratio)});
+        json.add(std::string("codec/") + to_string(codec) + "/" +
+                     to_string(isa),
+                 {{"encode_gbs", t.encode_gbs},
+                  {"decode_gbs", t.decode_gbs},
+                  {"wire_reduction", ratio}});
+      }
+    }
+    tensor::kernels::force(tensor::kernels::best_supported());
+    table.print();
+  }
+
+  // --- 2 + 3. plan bytes and priced iterations ----------------------------
+  std::printf("\nEnd-to-end (simulator, 10x-beta fabric; int8 factors + "
+              "top-k %.0f%% gradients):\n\n", kTopKRatio * 100.0);
+  bench::Table table({"Model", "Strategy", "P", "lossless (s)",
+                      "compressed (s)", "speedup", "factor bytes",
+                      "grad bytes", "wire total"});
+  for (const auto& spec : {models::vgg16(), models::resnet50()}) {
+    for (int world : {8, 16, 32}) {
+      const auto cal = bandwidth_bound_cal(world);
+      for (const sim::AlgorithmConfig& base :
+           {sim::AlgorithmConfig::dkfac(), sim::AlgorithmConfig::mpd_kfac(),
+            sim::AlgorithmConfig::spd_kfac()}) {
+        const auto lossless =
+            simulate_iteration(spec, spec.default_batch, cal, base);
+        const auto lossy = simulate_iteration(spec, spec.default_batch, cal,
+                                              compressed(base));
+
+        const auto ratio = [&](sched::TaskKind kind) {
+          const std::size_t raw = kind_bytes(lossy.plan, kind, false);
+          const std::size_t wire = kind_bytes(lossy.plan, kind, true);
+          return wire == 0 ? 1.0
+                           : static_cast<double>(raw) /
+                                 static_cast<double>(wire);
+        };
+        const double factor_ratio = ratio(sched::TaskKind::kFusedAllReduce);
+        const double grad_ratio = ratio(sched::TaskKind::kGradAllReduce);
+        const std::size_t raw_bytes = bench::plan_raw_bytes(lossy.plan);
+        const std::size_t wire_bytes = bench::plan_wire_bytes(lossy.plan);
+        const double speedup = lossless.total / lossy.total;
+
+        const std::string name = spec.name + "/" + base.name + "/P" +
+                                 std::to_string(world);
+        table.add_row({spec.name, base.name, std::to_string(world),
+                       bench::seconds(lossless.total),
+                       bench::seconds(lossy.total),
+                       bench::fmt("%.2fx", speedup),
+                       bench::fmt("%.1fx", factor_ratio),
+                       bench::fmt("%.0fx", grad_ratio),
+                       bench::fmt("%.1fx",
+                                  static_cast<double>(raw_bytes) /
+                                      static_cast<double>(wire_bytes))});
+        json.add(name, {{"lossless_s", lossless.total},
+                        {"compressed_s", lossy.total},
+                        {"speedup", speedup},
+                        {"factor_bytes_ratio", factor_ratio},
+                        {"grad_bytes_ratio", grad_ratio},
+                        {"wire_bytes_per_iter",
+                         static_cast<double>(wire_bytes)},
+                        {"raw_bytes_per_iter",
+                         static_cast<double>(raw_bytes)}});
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nThe compressed columns price *re-derived* plans: the planner re-\n"
+      "runs the fusion DP and LBP placement on the compressed beta, so the\n"
+      "schedule structure itself differs from lossless (golden tests pin\n"
+      "this).  int8 cuts factor bytes ~7.8x, top-k cuts gradient bytes\n"
+      "~100x; the end-to-end win is what survives overlap and the alpha\n"
+      "terms.\n");
+  json.write();
+  return 0;
+}

@@ -26,13 +26,19 @@ struct Row {
   double mean_queue_delay_s = 0.0;  // start - submit
   double overlap_fraction = 0.0;
   std::size_t arena_bytes_saved = 0;  // zero-copy path, per step
+  std::size_t wire_bytes = 0;  // post-codec collective payload, per step
+  std::size_t raw_bytes = 0;   // logical payload, per step
 };
 
-Row run(core::DistStrategy strategy, bool hooked) {
+Row run(core::DistStrategy strategy, bool hooked,
+        comm::Codec factor_codec = comm::Codec::kNone,
+        comm::Codec grad_codec = comm::Codec::kNone) {
   bench::DistTrainConfig cfg;
   cfg.strategy = strategy;
   cfg.hooked = hooked;
   cfg.steps = kSteps;
+  cfg.factor_codec = factor_codec;
+  cfg.grad_codec = grad_codec;
   const bench::DistTrainResult res = bench::dist_train(cfg);
 
   Row row;
@@ -40,6 +46,8 @@ Row run(core::DistStrategy strategy, bool hooked) {
   row.ops = res.records.size();
   row.overlap_fraction = res.overlap_fraction;
   row.arena_bytes_saved = res.arena_bytes_saved;
+  row.wire_bytes = res.wire_bytes_per_step;
+  row.raw_bytes = res.raw_bytes_per_step;
   double delay = 0.0;
   for (const auto& r : res.records) {
     row.comm_busy_s += r.end_s - r.start_s;
@@ -60,28 +68,49 @@ int main() {
   bench::BenchJson json("runtime");
   bench::Table table({"Strategy", "Mode", "mean/step (ms)", "p50 (ms)",
                       "p90 (ms)", "comm ops", "comm busy (ms)",
-                      "overlap frac"});
+                      "overlap frac", "wire/step (KB)"});
+  const auto record = [&](const std::string& name, const Row& row) {
+    const auto pos = name.find('/');
+    table.add_row({name.substr(0, pos), name.substr(pos + 1),
+                   bench::fmt("%.2f", row.step.mean * 1e3),
+                   bench::fmt("%.2f", row.step.p50 * 1e3),
+                   bench::fmt("%.2f", row.step.p90 * 1e3),
+                   std::to_string(row.ops),
+                   bench::fmt("%.2f", row.comm_busy_s * 1e3),
+                   bench::fmt("%.2f", row.overlap_fraction),
+                   bench::fmt("%.1f", static_cast<double>(row.wire_bytes) / 1e3)});
+    json.add_timing(name, row.step, row.overlap_fraction, row.wire_bytes,
+                    row.raw_bytes,
+                    {{"comm_ops", static_cast<double>(row.ops)},
+                     {"comm_busy_s", row.comm_busy_s},
+                     {"mean_queue_delay_s", row.mean_queue_delay_s},
+                     {"copies_eliminated_bytes_per_step",
+                      static_cast<double>(row.arena_bytes_saved)}});
+  };
   for (auto strategy :
        {core::DistStrategy::kDKfac, core::DistStrategy::kMpdKfac,
         core::DistStrategy::kSpdKfac}) {
     for (bool hooked : {false, true}) {
-      const Row row = run(strategy, hooked);
       const std::string mode = hooked ? "hooked" : "post-hoc";
-      table.add_row({to_string(strategy), mode,
-                     bench::fmt("%.2f", row.step.mean * 1e3),
-                     bench::fmt("%.2f", row.step.p50 * 1e3),
-                     bench::fmt("%.2f", row.step.p90 * 1e3),
-                     std::to_string(row.ops),
-                     bench::fmt("%.2f", row.comm_busy_s * 1e3),
-                     bench::fmt("%.2f", row.overlap_fraction)});
-      json.add_timing(std::string(to_string(strategy)) + "/" + mode,
-                      row.step, row.overlap_fraction,
-                      {{"comm_ops", static_cast<double>(row.ops)},
-                       {"comm_busy_s", row.comm_busy_s},
-                       {"mean_queue_delay_s", row.mean_queue_delay_s},
-                       {"copies_eliminated_bytes_per_step",
-                        static_cast<double>(row.arena_bytes_saved)}});
+      record(std::string(to_string(strategy)) + "/" + mode,
+             run(strategy, hooked));
     }
+  }
+  // The compressed planner dimension on the same harness: top-k
+  // error-feedback gradients shrink the wire column.  Factors stay
+  // lossless here — this tiny CNN's batch-8 factors are rank-deficient, so
+  // their smallest damped eigenvalue *is* the 3e-2 damping and even fp16
+  // rounding can push them off SPD; quantized-factor numerics at realistic
+  // damping is test_compressed_training's job, and the int8 bytes/time
+  // story is bench_compression's (pricing needs no numerics).  The
+  // in-process transport is memcpy-fast, so the *time* win also lives in
+  // bench_compression.
+  for (bool hooked : {false, true}) {
+    const std::string mode = hooked ? "hooked" : "post-hoc";
+    record(std::string(to_string(core::DistStrategy::kSpdKfac)) +
+               "+topk-grads/" + mode,
+           run(core::DistStrategy::kSpdKfac, hooked, comm::Codec::kNone,
+               comm::Codec::kTopK));
   }
   table.print();
   std::printf(

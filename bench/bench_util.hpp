@@ -15,13 +15,37 @@
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "comm/codec.hpp"
 #include "core/dist_kfac.hpp"
 #include "nn/data.hpp"
 #include "nn/layers.hpp"
 #include "perf/models.hpp"
+#include "sched/plan.hpp"
 #include "tensor/matrix.hpp"
 
 namespace spdkfac::bench {
+
+/// Bytes one iteration of `plan` puts on the wire: the sum of each
+/// collective task's post-codec wire payload.  Algorithm-level multipliers
+/// (a ring's 2(P-1)/P passes) hit lossless and compressed payloads alike,
+/// so they cancel out of every compression ratio derived from this.
+inline std::size_t plan_wire_bytes(const sched::IterationPlan& plan) {
+  std::size_t bytes = 0;
+  for (const sched::Task& task : plan.tasks) {
+    if (task.is_collective()) bytes += task.wire_elements * sizeof(double);
+  }
+  return bytes;
+}
+
+/// Same sum over the logical (pre-codec) payloads — the lossless baseline
+/// the wire bytes are compared against.
+inline std::size_t plan_raw_bytes(const sched::IterationPlan& plan) {
+  std::size_t bytes = 0;
+  for (const sched::Task& task : plan.tasks) {
+    if (task.is_collective()) bytes += task.elements * sizeof(double);
+  }
+  return bytes;
+}
 
 /// The paper's 64x RTX2080Ti testbed calibration (shared instance — every
 /// figure bench prices against the same constants).
@@ -59,6 +83,11 @@ struct DistTrainConfig {
   /// empty in the result).
   comm::TransportKind transport = comm::TransportKind::kInProcess;
   std::size_t shm_ring_bytes = comm::kDefaultShmRingBytes;
+  /// Collective payload codecs (DistKfacOptions counterparts) — lossless by
+  /// default so every existing bench keeps its seed numbers.
+  comm::Codec factor_codec = comm::Codec::kNone;
+  comm::Codec grad_codec = comm::Codec::kNone;
+  double topk_ratio = 0.01;
 };
 
 struct DistTrainResult {
@@ -76,6 +105,10 @@ struct DistTrainResult {
   /// (DistKfacOptimizer::arena_bytes_saved_per_step; in-process backend
   /// only, like the engine records).
   std::size_t arena_bytes_saved = 0;
+  /// Post-codec / pre-codec collective payload bytes of one step's plan
+  /// (plan_wire_bytes / plan_raw_bytes) — equal unless a codec is on.
+  std::size_t wire_bytes_per_step = 0;
+  std::size_t raw_bytes_per_step = 0;
 };
 
 DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg);
@@ -98,6 +131,9 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
     opts.damping = cfg.damping;
     opts.transport = cfg.transport;
     opts.shm_ring_bytes = cfg.shm_ring_bytes;
+    opts.factor_codec = cfg.factor_codec;
+    opts.grad_codec = cfg.grad_codec;
+    opts.topk_ratio = cfg.topk_ratio;
     if (cfg.pool_size != static_cast<std::size_t>(-1)) {
       opts.pool_size = cfg.pool_size;
     }
@@ -145,6 +181,8 @@ inline DistTrainResult dist_train(const DistTrainConfig& cfg) {
       result.records = optimizer.comm_records();
       result.broadcast_cts = optimizer.placement().num_cts();
       result.arena_bytes_saved = optimizer.arena_bytes_saved_per_step();
+      result.wire_bytes_per_step = plan_wire_bytes(optimizer.plan());
+      result.raw_bytes_per_step = plan_raw_bytes(optimizer.plan());
 
       double busy = 0.0, hidden = 0.0;
       for (const comm::OpRecord& r : result.records) {
@@ -181,6 +219,9 @@ inline DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg) {
         opts.damping = cfg.damping;
         opts.transport = cfg.transport;
         opts.shm_ring_bytes = cfg.shm_ring_bytes;
+        opts.factor_codec = cfg.factor_codec;
+        opts.grad_codec = cfg.grad_codec;
+        opts.topk_ratio = cfg.topk_ratio;
         if (cfg.pool_size != static_cast<std::size_t>(-1)) {
           opts.pool_size = cfg.pool_size;
         }
@@ -222,6 +263,8 @@ inline DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg) {
         out.push_back(last_loss);
         out.push_back(wall);
         out.push_back(static_cast<double>(optimizer.placement().num_cts()));
+        out.push_back(static_cast<double>(plan_wire_bytes(optimizer.plan())));
+        out.push_back(static_cast<double>(plan_raw_bytes(optimizer.plan())));
         out.push_back(static_cast<double>(step_seconds.size()));
         out.insert(out.end(), step_seconds.begin(), step_seconds.end());
         out.push_back(static_cast<double>(layers.size()));
@@ -242,6 +285,8 @@ inline DistTrainResult dist_train_multiprocess(const DistTrainConfig& cfg) {
   result.rank0_loss = next();
   result.wall_seconds = next();
   result.broadcast_cts = static_cast<std::size_t>(next());
+  result.wire_bytes_per_step = static_cast<std::size_t>(next());
+  result.raw_bytes_per_step = static_cast<std::size_t>(next());
   const auto n_steps = static_cast<std::size_t>(next());
   for (std::size_t s = 0; s < n_steps; ++s) {
     result.step_seconds.push_back(next());
@@ -308,6 +353,21 @@ class BenchJson {
         {"overlap_fraction", overlap_fraction}};
     fields.insert(fields.end(), extra.begin(), extra.end());
     add(config, std::move(fields));
+  }
+
+  /// Timing block with the per-iteration bytes-on-wire alongside the times,
+  /// so compression wins show up in the cross-PR BENCH_*.json trajectory
+  /// (wire == raw whenever the config runs lossless).
+  void add_timing(const std::string& config, const SampleStats& s,
+                  double overlap_fraction, std::size_t wire_bytes_per_iter,
+                  std::size_t raw_bytes_per_iter,
+                  std::vector<std::pair<std::string, double>> extra = {}) {
+    extra.insert(extra.begin(),
+                 {{"wire_bytes_per_iter",
+                   static_cast<double>(wire_bytes_per_iter)},
+                  {"raw_bytes_per_iter",
+                   static_cast<double>(raw_bytes_per_iter)}});
+    add_timing(config, s, overlap_fraction, std::move(extra));
   }
 
   /// Writes BENCH_<name>.json; prints the path.  Throws on I/O failure.

@@ -73,9 +73,11 @@ void Cluster::launch(const Topology& topo,
 
 void Communicator::barrier() { transport_->barrier(); }
 
-void Communicator::send(int dst, std::span<const double> payload) {
+void Communicator::send(int dst, std::span<const double> payload,
+                        std::uint16_t tag, int plan_task,
+                        std::uint16_t codec) {
   if (dst < 0 || dst >= size_) throw std::invalid_argument("send: bad rank");
-  transport_->send(dst, payload);
+  transport_->send(dst, payload, tag, plan_task, codec);
 }
 
 void Communicator::recv(int src, std::span<double> out) {

@@ -67,7 +67,11 @@ class Communicator {
   void barrier();
 
   /// Point-to-point: copies `payload` into the (rank -> dst) mailbox.
-  void send(int dst, std::span<const double> payload);
+  /// `tag`/`plan_task`/`codec` ride in the frame header on out-of-process
+  /// transports (codec != 0 marks an encoded payload whose length is the
+  /// wire-double count; see comm/codec.hpp).
+  void send(int dst, std::span<const double> payload, std::uint16_t tag = 0,
+            int plan_task = -1, std::uint16_t codec = 0);
 
   /// Blocking receive of the next message from `src`; the message length
   /// must equal out.size() (throws std::runtime_error otherwise).

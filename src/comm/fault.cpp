@@ -99,9 +99,9 @@ class FaultyTransport final : public Transport {
   void heartbeat() override { inner_->heartbeat(); }
 
   void send(int dst, std::span<const double> payload, std::uint16_t tag,
-            int plan_task) override {
+            int plan_task, std::uint16_t codec) override {
     if (act(FaultOp::kSend)) return;  // dropped
-    inner_->send(dst, payload, tag, plan_task);
+    inner_->send(dst, payload, tag, plan_task, codec);
   }
 
   std::vector<double> recv(int src) override { return inner_->recv(src); }

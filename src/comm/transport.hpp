@@ -71,10 +71,13 @@ class Transport {
   virtual int size() const noexcept = 0;
 
   /// Copies `payload` toward dst's mailbox and returns without waiting for
-  /// delivery.  `tag`/`plan_task` ride in the frame header (protocol
+  /// delivery.  `tag`/`plan_task`/`codec` ride in the frame header (protocol
   /// metadata; delivery order is FIFO per (src, dst) pair regardless).
+  /// codec != 0 marks a comm::Codec-encoded payload — the backends ship it
+  /// verbatim, so compressed bytes genuinely cross the wire.
   virtual void send(int dst, std::span<const double> payload,
-                    std::uint16_t tag = 0, int plan_task = -1) = 0;
+                    std::uint16_t tag = 0, int plan_task = -1,
+                    std::uint16_t codec = 0) = 0;
 
   /// Blocking receive of the next message from `src`.
   virtual std::vector<double> recv(int src) = 0;

@@ -62,7 +62,7 @@ class InProcessTransport final : public Transport {
   int size() const noexcept override { return group_->size(); }
 
   void send(int dst, std::span<const double> payload, std::uint16_t tag,
-            int /*plan_task*/) override {
+            int /*plan_task*/, std::uint16_t /*codec*/) override {
     group_->channel(rank_, dst).send(payload, tag);
   }
 

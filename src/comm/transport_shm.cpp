@@ -303,12 +303,13 @@ class ShmTransport final : public Transport {
   int size() const noexcept override { return arena_->size(); }
 
   void send(int dst, std::span<const double> payload, std::uint16_t tag,
-            int plan_task) override {
+            int plan_task, std::uint16_t codec) override {
     wire::FrameHeader header;
     header.tag = tag;
     header.src = rank_;
     header.plan_task = plan_task;
     header.elements = payload.size();
+    header.codec = codec;
     sender_.send(dst, wire::encode_frame(header, payload));
   }
 

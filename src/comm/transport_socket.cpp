@@ -182,12 +182,13 @@ class SocketTransport final : public Transport {
   int size() const noexcept override { return size_; }
 
   void send(int dst, std::span<const double> payload, std::uint16_t tag,
-            int plan_task) override {
+            int plan_task, std::uint16_t codec) override {
     wire::FrameHeader header;
     header.tag = tag;
     header.src = rank_;
     header.plan_task = plan_task;
     header.elements = payload.size();
+    header.codec = codec;
     sender_->send(dst, wire::encode_frame(header, payload));
   }
 
@@ -205,7 +206,7 @@ class SocketTransport final : public Transport {
     const int world = size_;
     try {
       for (int hop = 1; hop < world; hop <<= 1) {
-        send((rank_ + hop) % world, {}, wire::kBarrierTag, -1);
+        send((rank_ + hop) % world, {}, wire::kBarrierTag, -1, 0);
         next_frame_of((rank_ - hop + world) % world, /*want_barrier=*/true);
       }
     } catch (RankFailure& failure) {

@@ -62,6 +62,8 @@ void encode_header(const FrameHeader& header, std::span<unsigned char> out) {
   put_u32(out.data() + 8, static_cast<std::uint32_t>(header.src));
   put_u32(out.data() + 12, static_cast<std::uint32_t>(header.plan_task));
   put_u64(out.data() + 16, header.elements);
+  put_u16(out.data() + 24, header.codec);
+  for (int i = 26; i < 32; ++i) out[static_cast<std::size_t>(i)] = 0;
 }
 
 DecodeStatus decode_header(std::span<const unsigned char> in,
@@ -74,6 +76,7 @@ DecodeStatus decode_header(std::span<const unsigned char> in,
   out.plan_task = static_cast<std::int32_t>(get_u32(in.data() + 12));
   out.elements = get_u64(in.data() + 16);
   if (out.elements > kMaxElements) return DecodeStatus::kOversize;
+  out.codec = get_u16(in.data() + 24);
   return DecodeStatus::kOk;
 }
 

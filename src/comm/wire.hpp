@@ -1,11 +1,12 @@
 // Length-prefixed wire protocol shared by the out-of-process transports.
 //
 // Every message the shared-memory and socket backends move between ranks is
-// one *frame*: a fixed 24-byte header followed by the payload doubles.  The
+// one *frame*: a fixed 32-byte header followed by the payload doubles.  The
 // header carries enough to validate the stream (magic, version), identify
 // the sender (rank), and tag the traffic class (data / barrier / handshake)
-// plus the sched::IterationPlan task the payload realizes — the same
-// metadata the async engine's OpRecords carry in-process:
+// plus the sched::IterationPlan task the payload realizes and the
+// comm::Codec the payload is encoded with — the same metadata the async
+// engine's OpRecords carry in-process:
 //
 //   offset  size  field
 //        0     4  magic          0x53'50'44'4B ("SPDK", little-endian)
@@ -14,7 +15,10 @@
 //        8     4  src            sender rank (int32)
 //       12     4  plan_task      plan task id, -1 for out-of-plan traffic
 //       16     8  elements       payload length in doubles (uint64)
-//       24  8*elements           payload (raw IEEE-754 bits, host-endian)
+//       24     2  codec          comm::Codec id (0 = raw doubles)
+//       26     6  reserved       must be zero
+//       32  8*elements           payload (raw IEEE-754 bits, host-endian;
+//                                codec != 0: the encoded wire vector)
 //
 // All multi-byte fields are little-endian (encode/decode below serialize
 // byte-by-byte, so the layout is identical regardless of host struct
@@ -35,8 +39,10 @@
 namespace spdkfac::comm::wire {
 
 inline constexpr std::uint32_t kMagic = 0x5350'444B;  // "SPDK"
-inline constexpr std::uint16_t kVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 24;
+/// v2 widened the header from 24 to 32 bytes to carry the payload codec id
+/// (compressed collectives) plus reserved space.
+inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 32;
 
 /// Traffic classes (header `tag`).
 inline constexpr std::uint16_t kDataTag = 0;
@@ -62,6 +68,9 @@ struct FrameHeader {
   std::int32_t src = 0;
   std::int32_t plan_task = -1;
   std::uint64_t elements = 0;
+  /// comm::Codec id of the payload encoding (0: raw doubles).  For codec
+  /// frames `elements` counts the *wire* doubles actually shipped.
+  std::uint16_t codec = 0;
 
   friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
 };

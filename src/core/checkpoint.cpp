@@ -3,6 +3,7 @@
 
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
@@ -266,6 +267,16 @@ void DistKfacOptimizer::save_checkpoint(std::ostream& out) const {
     writer.record(RecordType::kInverseG, idx, gi);
   }
 
+  // Error-feedback residuals exist only once a top-k gradient step ran;
+  // checkpoints without them restore to zeroed residuals (same state a
+  // fresh optimizer starts from), so the journal version stays at 1.
+  for (std::size_t l = 0; l < grad_residuals_.size(); ++l) {
+    Payload r;
+    r.put_u64(grad_residuals_[l].size());
+    r.put_f64s(grad_residuals_[l]);
+    writer.record(RecordType::kGradResidual, static_cast<std::uint16_t>(l), r);
+  }
+
   const std::vector<double> prof = profiler_.serialize();
   Payload p;
   p.put_u64(prof.size());
@@ -294,6 +305,8 @@ void DistKfacOptimizer::restore_checkpoint(std::istream& in) {
   bool have_meta = false, have_profiler = false, have_timing = false;
   std::vector<bool> have_weights(L, false), have_factors(L, false);
   std::vector<tensor::Matrix> weights(L), fa(L), fg(L), ia(L), ig(L);
+  std::vector<std::vector<double>> residuals(L);
+  bool have_residuals = false;
   std::vector<double> prof;
   sched::PassTiming timing;
   std::uint64_t meta_steps = 0, meta_replans = 0, meta_epoch = 0,
@@ -361,6 +374,23 @@ void DistKfacOptimizer::restore_checkpoint(std::istream& in) {
         }
         break;
       }
+      case RecordType::kGradResidual: {
+        if (rec->index >= L) {
+          throw std::runtime_error(
+              "restore_checkpoint: residual record for layer " +
+              std::to_string(rec->index) + " of an " + std::to_string(L) +
+              "-layer model");
+        }
+        const std::size_t n = static_cast<std::size_t>(view.get_u64());
+        if (n != layers_[rec->index]->weight_grad().size()) {
+          throw std::runtime_error(
+              "restore_checkpoint: residual size mismatch at layer " +
+              std::to_string(rec->index));
+        }
+        residuals[rec->index] = view.get_f64s(n);
+        have_residuals = true;
+        break;
+      }
       case RecordType::kProfiler:
         prof = view.get_f64s(static_cast<std::size_t>(view.get_u64()));
         have_profiler = true;
@@ -393,6 +423,23 @@ void DistKfacOptimizer::restore_checkpoint(std::istream& in) {
     state_[l].g = std::move(fg[l]);
     state_[l].a_inv = std::move(ia[l]);
     state_[l].g_inv = std::move(ig[l]);
+  }
+  if (have_residuals) {
+    ensure_grad_residuals();
+    for (std::size_t l = 0; l < L; ++l) {
+      if (residuals[l].size() == grad_residuals_[l].size()) {
+        std::copy(residuals[l].begin(), residuals[l].end(),
+                  grad_residuals_[l].begin());
+      } else {  // layer absent from the journal: nothing accumulated yet
+        std::fill(grad_residuals_[l].begin(), grad_residuals_[l].end(), 0.0);
+      }
+    }
+  } else {
+    // A pre-compression (or lossless-run) checkpoint carries no residuals;
+    // whatever this incarnation accumulated belongs to a different history.
+    for (std::span<double> r : grad_residuals_) {
+      std::fill(r.begin(), r.end(), 0.0);
+    }
   }
   step_count_ = static_cast<std::size_t>(meta_steps);
   replan_count_ = static_cast<std::size_t>(meta_replans);

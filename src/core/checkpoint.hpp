@@ -54,6 +54,11 @@ enum class RecordType : std::uint16_t {
   kProfiler = 7,  ///< perf::OnlineProfiler::serialize() vector
   kTiming = 8,    ///< the planning PassTiming in effect
   kEnd = 9,       ///< terminator; index == number of preceding records
+  /// Per-layer top-k error-feedback residual (index = layer; payload is
+  /// u64 element count + that many f64s).  Written only when the optimizer
+  /// runs grad_codec == kTopK; absent records restore as zeroed residuals,
+  /// so version-1 journals from before compression stay readable.
+  kGradResidual = 10,
 };
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`,

@@ -115,6 +115,16 @@ void DistKfacOptions::validate() const {
         "DistKfacOptions: shm_ring_bytes must be a power of two in "
         "[1024, 2^31]");
   }
+  if (factor_codec == comm::Codec::kTopK) {
+    throw std::invalid_argument(
+        "DistKfacOptions: factor_codec cannot be topk (factors are dense; "
+        "sparsifying them breaks the Kronecker approximation)");
+  }
+  if (!(topk_ratio > 0.0) || !(topk_ratio <= 1.0) ||
+      !std::isfinite(topk_ratio)) {
+    throw std::invalid_argument(
+        "DistKfacOptions: topk_ratio must be in (0, 1]");
+  }
 }
 
 namespace {
@@ -284,6 +294,9 @@ void DistKfacOptimizer::begin_step() {
   opt.balance = options_.balance;
   opt.grad_fusion_threshold = options_.grad_fusion_threshold;
   opt.collective_algo = options_.collective_algo;
+  opt.factor_codec = options_.factor_codec;
+  opt.grad_codec = options_.grad_codec;
+  opt.topk_ratio = options_.topk_ratio;
   switch (options_.strategy) {
     case DistStrategy::kDKfac:
       opt.factor_comm = sched::FactorCommMode::kBulk;
@@ -379,17 +392,28 @@ void DistKfacOptimizer::begin_step() {
 
   std::size_t total = 0;        // slab doubles, aligned per span
   std::size_t comm_bytes = 0;   // payload bytes (the seed's zero-fill)
+  std::size_t codec_scratch = 0;  // largest codec gather/decode need
   const auto count_tasks = [&](const std::vector<int>& ids) {
     for (int id : ids) {
-      const std::size_t n = plan_->task(id).elements;
+      const sched::Task& task = plan_->task(id);
+      const std::size_t n = task.elements;
       total += BufferArena::aligned(n);
       comm_bytes += n * sizeof(double);
+      if (task.codec != comm::Codec::kNone) {
+        const std::size_t need =
+            task.kind == sched::TaskKind::kBroadcast
+                ? comm::broadcast_scratch_elements(task.codec, n)
+                : comm::all_reduce_scratch_elements(
+                      task.codec, n, comm_.size(), options_.topk_ratio);
+        codec_scratch = std::max(codec_scratch, need);
+      }
     }
   };
   count_tasks(plan_->a_comm);
   count_tasks(plan_->g_comm);
   count_tasks(plan_->grad_comm);
   count_tasks(plan_->broadcast_tasks);
+  total += BufferArena::aligned(codec_scratch);
   arena_.reset(total);
 
   // Copies-eliminated accounting vs the seed layout: the per-step
@@ -443,6 +467,9 @@ void DistKfacOptimizer::begin_step() {
     arena_saved_bytes_ +=
         task.dim * task.dim * sizeof(double);  // inverse matrix realloc
   }
+  codec_scratch_ =
+      codec_scratch > 0 ? arena_.carve(codec_scratch) : std::span<double>{};
+  if (options_.grad_codec == comm::Codec::kTopK) ensure_grad_residuals();
 
   backward_events_ = 0;
   executor_.begin(build_nodes(), plan_->collective_order(), pool_.get());
@@ -615,12 +642,94 @@ void DistKfacOptimizer::submit_collective(int task_id) {
   // (no staging copy); OpRecord::data lets tests verify exactly that.
   const std::span<double> buffer =
       task_buffer_[static_cast<std::size_t>(task_id)];
-  if (task.kind == sched::TaskKind::kBroadcast) {
+  if (task.codec != comm::Codec::kNone) {
+    submit_compressed(task, buffer);
+  } else if (task.kind == sched::TaskKind::kBroadcast) {
     engine_.broadcast_async(buffer, task.rank, task.label, task.id);
   } else {
     engine_.all_reduce_async(buffer, comm::ReduceOp::kAverage, task.label,
                              task.algo, task.id);
   }
+}
+
+void DistKfacOptimizer::ensure_grad_residuals() {
+  if (!grad_residuals_.empty()) return;
+  const std::size_t L = layers_.size();
+  std::size_t total = 0;
+  for (const nn::PreconditionedLayer* layer : layers_) {
+    total += BufferArena::aligned(layer->weight_grad().size());
+  }
+  residual_arena_.reset(total);
+  grad_residuals_.resize(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    grad_residuals_[l] = residual_arena_.carve(layers_[l]->weight_grad().size());
+    std::fill(grad_residuals_[l].begin(), grad_residuals_[l].end(), 0.0);
+  }
+}
+
+void DistKfacOptimizer::submit_compressed(const sched::Task& task,
+                                          std::span<double> buffer) {
+  const comm::Codec codec = task.codec;
+  const double ratio = options_.topk_ratio;
+  const int id = task.id;
+  if (task.kind == sched::TaskKind::kBroadcast) {
+    const std::span<double> scratch = codec_scratch_.subspan(
+        0, comm::broadcast_scratch_elements(codec, buffer.size()));
+    engine_.submit(
+        [buffer, codec, root = task.rank, scratch, id](comm::Communicator& c) {
+          comm::compressed_broadcast(c, buffer, codec, root, scratch, id);
+        },
+        task.label, task.elements, id, buffer.data());
+    return;
+  }
+  const std::span<double> scratch = codec_scratch_.subspan(
+      0, comm::all_reduce_scratch_elements(codec, buffer.size(), comm_.size(),
+                                           ratio));
+  if (codec != comm::Codec::kTopK) {
+    engine_.submit(
+        [buffer, codec, ratio, scratch, id](comm::Communicator& c) {
+          comm::compressed_all_reduce(c, buffer, codec,
+                                      comm::ReduceOp::kAverage, ratio, scratch,
+                                      id);
+        },
+        task.label, task.elements, id, buffer.data());
+    return;
+  }
+  // Top-k with error feedback, entirely inside the (serial) pump so the
+  // selection and the residual update are deterministic: re-inject the
+  // residuals into the group payload, encode the local wire block, bank
+  // residual' = u with the shipped positions zeroed (per layer — groups
+  // reshape across re-plans, layers do not), then run the encoded
+  // all-reduce over the exact block just produced.
+  const auto gi = static_cast<std::size_t>(task_group_[task.id]);
+  engine_.submit(
+      [this, buffer, ratio, scratch, gi, id](comm::Communicator& c) {
+        std::size_t offset = 0;
+        for (const std::size_t l : plan_->grad_groups[gi]) {
+          const std::span<const double> res = grad_residuals_[l];
+          double* u = buffer.data() + offset;
+          for (std::size_t i = 0; i < res.size(); ++i) u[i] += res[i];
+          offset += res.size();
+        }
+        const std::size_t w =
+            comm::wire_elements(comm::Codec::kTopK, buffer.size(), ratio);
+        const std::span<double> own = scratch.subspan(
+            static_cast<std::size_t>(c.rank()) * w, w);
+        comm::encode(comm::Codec::kTopK, buffer, own, ratio);
+        comm::topk_residual(buffer, own, buffer);  // in place: buffer := r'
+        offset = 0;
+        for (const std::size_t l : plan_->grad_groups[gi]) {
+          const std::span<double> res = grad_residuals_[l];
+          std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                    buffer.begin() +
+                        static_cast<std::ptrdiff_t>(offset + res.size()),
+                    res.begin());
+          offset += res.size();
+        }
+        comm::all_reduce_encoded(c, buffer, comm::Codec::kTopK,
+                                 comm::ReduceOp::kAverage, ratio, scratch, id);
+      },
+      task.label, task.elements, id, buffer.data());
 }
 
 void DistKfacOptimizer::postprocess_collective(int task_id) {

@@ -119,6 +119,21 @@ struct DistKfacOptions {
   /// ordering contract holds); any concrete algorithm forces it.
   comm::AllReduceAlgo collective_algo = comm::AllReduceAlgo::kRing;
 
+  /// Collective payload codecs (comm/codec.hpp), forwarded to the planner
+  /// so fusion groups, CT/NCT typing and algorithm choices re-derive from
+  /// the compressed sizes.  factor_codec compresses the fused factor
+  /// all-reduces and the inverse broadcasts (fp16 / int8 / auto; topk is
+  /// rejected — factors are dense).  grad_codec compresses the WFBP
+  /// gradient all-reduces; kTopK engages per-layer error-feedback
+  /// residuals, carried across steps and through checkpoints, so the
+  /// unsent mass is re-injected instead of lost.  kNone (default)
+  /// reproduces the seed's lossless collectives byte for byte.  Identical
+  /// on every rank, like every plan-shaping option.
+  comm::Codec factor_codec = comm::Codec::kNone;
+  comm::Codec grad_codec = comm::Codec::kNone;
+  /// kTopK keep ratio: fraction of each gradient message shipped.
+  double topk_ratio = 0.01;
+
   /// Cost models used for planning only (fusion rule, Algorithm 1, CT/NCT).
   /// Defaults are rough in-process-cluster figures; examples re-fit them
   /// with perf::measure_* like the paper's one-time benchmarking.
@@ -186,8 +201,8 @@ struct DistKfacOptions {
   /// value wrapped to unsigned, a profile_ema outside (0, 1], a profile or
   /// trajectory entry containing negative/non-finite entries, both
   /// `profile` and `profile_trajectory` set, a shm_ring_bytes that is
-  /// not a power of two in [1024, 2^31], or a negative/non-finite
-  /// comm_timeout_s.
+  /// not a power of two in [1024, 2^31], a negative/non-finite
+  /// comm_timeout_s, a topk factor_codec, or a topk_ratio outside (0, 1].
   void validate() const;
 };
 
@@ -379,7 +394,16 @@ class DistKfacOptimizer {
   void run_inverse(int task_id);
   void run_update();
   void submit_collective(int task_id);
+  /// Codec-annotated collective: queued on the engine as a custom pump op
+  /// running the comm::compressed_* primitives over the task's arena span
+  /// (the kTopK path also folds in / banks the error-feedback residuals,
+  /// serially inside the pump, so selection is deterministic).
+  void submit_compressed(const sched::Task& task, std::span<double> buffer);
   void postprocess_collective(int task_id);
+  /// Carves and zeroes the per-layer error-feedback residual spans on
+  /// first use (grad_codec == kTopK); restore_checkpoint also routes
+  /// through this before staging saved residuals.
+  void ensure_grad_residuals();
 
   const tensor::Matrix& factor_of(std::size_t tensor) const {
     return tensor % 2 == 0 ? state_[tensor / 2].a : state_[tensor / 2].g;
@@ -441,6 +465,15 @@ class DistKfacOptimizer {
   std::vector<std::span<double>> bcast_buffers_;          // per tensor
   std::vector<std::span<double>> task_buffer_;  // per plan task, or empty
   std::vector<int> task_group_;  ///< per plan task: fused/grad group index
+  /// Gather/decode scratch for codec-annotated collectives, sized for the
+  /// step's largest one.  The engine pump runs ops serially, so one shared
+  /// region is race-free.  Empty on lossless steps.
+  std::span<double> codec_scratch_;
+  /// Error-feedback state (grad_codec == kTopK): one residual span per
+  /// layer, persistent across steps (and re-plans — layers are the stable
+  /// unit when groups reshape), carved once from its own arena.
+  BufferArena residual_arena_;
+  std::vector<std::span<double>> grad_residuals_;
 
   // Execution infrastructure — declared last, in this exact order, so
   // destruction runs the engine first (drains in-flight collectives, whose

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "comm/codec.hpp"
 #include "sched/fusion.hpp"
 #include "sched/placement.hpp"
 
@@ -77,6 +78,13 @@ struct Task {
   int rank = -1;             ///< owner/root; -1 = every rank
 
   comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
+
+  /// Payload codec of a collective task — planner-resolved, never kAuto —
+  /// and the wire doubles actually shipped under it.  `elements` stays the
+  /// logical payload size; wire_elements == elements when codec == kNone
+  /// (and 0 on non-collective tasks, which ship nothing).
+  comm::Codec codec = comm::Codec::kNone;
+  std::size_t wire_elements = 0;
 
   /// Planner's readiness estimate; collective tasks are ordered by it, and
   /// the runtime submits them in exactly that order (the async engine's

@@ -61,6 +61,26 @@ FusionPolicy to_policy(FactorCommMode mode) noexcept {
   return FusionPolicy::kSingleBulk;
 }
 
+/// Folds a codec into a comm cost model: the per-element (beta) term scales
+/// by the wire ratio and absorbs the modeled encode+decode compute, so the
+/// fusion DP, the bulk estimates and CT/NCT typing all re-derive their
+/// decisions from the *compressed* alpha + beta'*m of Eq. (14).  Fed raw
+/// element counts, the adjusted model prices alpha + beta*wire + codec
+/// compute exactly (the wire ratio is the codecs' asymptotic ratio).
+perf::AllReduceModel with_codec(perf::AllReduceModel base, comm::Codec codec,
+                                double topk_ratio) noexcept {
+  base.model.beta = base.model.beta * comm::wire_ratio(codec, topk_ratio) +
+                    comm::codec_cost_per_element(codec);
+  return base;
+}
+
+perf::BroadcastModel with_codec(perf::BroadcastModel base, comm::Codec codec,
+                                double topk_ratio) noexcept {
+  base.model.beta = base.model.beta * comm::wire_ratio(codec, topk_ratio) +
+                    comm::codec_cost_per_element(codec);
+  return base;
+}
+
 /// Per-plan helper carrying the pieces every task construction needs.
 class Builder {
  public:
@@ -120,6 +140,15 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
     throw std::invalid_argument(
         "plan_iteration: gradient timing must cover every layer");
   }
+  if (options.factor_codec == comm::Codec::kTopK) {
+    throw std::invalid_argument(
+        "plan_iteration: factor_codec cannot be topk (factors are dense; "
+        "sparsifying them breaks the Kronecker approximation)");
+  }
+  if (options.grad_codec == comm::Codec::kTopK &&
+      !(options.topk_ratio > 0.0 && options.topk_ratio <= 1.0)) {
+    throw std::invalid_argument("plan_iteration: topk_ratio must be in (0, 1]");
+  }
 
   IterationPlan plan;
   plan.world_size = inputs.world_size;
@@ -134,6 +163,34 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
     a_sizes[l] = inputs.layers[l].a_elements;
     g_sizes[l] = inputs.layers[L - 1 - l].g_elements;
   }
+  const std::size_t a_total_all =
+      std::accumulate(a_sizes.begin(), a_sizes.end(), std::size_t{0});
+  const std::size_t g_total_all =
+      std::accumulate(g_sizes.begin(), g_sizes.end(), std::size_t{0});
+  std::size_t total_params = 0;
+  for (const LayerShape& layer : inputs.layers) {
+    total_params += layer.grad_elements;
+  }
+
+  // Resolve the option codecs per family against this step's total payload
+  // (kAuto stays lossless below the crossover, where the alpha term
+  // dominates and shrinking m buys nothing), then fold them into the comm
+  // cost models the fusion DP / bulk estimates / CT-NCT typing decide with.
+  // Inverse broadcasts ship the same packed-triangle family the factor
+  // all-reduces do, so factor_codec governs them too.
+  const double topk_ratio = options.topk_ratio;
+  const comm::Codec grad_codec = comm::resolve_codec(
+      options.grad_codec, total_params, /*gradient=*/true);
+  const comm::Codec a_codec = comm::resolve_codec(
+      options.factor_codec, a_total_all, /*gradient=*/false);
+  const comm::Codec g_codec = comm::resolve_codec(
+      options.factor_codec, g_total_all, /*gradient=*/false);
+  const comm::Codec bcast_codec = comm::resolve_codec(
+      options.factor_codec, a_total_all + g_total_all, /*gradient=*/false);
+  const perf::AllReduceModel a_allreduce =
+      with_codec(costs.allreduce, a_codec, topk_ratio);
+  const perf::AllReduceModel g_allreduce =
+      with_codec(costs.allreduce, g_codec, topk_ratio);
 
   // -------------------------------------------------------------------
   // Factor-computation tasks, in pass order (Fig. 1b: A_0..A_{L-1} during
@@ -174,6 +231,8 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
   if (inputs.world_size > 1) {
     // Gradients: accumulate consecutive layers in backward order until the
     // Horovod threshold, flush at the boundary (and always at layer 0).
+    // The threshold is a message-size policy, so it applies to the *wire*
+    // size — compression packs more layers per flush.
     std::vector<std::size_t> members;  // pack order: deepest member first
     std::size_t acc = 0;
     std::size_t tail = L;  // deepest member of the open group
@@ -182,7 +241,9 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
       if (members.empty()) tail = l;
       members.push_back(l);
       acc += inputs.layers[l].grad_elements;
-      if (acc >= options.grad_fusion_threshold || l == 0) {
+      if (comm::wire_elements(grad_codec, acc, topk_ratio) >=
+              options.grad_fusion_threshold ||
+          l == 0) {
         Task t;
         t.kind = TaskKind::kGradAllReduce;
         t.family = Family::kGrad;
@@ -190,7 +251,9 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
         t.last = tail;
         t.member_layers = members;
         t.elements = acc;
-        t.algo = b.resolve(acc);
+        t.codec = grad_codec;
+        t.wire_elements = comm::wire_elements(grad_codec, acc, topk_ratio);
+        t.algo = b.resolve(t.wire_elements);
         t.ready = timing.grad_ready[l];
         t.label = b.decorate("grad[" + std::to_string(l) + ".." +
                                  std::to_string(tail) + "]",
@@ -206,20 +269,18 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
       if (options.factor_comm == FactorCommMode::kBulk ||
           options.factor_comm == FactorCommMode::kNaive) {
         const bool naive = options.factor_comm == FactorCommMode::kNaive;
-        const std::size_t a_total =
-            std::accumulate(a_sizes.begin(), a_sizes.end(), std::size_t{0});
-        const std::size_t g_total =
-            std::accumulate(g_sizes.begin(), g_sizes.end(), std::size_t{0});
+        const std::size_t a_total = a_total_all;
+        const std::size_t g_total = g_total_all;
 
         FusionGroup a_group{0, L - 1, a_total, 0, 0, 0};
         a_group.ready_time = naive ? timing.a_ready[L - 1]
                                    : timing.backward_end;
         a_group.comm_start = a_group.ready_time;
-        a_group.comm_end = a_group.comm_start + costs.allreduce.time(a_total);
+        a_group.comm_end = a_group.comm_start + a_allreduce.time(a_total);
         FusionGroup g_group{0, L - 1, g_total, 0, 0, 0};
         g_group.ready_time = timing.backward_end;
         g_group.comm_start = std::max(g_group.ready_time, a_group.comm_end);
-        g_group.comm_end = g_group.comm_start + costs.allreduce.time(g_total);
+        g_group.comm_end = g_group.comm_start + g_allreduce.time(g_total);
         plan.a_groups = {a_group};
         plan.g_groups = {g_group};
 
@@ -232,7 +293,9 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
         std::iota(a_task.member_layers.begin(), a_task.member_layers.end(),
                   std::size_t{0});
         a_task.elements = a_total;
-        a_task.algo = b.resolve(a_total);
+        a_task.codec = a_codec;
+        a_task.wire_elements = comm::wire_elements(a_codec, a_total);
+        a_task.algo = b.resolve(a_task.wire_elements);
         a_task.ready = a_group.ready_time;
         // Naive pipelining ships the A family the moment the forward pass
         // packed its last factor; plain bulk defers both ops to the drain.
@@ -250,7 +313,9 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
           g_task.member_layers.push_back(L - 1 - i);
         }
         g_task.elements = g_total;
-        g_task.algo = b.resolve(g_total);
+        g_task.codec = g_codec;
+        g_task.wire_elements = comm::wire_elements(g_codec, g_total);
+        g_task.algo = b.resolve(g_task.wire_elements);
         g_task.ready = g_group.ready_time;
         g_task.deferred = true;
         g_task.deps = {plan.g_compute.back()};
@@ -261,11 +326,11 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
         // the G pass, the G stream starting where the A groups drained.
         const FusionPolicy policy = to_policy(options.factor_comm);
         FusionPlanInput a_input{timing.a_ready, a_sizes, 0.0};
-        plan.a_groups = plan_fusion(a_input, costs.allreduce, policy);
+        plan.a_groups = plan_fusion(a_input, a_allreduce, policy);
         const double stream_free =
             plan.a_groups.empty() ? 0.0 : plan.a_groups.back().comm_end;
         FusionPlanInput g_input{timing.g_ready, g_sizes, stream_free};
-        plan.g_groups = plan_fusion(g_input, costs.allreduce, policy);
+        plan.g_groups = plan_fusion(g_input, g_allreduce, policy);
 
         for (const FusionGroup& g : plan.a_groups) {
           Task t;
@@ -277,7 +342,9 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
             t.member_layers.push_back(l);
           }
           t.elements = g.elements;
-          t.algo = b.resolve(g.elements);
+          t.codec = a_codec;
+          t.wire_elements = comm::wire_elements(a_codec, g.elements);
+          t.algo = b.resolve(t.wire_elements);
           t.ready = g.ready_time;
           t.deps = {plan.a_compute[g.last]};
           t.label = b.decorate("A[" + std::to_string(g.first) + ".." +
@@ -296,7 +363,9 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
             t.member_layers.push_back(L - 1 - i);
           }
           t.elements = g.elements;
-          t.algo = b.resolve(g.elements);
+          t.codec = g_codec;
+          t.wire_elements = comm::wire_elements(g_codec, g.elements);
+          t.algo = b.resolve(t.wire_elements);
           t.ready = g.ready_time;
           t.deps = {plan.g_compute[g.last]};
           t.label = b.decorate("G[" + std::to_string(g.first) + ".." +
@@ -326,11 +395,6 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
   // followed by their broadcast, in deterministic submission order, then
   // the replicated NCT inverses (computed while the broadcasts drain).
   // -------------------------------------------------------------------
-  std::size_t total_params = 0;
-  for (const LayerShape& layer : inputs.layers) {
-    total_params += layer.grad_elements;
-  }
-
   if (plan.inverse_update) {
     std::vector<std::size_t> dims(2 * L);
     for (std::size_t l = 0; l < L; ++l) {
@@ -345,8 +409,13 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
         plan.placement = seq_place(dims, inputs.world_size);
         break;
       case InverseMode::kLBP:
-        plan.placement = lbp_place(dims, inputs.world_size, costs.inverse,
-                                   costs.broadcast, options.balance);
+        // CT/NCT typing under compression: a compressed broadcast is
+        // cheaper, so the crossover dimension drops and more tensors
+        // become communicated (Algorithm 1 re-derived on beta').
+        plan.placement =
+            lbp_place(dims, inputs.world_size, costs.inverse,
+                      with_codec(costs.broadcast, bcast_codec, topk_ratio),
+                      options.balance);
         break;
     }
 
@@ -389,6 +458,8 @@ IterationPlan plan_iteration(const ScheduleInputs& inputs,
         bc.tensor = t;
         bc.dim = dims[t];
         bc.elements = packed_size(dims[t]);
+        bc.codec = bcast_codec;
+        bc.wire_elements = comm::wire_elements(bcast_codec, bc.elements);
         bc.rank = plan.placement.assignments[t].owner;
         bc.deps = {inv_id};
         bc.label = "bcast[T" + std::to_string(t) + "]";

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "comm/collectives.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
@@ -90,6 +91,18 @@ struct ScheduleOptions {
   /// resolves per message size through the selector; any concrete algorithm
   /// forces it (labels then carry an "@algo" suffix).
   comm::AllReduceAlgo collective_algo = comm::AllReduceAlgo::kRing;
+  /// Collective payload codecs (comm/codec.hpp).  factor_codec governs the
+  /// fused factor all-reduces *and* the inverse broadcasts (kTopK is
+  /// rejected there — factors need every element); grad_codec governs the
+  /// WFBP gradient all-reduces (kTopK engages error feedback in the
+  /// runtime).  kAuto resolves per family-total payload against the
+  /// crossover; kNone reproduces the seed's plans byte-identically.
+  /// Compression shifts the m of Eq. (14), so fusion groups, CT/NCT typing
+  /// and algorithm choices are all re-derived from the compressed sizes.
+  comm::Codec factor_codec = comm::Codec::kNone;
+  comm::Codec grad_codec = comm::Codec::kNone;
+  /// kTopK keep ratio: fraction of gradient elements shipped per message.
+  double topk_ratio = 0.01;
 };
 
 /// Cost models the planner decides with (not what execution is priced at —

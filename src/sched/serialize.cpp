@@ -64,7 +64,15 @@ std::string plan_to_text(const IterationPlan& plan) {
       case TaskKind::kUpdate:
         break;
     }
-    out += " elems=" + std::to_string(t.elements) + " ";
+    out += " elems=" + std::to_string(t.elements);
+    // Codec annotation only on compressed collectives: lossless plans stay
+    // byte-identical to the seed-era golden schedules.
+    if (t.codec != comm::Codec::kNone) {
+      out += " codec=";
+      out += comm::to_string(t.codec);
+      out += " wire=" + std::to_string(t.wire_elements);
+    }
+    out += " ";
     append_list(out, "deps", t.deps);
     out += " label=" + t.label + "\n";
   }

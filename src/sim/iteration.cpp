@@ -57,8 +57,12 @@ class CollectivePricer {
   }
 
   double price(const sched::Task& task) const {
-    if (ring_only_) return cal_.allreduce.time(task.elements);
-    return selector_.cost(task.algo, task.elements);
+    // Wire bytes under the task's codec plus the modeled encode/decode
+    // compute; kNone has wire_elements == elements and zero codec cost, so
+    // lossless plans price exactly as the seed did.
+    const double codec = comm::codec_compute_cost(task.codec, task.elements);
+    if (ring_only_) return cal_.allreduce.time(task.wire_elements) + codec;
+    return selector_.cost(task.algo, task.wire_elements) + codec;
   }
 
  private:
@@ -101,6 +105,9 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
   opt.balance = cfg.balance;
   opt.grad_fusion_threshold = cfg.grad_fusion_threshold;
   opt.collective_algo = cfg.collective_algo;
+  opt.factor_codec = cfg.factor_codec;
+  opt.grad_codec = cfg.grad_codec;
+  opt.topk_ratio = cfg.topk_ratio;
   IterationResult result;
   sched::ScheduleInputs inputs = sched::inputs_from_model(
       model, batch, cal.compute, world, cfg.second_order);
@@ -261,6 +268,17 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
             ? std::vector<int>{}
             : translate_deps(plan.task(plan.inverse_tasks.front()).deps);
 
+    // Broadcast pricing per tensor: wire bytes under the plan's codec plus
+    // encode/decode compute.  For kNone this is exactly time_dim(d) — the
+    // task's elements are the packed triangle time_dim prices.
+    std::vector<double> bcast_price(2 * L, 0.0);
+    for (int id : plan.broadcast_tasks) {
+      const sched::Task& task = plan.task(id);
+      bcast_price[task.tensor] =
+          cal.bcast_fabric.time_elements(task.wire_elements) +
+          comm::codec_compute_cost(task.codec, task.elements);
+    }
+
     std::vector<std::vector<std::size_t>> worklists(world);
     for (int p = 0; p < world; ++p) {
       worklists[p] = result.placement.per_gpu[p];
@@ -287,8 +305,7 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
             comp[p][r % static_cast<std::size_t>(S)], barrier,
             "inv[T" + std::to_string(t) + "]");
         if (!result.placement.assignments[t].nct && world > 1) {
-          es.add_gang_task(TaskKind::kInverseComm,
-                           cal.bcast_fabric.time_dim(dims[t]),
+          es.add_gang_task(TaskKind::kInverseComm, bcast_price[t],
                            {comm[p], fabric}, {inv_id},
                            "bcast[T" + std::to_string(t) + "]");
         }
@@ -302,8 +319,8 @@ IterationResult simulate_iteration(const models::ModelSpec& model,
       const sched::Task& task = plan.task(id);
       result.collectives.push_back({task.label, TaskKind::kInverseComm,
                                     task.elements, task.algo,
-                                    cal.bcast_fabric.time_dim(task.dim),
-                                    task.id, task.rank});
+                                    bcast_price[task.tensor], task.id,
+                                    task.rank});
     }
   }
 

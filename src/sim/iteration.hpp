@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "comm/collectives.hpp"
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
@@ -62,6 +63,15 @@ struct AlgorithmConfig {
   /// message size/topology via the calibration's AlgorithmSelector
   /// (NCCL-style switching); any concrete algorithm forces that algorithm.
   comm::AllReduceAlgo collective_algo = comm::AllReduceAlgo::kRing;
+  /// Collective payload codecs (comm/codec.hpp), forwarded to the planner
+  /// exactly like the runtime's DistKfacOptions — compression shifts the m
+  /// of Eq. (14), so the simulated plan's fusion groups, CT/NCT typing and
+  /// algorithm choices are re-derived from the compressed sizes, and the
+  /// pricer charges each collective its wire bytes plus the modeled
+  /// encode/decode compute.  kNone reproduces the seed's pricing exactly.
+  comm::Codec factor_codec = comm::Codec::kNone;
+  comm::Codec grad_codec = comm::Codec::kNone;
+  double topk_ratio = 0.01;  ///< kTopK keep ratio (fraction shipped)
 
   /// Planning profile override — the simulator counterpart of
   /// DistKfacOptions::profile.  Empty: derive pass timing from the

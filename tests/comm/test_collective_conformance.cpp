@@ -12,12 +12,25 @@
 // The suite sweeps algorithm x op x P in {1,2,3,4,8} with deterministic
 // pseudo-random sizes/values, plus hierarchical shapes (2x2, 2x4, 4x2) and
 // the kAuto selector path.
+//
+// The compressed collectives (comm/codec.hpp) are held to the same contract
+// on the same grid — codec x op x backend x P over the randomized sizes:
+// cross-rank bitwise identity, bitwise equality with the replayed-codec
+// reference (decode(encode(x_r)) reduced in rank order), and for the lossy
+// codecs an analytic error bound against the exact reduction.  The plan's
+// algorithm annotation is deliberately absent from the codec cells: the
+// compressed path always ships via the fixed all-gather + rank-order decode,
+// so the annotation shapes cost modeling only and cannot change the bytes
+// (that invariance is the documented contract, not an omission).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <random>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "comm/collectives.hpp"
 #include "testsupport/backends.hpp"
 
@@ -155,6 +168,131 @@ std::vector<Case> all_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AlgoByWorld, ConformanceFlat,
                          ::testing::ValuesIn(all_cases()), case_name);
+
+// ---------------------------------------------------------------------------
+// Compressed-collective conformance (codec x op x backend x P)
+// ---------------------------------------------------------------------------
+
+constexpr double kTopKRatio = 0.05;
+
+double chunk_absmax(const std::vector<double>& v, std::size_t chunk) {
+  const std::size_t begin = chunk * kInt8ChunkElements;
+  const std::size_t end = std::min(v.size(), begin + kInt8ChunkElements);
+  double m = 0.0;
+  for (std::size_t i = begin; i < end; ++i) m = std::max(m, std::abs(v[i]));
+  return m;
+}
+
+void expect_codec_conformant(TransportKind kind, const Topology& topo,
+                             Codec codec, ReduceOp op, std::size_t n,
+                             std::uint64_t seed) {
+  const int world = topo.world_size();
+  const auto inputs = random_inputs(world, n, seed);
+  const auto exact = sequential_reference(inputs, op);
+
+  // Replayed-codec reference: what the collective must equal *bitwise* —
+  // each rank's contribution round-tripped through the codec, reduced in
+  // rank order 0..P-1 (kNone degenerates to the sequential reference).
+  std::vector<double> replayed;
+  for (int r = 0; r < world; ++r) {
+    std::vector<double> wire(wire_elements(codec, n, kTopKRatio));
+    std::vector<double> rt(n);
+    encode(codec, inputs[r], wire, kTopKRatio);
+    decode(codec, wire, rt, kTopKRatio);
+    if (r == 0) {
+      replayed = std::move(rt);
+    } else {
+      detail::accumulate(replayed, rt, op);
+    }
+  }
+  detail::finalize(replayed, op, world);
+
+  const auto results =
+      Cluster::launch_collect(kind, topo, [&](Communicator& comm) {
+        std::vector<double> data = inputs[comm.rank()];
+        std::vector<double> scratch(
+            all_reduce_scratch_elements(codec, n, world, kTopKRatio));
+        compressed_all_reduce(comm, data, codec, op, kTopKRatio, scratch);
+        return data;
+      });
+
+  const char* ctx = to_string(codec);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(results[r], results[0])
+        << ctx << " diverges on rank " << r << " (n=" << n << ")";
+  }
+  EXPECT_EQ(results[0], replayed)
+      << ctx << " differs from the replayed-codec reference (n=" << n << ")";
+
+  // Lossy codecs must stay within the analytic bound of the exact
+  // reduction (file comment of comm/codec.hpp); top-k loss is unbounded
+  // here by design — error feedback accounts for it upstream.
+  const double scale = op == ReduceOp::kAverage ? 1.0 / world : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double tol = -1.0;
+    if (codec == Codec::kNone) {
+      tol = 0.0;
+    } else if (codec == Codec::kFp16) {
+      double amax = 0.0;
+      for (const auto& v : inputs) amax = std::max(amax, std::abs(v[i]));
+      tol = world * amax * 0x1p-10 + 1e-12;
+    } else if (codec == Codec::kInt8) {
+      double amax = 0.0;
+      for (const auto& v : inputs) {
+        amax = std::max(amax, chunk_absmax(v, i / kInt8ChunkElements));
+      }
+      tol = world * amax / 254.0 + 1e-12;
+    }
+    if (tol == 0.0) {
+      EXPECT_EQ(results[0][i], exact[i]) << ctx << " at i=" << i;
+    } else if (tol > 0.0) {
+      EXPECT_NEAR(results[0][i], exact[i], tol * scale)
+          << ctx << " at i=" << i << " (n=" << n << ")";
+    }
+  }
+}
+
+struct CodecCase {
+  Codec codec;
+  int world;
+  TransportKind kind = TransportKind::kInProcess;
+};
+
+class CodecConformance : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecConformance, RandomSizesSumAndAverage) {
+  const CodecCase c = GetParam();
+  SPDKFAC_SKIP_MULTIPROCESS_UNDER_TSAN(c.kind);
+  const Topology topo = Topology::flat(c.world);
+  std::uint64_t seed = 0xC0DEC + 977 * static_cast<std::uint64_t>(c.world) +
+                       31 * static_cast<std::uint64_t>(c.codec);
+  for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kAverage}) {
+    for (std::size_t n : sizes_for(c.world, ++seed)) {
+      expect_codec_conformant(c.kind, topo, c.codec, op, n, ++seed);
+    }
+  }
+}
+
+std::vector<CodecCase> codec_cases() {
+  std::vector<CodecCase> cases;
+  for (Codec codec :
+       {Codec::kNone, Codec::kFp16, Codec::kInt8, Codec::kTopK}) {
+    for (int world : {1, 2, 4, 8}) cases.push_back({codec, world});
+    for (TransportKind kind :
+         {TransportKind::kSharedMemory, TransportKind::kSocket}) {
+      for (int world : {2, 3}) cases.push_back({codec, world, kind});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodecByWorld, CodecConformance, ::testing::ValuesIn(codec_cases()),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return std::string(to_string(info.param.codec)) + "_P" +
+             std::to_string(info.param.world) + "_" +
+             testsupport::backend_name(info.param.kind);
+    });
 
 // The hierarchical algorithm on genuinely hierarchical shapes (and the
 // other algorithms, which must ignore the shape and still be correct).

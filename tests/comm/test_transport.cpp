@@ -39,6 +39,7 @@ TEST(WireHeader, RoundTripsAllFields) {
   header.src = 7;
   header.plan_task = 123;
   header.elements = 99;
+  header.codec = 2;  // comm::Codec::kInt8 payload
 
   unsigned char raw[wire::kHeaderBytes];
   wire::encode_header(header, raw);
@@ -53,6 +54,7 @@ TEST(WireHeader, RoundTripsRandomCorpus) {
   std::uniform_int_distribution<std::int32_t> src_dist(-1, 1 << 20);
   std::uniform_int_distribution<std::int32_t> task_dist(-1, 1 << 24);
   std::uniform_int_distribution<std::uint64_t> len_dist(0, wire::kMaxElements);
+  std::uniform_int_distribution<std::uint32_t> codec_dist(0, 0xFFFF);
 
   for (int i = 0; i < 500; ++i) {
     wire::FrameHeader header;
@@ -60,6 +62,7 @@ TEST(WireHeader, RoundTripsRandomCorpus) {
     header.src = src_dist(rng);
     header.plan_task = task_dist(rng);
     header.elements = len_dist(rng);
+    header.codec = static_cast<std::uint16_t>(codec_dist(rng));
 
     unsigned char raw[wire::kHeaderBytes];
     wire::encode_header(header, raw);
@@ -72,6 +75,7 @@ TEST(WireHeader, RoundTripsRandomCorpus) {
 TEST(WireHeader, LayoutIsLittleEndian) {
   wire::FrameHeader header;
   header.elements = 2;
+  header.codec = 3;  // comm::Codec::kTopK
   unsigned char raw[wire::kHeaderBytes];
   wire::encode_header(header, raw);
   // magic "SPDK" = 0x5350444B little-endian: 4B 44 50 53.
@@ -80,8 +84,11 @@ TEST(WireHeader, LayoutIsLittleEndian) {
   EXPECT_EQ(raw[2], 0x50);
   EXPECT_EQ(raw[3], 0x53);
   EXPECT_EQ(raw[4], wire::kVersion);
-  EXPECT_EQ(raw[16], 2);  // elements, low byte first
+  EXPECT_EQ(raw[16], 2);   // elements, low byte first
   EXPECT_EQ(raw[23], 0);
+  EXPECT_EQ(raw[24], 3);   // codec id
+  EXPECT_EQ(raw[25], 0);
+  for (int i = 26; i < 32; ++i) EXPECT_EQ(raw[i], 0);  // reserved
 }
 
 TEST(WireHeader, RejectsBadMagic) {

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "comm/cluster.hpp"
@@ -49,13 +51,37 @@ struct Config {
   sched::FactorCommMode factor_comm;  // SPD only; bulk strategies ignore it
   comm::AllReduceAlgo algo = comm::AllReduceAlgo::kRing;
   ModelKind model = ModelKind::kMlp;
+  comm::Codec factor_codec = comm::Codec::kNone;
+  comm::Codec grad_codec = comm::Codec::kNone;
+  double topk_ratio = 0.01;
 };
+
+/// CI's forced-codec sweep: SPDKFAC_TEST_FACTOR_CODEC / _GRAD_CODEC /
+/// _TOPK_RATIO overlay every cell (runtime options *and* simulator config
+/// — that is the point: the whole suite must hold under compression too).
+Config with_env_codecs(Config c) {
+  if (const char* env = std::getenv("SPDKFAC_TEST_FACTOR_CODEC")) {
+    c.factor_codec = comm::codec_from_string(env);
+  }
+  if (const char* env = std::getenv("SPDKFAC_TEST_GRAD_CODEC")) {
+    c.grad_codec = comm::codec_from_string(env);
+  }
+  if (const char* env = std::getenv("SPDKFAC_TEST_TOPK_RATIO")) {
+    c.topk_ratio = std::stod(env);
+  }
+  return c;
+}
 
 std::string config_name(const Config& c) {
   std::string n = std::string(to_string(c.strategy)) + "/" +
                   sched::to_string(c.factor_comm) + "@" +
                   comm::to_string(c.algo) +
                   (c.model == ModelKind::kConv ? " conv" : " mlp");
+  if (c.factor_codec != comm::Codec::kNone ||
+      c.grad_codec != comm::Codec::kNone) {
+    n += std::string(" codec=") + comm::to_string(c.factor_codec) + "/" +
+         comm::to_string(c.grad_codec);
+  }
   return n;
 }
 
@@ -107,6 +133,9 @@ sim::AlgorithmConfig sim_config(const Config& c) {
   }
   cfg.grad_fusion_threshold = kGradThreshold;
   cfg.collective_algo = c.algo;
+  cfg.factor_codec = c.factor_codec;
+  cfg.grad_codec = c.grad_codec;
+  cfg.topk_ratio = c.topk_ratio;
   return cfg;
 }
 
@@ -131,6 +160,9 @@ void train_one_step(const Config& c, const models::ModelSpec& spec,
   opts.strategy = c.strategy;
   opts.factor_comm = c.factor_comm;
   opts.collective_algo = c.algo;
+  opts.factor_codec = c.factor_codec;
+  opts.grad_codec = c.grad_codec;
+  opts.topk_ratio = c.topk_ratio;
   opts.grad_fusion_threshold = kGradThreshold;
   opts.lr = 0.1;
   opts.damping = 0.1;
@@ -191,12 +223,15 @@ void expect_tasks_equal(const sched::Task& a, const sched::Task& b,
   EXPECT_EQ(a.elements, b.elements) << context;
   EXPECT_EQ(a.rank, b.rank) << context;
   EXPECT_EQ(a.algo, b.algo) << context;
+  EXPECT_EQ(a.codec, b.codec) << context;
+  EXPECT_EQ(a.wire_elements, b.wire_elements) << context;
   EXPECT_EQ(a.deferred, b.deferred) << context;
   EXPECT_EQ(a.deps, b.deps) << context;
   EXPECT_EQ(a.label, b.label) << context;
 }
 
-void check_equivalence(int world, const Config& c, bool hooked) {
+void check_equivalence(int world, const Config& cell, bool hooked) {
+  const Config c = with_env_codecs(cell);
   const std::string context =
       config_name(c) + " P=" + std::to_string(world) +
       (hooked ? " hooked" : " post-hoc");
@@ -315,6 +350,28 @@ TEST_P(Equivalence, AutoSelectedAlgorithmsMatchSimulator) {
                     false);
 }
 
+TEST_P(Equivalence, CompressedCollectivesMatchSimulator) {
+  // Codec-annotated plans: the planner's compressed decisions (codec, wire
+  // sizes, re-derived grouping/placement) must reach the runtime and the
+  // simulator identically, and the runtime's compressed submissions must
+  // still follow the canonical order record for record.
+  const Config cells[] = {
+      {core::DistStrategy::kSpdKfac, sched::FactorCommMode::kOptimalFuse,
+       comm::AllReduceAlgo::kRing, ModelKind::kMlp, comm::Codec::kInt8,
+       comm::Codec::kTopK},
+      {core::DistStrategy::kSpdKfac, sched::FactorCommMode::kOptimalFuse,
+       comm::AllReduceAlgo::kAuto, ModelKind::kConv, comm::Codec::kFp16,
+       comm::Codec::kFp16},
+      {core::DistStrategy::kMpdKfac, sched::FactorCommMode::kBulk,
+       comm::AllReduceAlgo::kRing, ModelKind::kMlp, comm::Codec::kAuto,
+       comm::Codec::kAuto},
+  };
+  for (const Config& c : cells) {
+    check_equivalence(GetParam(), c, false);
+    check_equivalence(GetParam(), c, true);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(WorldSizes, Equivalence,
                          ::testing::Values(1, 2, 4, 8),
                          [](const auto& info) {
@@ -342,7 +399,8 @@ TEST(EquivalenceOverTheWire, SocketRuntimeMatchesSimulator) {
       {core::DistStrategy::kMpdKfac, sched::FactorCommMode::kBulk},
   };
   for (const int world : {2, 4}) {
-    for (const Config& c : cells) {
+    for (const Config& cell : cells) {
+      const Config c = with_env_codecs(cell);
       const std::string context =
           config_name(c) + " P=" + std::to_string(world) + " socket";
       const models::ModelSpec spec = spec_for(c.model);

@@ -56,12 +56,24 @@ struct Strategy {
   const char* name;
   FactorCommMode factor_comm;
   InverseMode inverse;
+  comm::Codec factor_codec = comm::Codec::kNone;
+  comm::Codec grad_codec = comm::Codec::kNone;
 };
 
 constexpr Strategy kStrategies[] = {
     {"dkfac", FactorCommMode::kBulk, InverseMode::kLocalAll},
     {"mpdkfac", FactorCommMode::kBulk, InverseMode::kSeqDist},
     {"spdkfac", FactorCommMode::kOptimalFuse, InverseMode::kLBP},
+};
+
+// Compressed variants of the full SPD-KFAC pipeline: the codecs shift the
+// m of Eq. (14), so these goldens pin down the *re-derived* fusion groups,
+// CT/NCT typing, algorithm choices and wire sizes — not just annotations.
+constexpr Strategy kCompressedStrategies[] = {
+    {"spdkfac_int8_topk", FactorCommMode::kOptimalFuse, InverseMode::kLBP,
+     comm::Codec::kInt8, comm::Codec::kTopK},
+    {"spdkfac_fp16", FactorCommMode::kOptimalFuse, InverseMode::kLBP,
+     comm::Codec::kFp16, comm::Codec::kFp16},
 };
 
 IterationPlan plan_for(const models::ModelSpec& spec,
@@ -72,6 +84,8 @@ IterationPlan plan_for(const models::ModelSpec& spec,
   opt.factor_comm = strategy.factor_comm;
   opt.inverse = strategy.inverse;
   opt.grad_fusion_threshold = kGradThreshold;
+  opt.factor_codec = strategy.factor_codec;
+  opt.grad_codec = strategy.grad_codec;
   return plan_iteration(
       inputs_from_model(spec, kBatch, cal.compute, kWorld,
                         /*second_order=*/true),
@@ -119,6 +133,55 @@ TEST(GoldenSchedules, ModelZooTimesStrategiesMatchCheckedInPlans) {
       check_golden(case_name, plan_to_text(plan_for(entry.spec, strategy)));
     }
   }
+}
+
+TEST(GoldenSchedules, CompressedPlansMatchCheckedInPlans) {
+  for (const Zoo& entry : zoo()) {
+    for (const Strategy& strategy : kCompressedStrategies) {
+      const std::string case_name =
+          std::string(entry.name) + "_" + strategy.name;
+      SCOPED_TRACE(case_name);
+      check_golden(case_name, plan_to_text(plan_for(entry.spec, strategy)));
+    }
+  }
+}
+
+// Compression is a planner *dimension*, not a transport detail: with the
+// compressed beta of Eq. (14) the planner must reach genuinely different
+// decisions — different fusion/WFBP grouping or CT/NCT typing — on at
+// least one zoo model, not merely re-annotate the lossless plan.
+TEST(GoldenSchedules, CompressionChangesPlanStructure) {
+  const Strategy lossless = kStrategies[2];  // spdkfac
+  bool structural = false;
+  for (const Zoo& entry : zoo()) {
+    const IterationPlan base = plan_for(entry.spec, lossless);
+    const IterationPlan compressed =
+        plan_for(entry.spec, kCompressedStrategies[0]);  // int8 + topk
+
+    const auto groups_differ = [](const std::vector<FusionGroup>& a,
+                                  const std::vector<FusionGroup>& b) {
+      if (a.size() != b.size()) return true;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first || a[i].last != b[i].last) return true;
+      }
+      return false;
+    };
+    bool nct_differ =
+        base.placement.assignments.size() !=
+        compressed.placement.assignments.size();
+    for (std::size_t t = 0; !nct_differ &&
+                            t < base.placement.assignments.size();
+         ++t) {
+      nct_differ = base.placement.assignments[t].nct !=
+                   compressed.placement.assignments[t].nct;
+    }
+    structural |= groups_differ(base.a_groups, compressed.a_groups) ||
+                  groups_differ(base.g_groups, compressed.g_groups) ||
+                  base.grad_groups != compressed.grad_groups || nct_differ;
+  }
+  EXPECT_TRUE(structural)
+      << "int8+topk compression left every zoo plan structurally identical "
+         "to lossless — the codecs are not reaching the fusion DP / LBP";
 }
 
 TEST(GoldenSchedules, SerializerIsInjectiveOnTheZoo) {
