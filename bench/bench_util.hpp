@@ -22,6 +22,7 @@
 #include "perf/models.hpp"
 #include "sched/plan.hpp"
 #include "tensor/matrix.hpp"
+#include "util/json.hpp"
 
 namespace spdkfac::bench {
 
@@ -370,6 +371,24 @@ class BenchJson {
     add_timing(config, s, overlap_fraction, std::move(extra));
   }
 
+  /// The document BENCH_<name>.json will hold — strict JSON regardless of
+  /// locale (util::format_double is locale-free) and of the field values
+  /// (NaN/Inf become null; JSON has no tokens for them).
+  std::string to_json() const {
+    std::string out = "{\n  \"bench\": " + util::json_string(bench_name_) +
+                      ",\n  \"configs\": [";
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      out += (i == 0 ? "" : ",");
+      out += "\n    {\"name\": " + util::json_string(configs_[i].first);
+      for (const auto& [key, value] : configs_[i].second) {
+        out += ", " + util::json_string(key) + ": " + util::json_number(value);
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
   /// Writes BENCH_<name>.json; prints the path.  Throws on I/O failure.
   void write() const {
     const std::string path = "BENCH_" + bench_name_ + ".json";
@@ -377,31 +396,16 @@ class BenchJson {
     if (f == nullptr) {
       throw std::runtime_error("BenchJson: cannot open " + path);
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"configs\": [",
-                 escape(bench_name_).c_str());
-    for (std::size_t i = 0; i < configs_.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
-                   escape(configs_[i].first).c_str());
-      for (const auto& [key, value] : configs_[i].second) {
-        std::fprintf(f, ", \"%s\": %.9g", escape(key).c_str(), value);
-      }
-      std::fprintf(f, "}");
-    }
-    std::fprintf(f, "\n  ]\n}\n");
+    const std::string doc = to_json();
+    const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
+    if (written != doc.size()) {
+      throw std::runtime_error("BenchJson: short write to " + path);
+    }
     std::printf("wrote %s\n", path.c_str());
   }
 
  private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
-  }
-
   std::string bench_name_;
   std::vector<std::pair<std::string,
                         std::vector<std::pair<std::string, double>>>>

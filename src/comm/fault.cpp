@@ -97,6 +97,9 @@ class FaultyTransport final : public Transport {
   }
   double timeout_s() const noexcept override { return inner_->timeout_s(); }
   void heartbeat() override { inner_->heartbeat(); }
+  std::size_t heartbeats_sent() const noexcept override {
+    return inner_->heartbeats_sent();
+  }
 
   void send(int dst, std::span<const double> payload, std::uint16_t tag,
             int plan_task, std::uint16_t codec) override {

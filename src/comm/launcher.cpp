@@ -290,10 +290,16 @@ std::vector<std::vector<double>> launch_threads(const Topology& topo,
 /// unlinked) — when the launch finishes.
 class SocketRendezvous {
  public:
-  SocketRendezvous() {
-    char tmpl[] = "/tmp/spdkfacXXXXXX";
-    if (::mkdtemp(tmpl) == nullptr) {
-      throw std::runtime_error("launch_collect: mkdtemp failed");
+  explicit SocketRendezvous(int world) {
+    // $TMPDIR-honoring scratch dir; validate the longest listener path any
+    // rank will bind (<dir>/spdkfacXXXXXX/s.r<world-1>) *before* mkdtemp,
+    // so a too-deep TMPDIR fails with the path and the sun_path limit
+    // instead of a silent truncation at bind time.
+    std::string tmpl = default_tmp_dir() + "/spdkfacXXXXXX";
+    validate_socket_path(tmpl + "/s.r" + std::to_string(world > 0 ? world - 1
+                                                                  : 0));
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("launch_collect: mkdtemp failed for " + tmpl);
     }
     dir_ = tmpl;
   }
@@ -343,7 +349,7 @@ std::vector<std::vector<double>> Cluster::launch_collect(
           opts);
     }
     case TransportKind::kSocket: {
-      SocketRendezvous rendezvous;
+      SocketRendezvous rendezvous(topo.world_size());
       const SocketEndpoint ep{rendezvous.base_path(), topo.world_size()};
       return launch_processes(
           topo, fn,

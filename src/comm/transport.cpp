@@ -1,11 +1,39 @@
 #include "comm/transport.hpp"
 
+#include <sys/un.h>
+
+#include <cstdlib>
 #include <stdexcept>
 
 #include "comm/fault.hpp"
 #include "comm/wire.hpp"
 
 namespace spdkfac::comm {
+
+std::size_t max_socket_path_bytes() noexcept {
+  return sizeof(sockaddr_un{}.sun_path) - 1;
+}
+
+void validate_socket_path(const std::string& path) {
+  if (path.empty()) {
+    throw std::invalid_argument("unix socket path is empty");
+  }
+  if (path.size() > max_socket_path_bytes()) {
+    throw std::invalid_argument(
+        "unix socket path exceeds sun_path capacity (" +
+        std::to_string(path.size()) + " > " +
+        std::to_string(max_socket_path_bytes()) +
+        " bytes) — binding would silently truncate it: " + path +
+        " (set TMPDIR to a shorter directory)");
+  }
+}
+
+std::string default_tmp_dir() {
+  const char* env = std::getenv("TMPDIR");
+  std::string dir = (env != nullptr && *env != '\0') ? env : "/tmp";
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  return dir;
+}
 
 const char* to_string(TransportKind kind) noexcept {
   switch (kind) {

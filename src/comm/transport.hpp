@@ -32,6 +32,7 @@
 // backend to bitwise-identical collective results.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -114,6 +115,14 @@ class Transport {
   /// long collective queue still reads as alive.
   virtual void heartbeat() {}
 
+  /// Heartbeat *emission rounds* this rank has actually sent (post
+  /// rate-limiting; each round pings all peers).  0 while the deadline is
+  /// disarmed — a control-plane observability counter, never consulted by
+  /// the failure detection itself.
+  virtual std::size_t heartbeats_sent() const noexcept {
+    return heartbeats_sent_.load(std::memory_order_relaxed);
+  }
+
  protected:
   /// Deadline slice between heartbeat emissions while blocked.
   double heartbeat_interval_s() const noexcept {
@@ -121,8 +130,14 @@ class Transport {
     return quarter < 0.001 ? 0.001 : quarter;
   }
 
+  /// Backends call this once per emitted heartbeat round.
+  void note_heartbeat_round() noexcept {
+    heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   double timeout_s_ = 0.0;
+  std::atomic<std::size_t> heartbeats_sent_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -156,6 +171,19 @@ struct SocketEndpoint {
   std::string base_path;
   int size = 0;
 };
+
+/// Longest Unix-domain socket path the platform can bind
+/// (sizeof(sockaddr_un::sun_path) - 1; 107 bytes on Linux).
+std::size_t max_socket_path_bytes() noexcept;
+
+/// Throws std::invalid_argument when `path` is empty or too long to fit
+/// sockaddr_un::sun_path — the error names the path and both lengths so a
+/// too-deep $TMPDIR is diagnosable instead of silently truncating.
+void validate_socket_path(const std::string& path);
+
+/// Scratch directory for rendezvous/ctl sockets: $TMPDIR when set and
+/// non-empty (trailing slashes stripped), else "/tmp".
+std::string default_tmp_dir();
 
 /// Connects the full mesh (blocking, with connect retries while peers are
 /// still starting); throws std::runtime_error when a peer cannot be

@@ -128,6 +128,7 @@ class InProcessTransport final : public Transport {
             last, now_ns, std::memory_order_relaxed)) {
       return;
     }
+    note_heartbeat_round();
     for (int peer = 0; peer < size(); ++peer) {
       if (peer == rank_) continue;
       group_->channel(rank_, peer).send({}, wire::kHeartbeatTag);

@@ -383,6 +383,7 @@ class ShmTransport final : public Transport {
             last, now_ns, std::memory_order_relaxed)) {
       return;
     }
+    note_heartbeat_round();
     wire::FrameHeader ping;
     ping.tag = wire::kHeartbeatTag;
     ping.src = rank_;

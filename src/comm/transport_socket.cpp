@@ -94,10 +94,7 @@ class FdGuard {
 sockaddr_un endpoint_address(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw std::invalid_argument("socket transport: endpoint path too long: " +
-                                path);
-  }
+  validate_socket_path(path);  // throws with the path + sun_path limit
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
 }
@@ -228,6 +225,7 @@ class SocketTransport final : public Transport {
             last, now_ns, std::memory_order_relaxed)) {
       return;
     }
+    note_heartbeat_round();
     wire::FrameHeader ping;
     ping.tag = wire::kHeartbeatTag;
     ping.src = rank_;

@@ -56,6 +56,14 @@ inline constexpr std::uint16_t kHeartbeatTag = 0xD0;
 /// best-effort by whichever rank's deadline fired first, so every survivor
 /// surfaces a RankFailure naming the *root* dead rank.
 inline constexpr std::uint16_t kFailureTag = 0xE0;
+/// Control-plane traffic (ctl/protocol.hpp): a command line from spdkfacctl
+/// to the daemon's ctl socket, and the daemon's success / error reply.
+/// Payloads are UTF-8 text packed into doubles (ctl::pack_text) riding the
+/// same framed protocol as rank-to-rank data, so the daemon's ctl endpoint
+/// reuses FrameParser verbatim.
+inline constexpr std::uint16_t kCtlRequestTag = 0xF0;
+inline constexpr std::uint16_t kCtlOkTag = 0xF1;
+inline constexpr std::uint16_t kCtlErrTag = 0xF2;
 
 /// Sanity cap on one frame's payload (doubles): 1 Gi elements = 8 GiB.  A
 /// header announcing more is corruption, not a real message — rejecting it

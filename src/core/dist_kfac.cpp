@@ -40,6 +40,14 @@ void DistKfacOptions::validate() const {
   if (!(damping > 0.0)) {
     throw std::invalid_argument("DistKfacOptions: damping must be positive");
   }
+  if (!(stat_decay >= 0.0) || !(stat_decay < 1.0)) {
+    throw std::invalid_argument(
+        "DistKfacOptions: stat_decay must be in [0, 1)");
+  }
+  if (!(kl_clip >= 0.0) || !std::isfinite(kl_clip)) {
+    throw std::invalid_argument(
+        "DistKfacOptions: kl_clip must be finite and >= 0");
+  }
   // size_t fields cannot be negative, but a negative literal wraps silently
   // to a huge value — for the threshold that would fuse every gradient into
   // one giant group, for the pool it would try to spawn ~2^64 threads.
@@ -127,6 +135,44 @@ void DistKfacOptions::validate() const {
   }
 }
 
+DistKfacOptions with_tunable(const DistKfacOptions& options,
+                             const std::string& name, double value) {
+  DistKfacOptions next = options;
+  // The frequency/interval tunables arrive as doubles off the ctl wire;
+  // insist on an exact positive integer so "set replan_interval=2.5"
+  // fails loudly instead of truncating.
+  const auto as_count = [&](const char* what) {
+    if (!std::isfinite(value) || value < 1.0 ||
+        value != std::floor(value)) {
+      throw std::invalid_argument(std::string("DistKfacOptions: ") + what +
+                                  " must be a positive integer");
+    }
+    return static_cast<std::size_t>(value);
+  };
+  if (name == "lr") {
+    next.lr = value;
+  } else if (name == "damping") {
+    next.damping = value;
+  } else if (name == "stat_decay") {
+    next.stat_decay = value;
+  } else if (name == "kl_clip") {
+    next.kl_clip = value;
+  } else if (name == "factor_update_freq") {
+    next.factor_update_freq = as_count("factor_update_freq");
+  } else if (name == "inverse_update_freq") {
+    next.inverse_update_freq = as_count("inverse_update_freq");
+  } else if (name == "replan_interval") {
+    next.replan_interval = as_count("replan_interval");
+  } else {
+    throw std::invalid_argument(
+        "DistKfacOptions: unknown tunable '" + name +
+        "' (expected lr, damping, stat_decay, kl_clip, factor_update_freq, "
+        "inverse_update_freq or replan_interval)");
+  }
+  next.validate();
+  return next;
+}
+
 namespace {
 
 /// Validates before the constructor spawns any pool thread.
@@ -193,6 +239,12 @@ DistKfacOptimizer::DistKfacOptimizer(
   // OnlineProfiler's thread-safety contract).
   executor_.set_observer([this](int id, double seconds) {
     const sched::Task& task = plan_->task(id);
+    if (task_listener_) {
+      // Reported on the engine clock so the control plane can stitch these
+      // compute intervals with the OpRecord comm intervals into one trace.
+      const double end_s = engine_.now_s();
+      task_listener_(task, end_s - seconds, end_s);
+    }
     switch (task.kind) {
       case sched::TaskKind::kFactorCompute:
         if (task.family == sched::Family::kA) {

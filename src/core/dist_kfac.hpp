@@ -196,7 +196,8 @@ struct DistKfacOptions {
   double comm_timeout_s = 0.0;
 
   /// Throws std::invalid_argument on nonsensical settings: zero update
-  /// frequencies, non-positive lr/damping, a grad_fusion_threshold /
+  /// frequencies, non-positive lr/damping, a stat_decay outside [0, 1), a
+  /// negative/non-finite kl_clip, a grad_fusion_threshold /
   /// pool_size / replan_interval / plan_cache_capacity that is a negative
   /// value wrapped to unsigned, a profile_ema outside (0, 1], a profile or
   /// trajectory entry containing negative/non-finite entries, both
@@ -205,6 +206,16 @@ struct DistKfacOptions {
   /// comm_timeout_s, a topk factor_codec, or a topk_ratio outside (0, 1].
   void validate() const;
 };
+
+/// Copy of `options` with the tunable named `name` set to `value`, already
+/// validate()d — the control plane's "set" path.  Tunables are the fields
+/// safe to change between steps without reconstructing the optimizer: lr,
+/// damping, stat_decay, kl_clip, factor_update_freq, inverse_update_freq,
+/// replan_interval (the frequency/interval tunables require `value` to be
+/// a positive integer).  Throws std::invalid_argument on an unknown name
+/// or a value validate() rejects, leaving the caller's options untouched.
+DistKfacOptions with_tunable(const DistKfacOptions& options,
+                             const std::string& name, double value);
 
 class DistKfacOptimizer {
  public:
@@ -245,6 +256,40 @@ class DistKfacOptimizer {
 
   std::size_t steps() const noexcept { return step_count_; }
   DistStrategy strategy() const noexcept { return options_.strategy; }
+
+  /// The options in effect (as adjusted by set_tunable).  Read between
+  /// steps only, like every introspection accessor.
+  const DistKfacOptions& options() const noexcept { return options_; }
+
+  int world_size() const noexcept { return comm_.size(); }
+  int rank() const noexcept { return comm_.rank(); }
+
+  /// Applies with_tunable(options(), name, value) — live reconfiguration
+  /// without a restart.  Strong guarantee: an unknown name or rejected
+  /// value throws std::invalid_argument and the options are untouched.
+  /// Call between steps, and on *every* rank with the same (name, value)
+  /// sequence: plan-shaping options must stay rank-identical or the next
+  /// plans diverge and the collectives mismatch.
+  void set_tunable(const std::string& name, double value) {
+    options_ = with_tunable(options_, name, value);
+  }
+
+  /// Arms an immediate planning-profile refresh: the next factor-update
+  /// step re-syncs the profile and re-plans regardless of where the
+  /// replan_interval boundary stands.  Call between steps, on every rank
+  /// (a one-sided re-plan diverges the collective order).
+  void force_replan() noexcept { next_replan_step_ = step_count_; }
+
+  /// Observer for every executed compute task of the plan (factor builds,
+  /// inverses, the update), reported as [start_s, end_s) on the engine
+  /// clock (the comm_records() timeline) — the control plane's live-trace
+  /// feed.  Invoked from pool threads; install before the first step (or
+  /// between steps) and make the callback thread-safe.
+  using TaskListener =
+      std::function<void(const sched::Task&, double start_s, double end_s)>;
+  void set_task_listener(TaskListener listener) {
+    task_listener_ = std::move(listener);
+  }
 
   /// True after a step observed a rank failure (step() threw
   /// comm::RankFailure).  The optimizer refuses further steps — its
@@ -433,6 +478,7 @@ class DistKfacOptimizer {
   // an injected profile/trajectory supplied timing.
   perf::OnlineProfiler profiler_;
   sched::PlanCache plan_cache_;
+  TaskListener task_listener_;  ///< see set_task_listener
   sched::PassTiming current_timing_;
   bool profiled_timing_ = false;
   std::size_t next_replan_step_ = 0;

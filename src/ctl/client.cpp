@@ -1,0 +1,95 @@
+#include "ctl/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/transport.hpp"
+#include "comm/wire.hpp"
+
+namespace spdkfac::ctl {
+
+CtlClient::CtlClient(std::string path, double connect_timeout_s)
+    : path_(std::move(path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  comm::validate_socket_path(path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(connect_timeout_s));
+  for (;;) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error("ctl: socket() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return;
+    }
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("ctl: cannot connect to " + path_ + ": " +
+                               std::strerror(err) +
+                               " (is spdkfacd running?)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+CtlClient::~CtlClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response CtlClient::request(const std::string& command) {
+  const auto frame = encode_text_frame(comm::wire::kCtlRequestTag, command);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("ctl: write to " + path_ +
+                             " failed: " + std::strerror(errno));
+  }
+
+  comm::wire::FrameParser parser;
+  unsigned char buf[4096];
+  while (!parser.has_frame()) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      if (!parser.feed({buf, static_cast<std::size_t>(n)})) {
+        throw std::runtime_error(
+            "ctl: corrupt reply from " + path_ + " (" +
+            comm::wire::to_string(parser.error()) + ")");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("ctl: daemon at " + path_ +
+                             " closed the connection mid-reply");
+  }
+  const comm::wire::Frame reply = parser.pop_frame();
+  Response resp;
+  resp.ok = reply.header.tag == comm::wire::kCtlOkTag;
+  if (!resp.ok && reply.header.tag != comm::wire::kCtlErrTag) {
+    throw std::runtime_error("ctl: unexpected reply tag from " + path_);
+  }
+  resp.body = unpack_text(reply.payload);
+  return resp;
+}
+
+}  // namespace spdkfac::ctl

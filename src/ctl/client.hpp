@@ -1,0 +1,33 @@
+// The spdkfacctl side of the ctl socket: a blocking connect (with retries
+// while the daemon is still starting) and a blocking request/response
+// exchange per command.
+#pragma once
+
+#include <string>
+
+#include "ctl/protocol.hpp"
+
+namespace spdkfac::ctl {
+
+class CtlClient {
+ public:
+  /// Connects to the daemon's ctl socket, retrying (the daemon binds the
+  /// socket on startup, so a race with launch is expected) for up to
+  /// `connect_timeout_s`.  Throws std::runtime_error when the deadline
+  /// passes without a connection.
+  explicit CtlClient(std::string path, double connect_timeout_s = 5.0);
+  ~CtlClient();
+
+  CtlClient(const CtlClient&) = delete;
+  CtlClient& operator=(const CtlClient&) = delete;
+
+  /// Sends one command line and blocks for the reply.  Throws
+  /// std::runtime_error on a torn/corrupt connection (a dead daemon).
+  Response request(const std::string& command);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace spdkfac::ctl

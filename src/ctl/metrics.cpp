@@ -1,0 +1,38 @@
+#include "ctl/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace spdkfac::ctl {
+
+namespace {
+
+/// HELP text escape per the exposition format: backslash and newline.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const std::vector<Metric>& metrics) {
+  std::string out;
+  for (const Metric& m : metrics) {
+    out += "# HELP " + m.name + " " + escape_help(m.help) + "\n";
+    out += "# TYPE " + m.name + " " +
+           (m.type == Metric::Type::kCounter ? "counter" : "gauge") + "\n";
+    out += m.name + " " + util::format_double(m.value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace spdkfac::ctl

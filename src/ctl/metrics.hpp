@@ -1,0 +1,29 @@
+// Prometheus text-exposition rendering for the daemon's `metrics` command.
+// The format is the subset every scraper understands:
+//
+//   # HELP <name> <help>
+//   # TYPE <name> gauge|counter
+//   <name> <value>
+//
+// Values render through util::format_double — locale-independent, so a
+// daemon running under de_DE cannot emit "0,5".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spdkfac::ctl {
+
+struct Metric {
+  enum class Type { kGauge, kCounter };
+
+  std::string name;  ///< [a-zA-Z_][a-zA-Z0-9_]* by convention
+  std::string help;  ///< one-line description (newlines are escaped)
+  Type type = Type::kGauge;
+  double value = 0.0;
+};
+
+/// The metrics as one Prometheus text-exposition document.
+std::string render_prometheus(const std::vector<Metric>& metrics);
+
+}  // namespace spdkfac::ctl

@@ -1,0 +1,51 @@
+#include "ctl/protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace spdkfac::ctl {
+
+std::vector<double> pack_text(const std::string& text) {
+  const std::uint64_t len = text.size();
+  const std::size_t doubles = 1 + (text.size() + sizeof(double) - 1) /
+                                      sizeof(double);
+  std::vector<double> payload(doubles, 0.0);
+  // The length and the bytes travel as raw bit patterns inside doubles;
+  // memcpy in/out keeps this well-defined (no double is ever *interpreted*
+  // as a number, so NaN payload bytes are safe too).
+  std::memcpy(payload.data(), &len, sizeof(len));
+  if (!text.empty()) {
+    std::memcpy(payload.data() + 1, text.data(), text.size());
+  }
+  return payload;
+}
+
+std::string unpack_text(std::span<const double> payload) {
+  if (payload.empty()) {
+    throw std::runtime_error("ctl: text payload missing its length header");
+  }
+  std::uint64_t len = 0;
+  std::memcpy(&len, payload.data(), sizeof(len));
+  const std::size_t capacity = (payload.size() - 1) * sizeof(double);
+  if (len > capacity) {
+    throw std::runtime_error("ctl: text payload length " +
+                             std::to_string(len) + " exceeds the " +
+                             std::to_string(capacity) + " bytes shipped");
+  }
+  std::string text(len, '\0');
+  if (len > 0) {
+    std::memcpy(text.data(), payload.data() + 1, len);
+  }
+  return text;
+}
+
+std::vector<unsigned char> encode_text_frame(std::uint16_t tag,
+                                             const std::string& text) {
+  const std::vector<double> payload = pack_text(text);
+  comm::wire::FrameHeader header;
+  header.tag = tag;
+  header.elements = payload.size();
+  return comm::wire::encode_frame(header, payload);
+}
+
+}  // namespace spdkfac::ctl

@@ -1,0 +1,44 @@
+// Control-plane message encoding — spdkfacctl <-> spdkfacd over a Unix
+// socket, reusing the rank-to-rank framed wire protocol (comm/wire.hpp)
+// with the ctl traffic tags.
+//
+// A ctl exchange is one request frame and one reply frame:
+//
+//   request   tag = wire::kCtlRequestTag, payload = pack_text(command line)
+//   reply     tag = wire::kCtlOkTag  (success: payload is the result body)
+//             tag = wire::kCtlErrTag (failure: payload is the error text)
+//
+// Frame payloads are doubles (the wire protocol's unit), so text is packed
+// as a u64 byte length followed by the raw UTF-8 bytes, zero-padded to the
+// next double boundary — 8-byte-aligned, endian-explicit, and symmetric
+// (unpack_text(pack_text(s)) == s for any byte string).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/wire.hpp"
+
+namespace spdkfac::ctl {
+
+/// Text -> frame payload: [u64 length | bytes... | zero padding].
+std::vector<double> pack_text(const std::string& text);
+
+/// Inverse of pack_text.  Throws std::runtime_error on a malformed payload
+/// (length beyond the payload, or a truncated header).
+std::string unpack_text(std::span<const double> payload);
+
+/// One complete ctl frame (header + packed text), ready to write to the
+/// socket byte stream.
+std::vector<unsigned char> encode_text_frame(std::uint16_t tag,
+                                             const std::string& text);
+
+/// Success / error reply as spdkfacctl surfaces it.
+struct Response {
+  bool ok = false;
+  std::string body;
+};
+
+}  // namespace spdkfac::ctl

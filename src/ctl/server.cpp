@@ -1,0 +1,159 @@
+#include "ctl/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "comm/transport.hpp"
+
+namespace spdkfac::ctl {
+
+namespace {
+
+sockaddr_un ctl_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  comm::validate_socket_path(path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Blocking-with-poll write of the whole reply to a nonblocking fd.
+bool write_reply(int fd, const std::vector<unsigned char>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // client went away mid-reply
+  }
+  return true;
+}
+
+}  // namespace
+
+CtlServer::CtlServer(std::string path) : path_(std::move(path)) {
+  const sockaddr_un addr = ctl_address(path_);
+  // A previous daemon instance that crashed leaves the socket inode
+  // behind; bind() would fail with EADDRINUSE even though nobody listens.
+  ::unlink(path_.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("ctl: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ctl: bind(" + path_ +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    throw std::runtime_error("ctl: listen(" + path_ +
+                             ") failed: " + std::strerror(err));
+  }
+}
+
+CtlServer::~CtlServer() {
+  for (Connection& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void CtlServer::accept_pending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN: drained; other errors: drop silently
+    conns_.push_back(Connection{fd, {}, false});
+  }
+}
+
+void CtlServer::service(Connection& conn, const Handler& handler,
+                        std::size_t& handled) {
+  unsigned char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (!conn.parser.feed({buf, static_cast<std::size_t>(n)})) {
+        conn.dead = true;  // corrupt stream: a non-ctl client; drop it
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn.dead = true;  // orderly shutdown from the client
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn.dead = true;
+    return;
+  }
+  while (conn.parser.has_frame()) {
+    const comm::wire::Frame frame = conn.parser.pop_frame();
+    if (frame.header.tag != comm::wire::kCtlRequestTag) continue;
+    Response resp;
+    try {
+      resp = handler(unpack_text(frame.payload));
+    } catch (const std::exception& e) {
+      resp = Response{false, e.what()};
+    }
+    ++handled;
+    const auto reply = encode_text_frame(
+        resp.ok ? comm::wire::kCtlOkTag : comm::wire::kCtlErrTag, resp.body);
+    if (!conn.dead && !write_reply(conn.fd, reply)) conn.dead = true;
+  }
+}
+
+std::size_t CtlServer::handle(const Handler& handler, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const Connection& conn : conns_) {
+    fds.push_back(pollfd{conn.fd, POLLIN, 0});
+  }
+  const std::size_t polled = conns_.size();  // accept_pending grows conns_
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  std::size_t handled = 0;
+  if (ready > 0) {
+    if ((fds[0].revents & POLLIN) != 0) accept_pending();
+    for (std::size_t i = 0; i < polled; ++i) {
+      if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        service(conns_[i], handler, handled);
+      }
+    }
+  }
+  std::erase_if(conns_, [](Connection& conn) {
+    if (!conn.dead) return false;
+    ::close(conn.fd);
+    return true;
+  });
+  return handled;
+}
+
+}  // namespace spdkfac::ctl

@@ -1,0 +1,59 @@
+// The daemon side of the ctl socket: a nonblocking Unix-domain listener
+// whose connections are serviced *synchronously* from whatever thread
+// calls poll() — in spdkfacd that is rank 0's training thread, between
+// steps.  Single-threaded by design: command handlers read optimizer state
+// with no locking, and (the determinism contract) a ctl read can never
+// interleave with a step, so observing the daemon cannot perturb training.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/wire.hpp"
+#include "ctl/protocol.hpp"
+
+namespace spdkfac::ctl {
+
+class CtlServer {
+ public:
+  /// Handler for one command line; the returned Response is framed back to
+  /// the client (ok -> kCtlOkTag, !ok -> kCtlErrTag).  A throwing handler
+  /// is converted into an error response carrying e.what().
+  using Handler = std::function<Response(const std::string& command)>;
+
+  /// Binds and listens on `path` (unlinking a stale socket a crashed
+  /// daemon left behind).  Throws std::invalid_argument when the path
+  /// exceeds sun_path, std::runtime_error on socket errors.
+  explicit CtlServer(std::string path);
+  ~CtlServer();
+
+  CtlServer(const CtlServer&) = delete;
+  CtlServer& operator=(const CtlServer&) = delete;
+
+  /// Accepts pending connections, reads available bytes, runs `handler`
+  /// for every complete request frame and writes the replies — all on the
+  /// calling thread.  Waits at most `timeout_ms` for activity (0: a pure
+  /// nonblocking drain).  Returns the number of requests handled.
+  std::size_t handle(const Handler& handler, int timeout_ms);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    comm::wire::FrameParser parser;
+    bool dead = false;
+  };
+
+  void accept_pending();
+  void service(Connection& conn, const Handler& handler,
+               std::size_t& handled);
+
+  std::string path_;
+  int listen_fd_ = -1;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace spdkfac::ctl

@@ -1,40 +1,21 @@
 #include "sim/trace.hpp"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/json.hpp"
 
 namespace spdkfac::sim {
 
 namespace {
 
-/// Minimal JSON string escaping (labels are ASCII identifiers, but be safe).
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using util::json_escape;
+
+/// Shorthand: the shared locale-independent escaper (a locale with a comma
+/// decimal separator or grouping must never corrupt the trace).
+std::string escape(const std::string& s) { return json_escape(s); }
 
 /// Category names double as Perfetto color keys.
 const char* category_of(TaskKind kind) {
@@ -64,6 +45,10 @@ std::string to_chrome_trace(const Schedule& schedule,
                             const std::vector<std::string>& stream_names,
                             const std::string& process_name) {
   std::ostringstream out;
+  // The stream carries only integers (pid/tid) and pre-formatted strings,
+  // but imbue the classic locale anyway: a grouping global locale would
+  // otherwise render tid 1000 as "1,000".
+  out.imbue(std::locale::classic());
   out << "[\n";
   // Process + thread metadata rows.
   out << R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":")"
@@ -86,7 +71,8 @@ std::string to_chrome_trace(const Schedule& schedule,
           << escape(t.label.empty() ? to_string(t.kind) : t.label)
           << R"(","cat":")" << category_of(t.kind)
           << R"(","ph":"X","pid":1,"tid":)" << s << R"(,"ts":)"
-          << t.start * 1e6 << R"(,"dur":)" << (t.end - t.start) * 1e6
+          << util::json_number(t.start * 1e6) << R"(,"dur":)"
+          << util::json_number((t.end - t.start) * 1e6)
           << R"(,"args":{"kind":")" << to_string(t.kind) << "\"}}";
     }
   }

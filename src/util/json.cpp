@@ -1,0 +1,85 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+
+namespace spdkfac::util {
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0.0 ? "inf" : "-inf";
+  // Shortest round-trip digits, preferring fixed notation while it stays
+  // short (trace timestamps like 500000 must not become 5e+05); extreme
+  // magnitudes fall back to the shortest general form.
+  char fixed_buf[32];
+  const auto fixed = std::to_chars(fixed_buf, fixed_buf + sizeof(fixed_buf),
+                                   value, std::chars_format::fixed);
+  if (fixed.ec == std::errc{}) return std::string(fixed_buf, fixed.ptr);
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    // Unreachable for a finite double and a 64-byte buffer; fail loudly
+    // rather than emit garbage.
+    return "0";
+  }
+  return std::string(buf, ptr);
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return format_double(value);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string(std::string_view s) {
+  const std::string escaped = json_escape(s);
+  std::string out;
+  out.reserve(escaped.size() + 2);
+  out += '"';
+  out += escaped;
+  out += '"';
+  return out;
+}
+
+}  // namespace spdkfac::util

@@ -1,0 +1,41 @@
+// Locale-independent JSON fragment helpers shared by every emitter in the
+// tree (BENCH_*.json, the simulator's Chrome traces, the control plane's
+// ctl/metrics responses).
+//
+// Two classes of bug motivated centralizing this:
+//   - printf("%g") and ostream<< both honor the active locale, so a comma
+//     decimal separator (de_DE, fr_FR, ...) silently produces invalid JSON;
+//     ostreams additionally default to 6 significant digits, which collapses
+//     microsecond timestamps past ~1 s of trace into the same tick.
+//   - IEEE-754 specials print as "nan"/"inf", which are not JSON tokens.
+//
+// format_double() uses std::to_chars — locale-free by specification and
+// shortest-round-trip, so every double survives a parse bit-exactly.
+// json_number() maps non-finite values to "null" (the only standard JSON
+// representation that keeps the document parseable).  json_escape()
+// implements the full RFC 8259 string escape, control characters included.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace spdkfac::util {
+
+/// Shortest decimal form of `value` that round-trips to the same bits,
+/// independent of the C and C++ locales.  Non-finite values format as
+/// "nan"/"inf"/"-inf" — callers emitting JSON want json_number() instead.
+std::string format_double(double value);
+
+/// `value` as a JSON number token; non-finite values become "null" (JSON
+/// has no NaN/Infinity literals — emitting them corrupts the document).
+std::string json_number(double value);
+
+/// RFC 8259 string-body escape: quote, backslash, the named control
+/// escapes (\b \f \n \r \t) and \u00XX for every other character < 0x20.
+/// Returns the escaped body only — the caller supplies the quotes.
+std::string json_escape(std::string_view s);
+
+/// Convenience: `s` escaped and wrapped in double quotes.
+std::string json_string(std::string_view s);
+
+}  // namespace spdkfac::util

@@ -1,0 +1,144 @@
+// Unix-socket path handling: the sun_path capacity validation, the
+// $TMPDIR-honoring scratch-directory helper, and the launcher actually
+// placing its socket rendezvous under $TMPDIR (the historical bug was a
+// hardcoded /tmp template and a silent bind-time truncation of long paths).
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/transport.hpp"
+
+namespace spdkfac::comm {
+namespace {
+
+/// Scoped $TMPDIR override (restores the previous value, set or unset).
+class TmpdirGuard {
+ public:
+  explicit TmpdirGuard(const std::string& value) {
+    const char* old = std::getenv("TMPDIR");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("TMPDIR", value.c_str(), 1);
+  }
+  ~TmpdirGuard() {
+    if (had_old_) {
+      ::setenv("TMPDIR", old_.c_str(), 1);
+    } else {
+      ::unsetenv("TMPDIR");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(SocketPath, ValidatesExactlyAtTheSunPathBoundary) {
+  const std::size_t max = max_socket_path_bytes();
+  ASSERT_GT(max, 5u);
+  const std::string at_limit = "/tmp/" + std::string(max - 5, 'x');
+  ASSERT_EQ(at_limit.size(), max);
+  EXPECT_NO_THROW(validate_socket_path(at_limit));
+
+  const std::string over = at_limit + "y";
+  try {
+    validate_socket_path(over);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sun_path"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(max)), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(max + 1)), std::string::npos) << what;
+    EXPECT_NE(what.find(over), std::string::npos) << what;
+    EXPECT_NE(what.find("TMPDIR"), std::string::npos) << what;
+  }
+}
+
+TEST(SocketPath, RejectsEmptyPath) {
+  EXPECT_THROW(validate_socket_path(""), std::invalid_argument);
+}
+
+TEST(DefaultTmpDir, HonorsTmpdirAndStripsTrailingSlashes) {
+  {
+    TmpdirGuard guard("/var/tmp");
+    EXPECT_EQ(default_tmp_dir(), "/var/tmp");
+  }
+  {
+    TmpdirGuard guard("/var/tmp///");
+    EXPECT_EQ(default_tmp_dir(), "/var/tmp");
+  }
+  {
+    TmpdirGuard guard("");
+    EXPECT_EQ(default_tmp_dir(), "/tmp");  // empty TMPDIR falls back
+  }
+}
+
+TEST(DefaultTmpDir, FallsBackToTmpWhenUnset) {
+  const char* old = std::getenv("TMPDIR");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had = old != nullptr;
+  ::unsetenv("TMPDIR");
+  EXPECT_EQ(default_tmp_dir(), "/tmp");
+  if (had) ::setenv("TMPDIR", saved.c_str(), 1);
+}
+
+TEST(Launcher, SocketRendezvousLivesUnderTmpdir) {
+  // A private scratch dir: anything named spdkfac* appearing inside it
+  // during the run can only be the launcher's rendezvous.
+  const std::string scratch =
+      "/tmp/spdkfac-tmpdir-test-" + std::to_string(::getpid());
+  ASSERT_EQ(::mkdir(scratch.c_str(), 0700), 0);
+  TmpdirGuard guard(scratch);
+
+  const auto results = Cluster::launch_collect(
+      TransportKind::kSocket, Topology::flat(2), [&](Communicator& comm) {
+        // Each forked rank scans $TMPDIR for the rendezvous directory; it
+        // exists for the whole launch, so this is race-free.
+        double found = 0.0;
+        if (DIR* dir = ::opendir(default_tmp_dir().c_str())) {
+          while (const dirent* entry = ::readdir(dir)) {
+            if (std::string(entry->d_name).rfind("spdkfac", 0) == 0) {
+              found = 1.0;
+            }
+          }
+          ::closedir(dir);
+        }
+        std::vector<double> sum{found};
+        comm.all_reduce(sum, ReduceOp::kSum);
+        return sum;
+      });
+  for (const auto& per_rank : results) {
+    ASSERT_EQ(per_rank.size(), 1u);
+    EXPECT_EQ(per_rank[0], 2.0)
+        << "a rank did not see the rendezvous under $TMPDIR";
+  }
+
+  // The launcher cleaned its rendezvous up; only our empty scratch remains.
+  EXPECT_EQ(::rmdir(scratch.c_str()), 0)
+      << "rendezvous leaked into " << scratch;
+}
+
+TEST(Launcher, OverlongTmpdirFailsWithClearErrorNotTruncation) {
+  const std::string deep = "/tmp/" + std::string(150, 'd');
+  TmpdirGuard guard(deep);
+  try {
+    Cluster::launch_collect(TransportKind::kSocket, Topology::flat(2),
+                            [](Communicator&) { return std::vector<double>{}; });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sun_path"), std::string::npos) << what;
+    EXPECT_NE(what.find(deep), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace spdkfac::comm

@@ -4,10 +4,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <locale>
 
 #include "models/model_spec.hpp"
 #include "perf/models.hpp"
 #include "sim/iteration.hpp"
+#include "testsupport/json_validator.hpp"
+#include "util/json.hpp"
 
 namespace spdkfac::sim {
 namespace {
@@ -97,6 +100,74 @@ TEST(ChromeTrace, WriteToBadPathThrows) {
   EXPECT_THROW(
       write_chrome_trace("/nonexistent-dir/x.json", sched, {"comp", "comm"}),
       std::runtime_error);
+}
+
+TEST(ChromeTrace, OutputIsStrictJson) {
+  EventSim es;
+  const Schedule sched = tiny_schedule(es);
+  const std::string json = to_chrome_trace(sched, {"comp", "comm"}, "proc");
+  std::string error;
+  EXPECT_TRUE(testsupport::valid_json(json, &error)) << error << "\n" << json;
+}
+
+// Schedules beyond one second: 6-significant-figure formatting (the old
+// default-precision stream insertion) would collapse nearby microsecond
+// timestamps to the same value and large ones to scientific notation.
+TEST(ChromeTrace, SchedulesBeyondOneSecondKeepMicrosecondPrecision) {
+  EventSim es;
+  const int comp = es.add_stream("comp");
+  const int f = es.add_task(TaskKind::kForward, 100.000001, comp, {}, "long");
+  es.add_task(TaskKind::kForward, 0.000002, comp, {f}, "after");
+  const std::string json = to_chrome_trace(es.run(), {"comp"});
+  std::string error;
+  EXPECT_TRUE(testsupport::valid_json(json, &error)) << error;
+  // "after" starts where "long" ended: 100.000001 s — about 1e8 us, which a
+  // 6-significant-figure emitter would have collapsed to 1e+08.  The
+  // expected strings replicate the emitter's exact expression, so this is
+  // a bitwise comparison, not a tolerance.
+  const std::string after_ts = util::json_number(100.000001 * 1e6);
+  EXPECT_NE(json.find("\"ts\":" + after_ts), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ts\":1e+08"), std::string::npos) << json;
+}
+
+struct CommaDecimalPunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+// The historical bug: a de_DE-style global locale turned "0.5" into "0,5"
+// inside ts/dur fields, corrupting every exported trace.
+TEST(ChromeTrace, HostileGlobalLocaleStillEmitsStrictJson) {
+  const std::locale previous = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimalPunct));
+  std::string json;
+  try {
+    EventSim es;
+    const int comp = es.add_stream("comp");
+    es.add_task(TaskKind::kForward, 1.2345675, comp, {}, "F");
+    json = to_chrome_trace(es.run(), {"comp"});
+  } catch (...) {
+    std::locale::global(previous);
+    throw;
+  }
+  std::locale::global(previous);
+  std::string error;
+  EXPECT_TRUE(testsupport::valid_json(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"dur\":" + util::json_number(1.2345675 * 1e6)),
+            std::string::npos)
+      << json;
+}
+
+TEST(ChromeTrace, FullIterationTraceIsStrictJson) {
+  const auto cal = perf::ClusterCalibration::paper_fabric(4);
+  auto spec = models::resnet50();
+  spec.layers.resize(6);
+  const auto res =
+      simulate_iteration(spec, 8, cal, AlgorithmConfig::spd_kfac());
+  const std::string json = to_chrome_trace(res.schedule, res.stream_names);
+  std::string error;
+  EXPECT_TRUE(testsupport::valid_json(json, &error)) << error;
 }
 
 }  // namespace

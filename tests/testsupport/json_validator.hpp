@@ -1,0 +1,229 @@
+// Strict minimal JSON (RFC 8259) validator for the emitter tests: no
+// external parser dependency, and deliberately stricter than lenient
+// consumers — nan/inf tokens, raw control characters in strings, trailing
+// commas, trailing garbage and bad escapes are all rejected, because the
+// bugs this harness guards against (locale decimal commas, %g NaN output,
+// unescaped control chars) produce exactly those.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace spdkfac::testsupport {
+
+class JsonValidator {
+ public:
+  /// True when `text` is one complete, valid JSON value (plus optional
+  /// surrounding whitespace).  On failure `error` (if non-null) names the
+  /// offending byte offset and what was expected.
+  static bool valid(std::string_view text, std::string* error = nullptr) {
+    JsonValidator v{text};
+    if (!v.value() || (v.ws(), v.pos_ != text.size())) {
+      if (error != nullptr) {
+        *error = v.error_.empty()
+                     ? "trailing garbage at byte " + std::to_string(v.pos_)
+                     : v.error_;
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool peek(char c) {
+    ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool eat(char c) {
+    ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > 256) return fail("nesting too deep");
+    ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = object();
+        break;
+      case '[':
+        ok = array();
+        break;
+      case '"':
+        ok = string();
+        break;
+      case 't':
+        ok = literal("true");
+        break;
+      case 'f':
+        ok = literal("false");
+        break;
+      case 'n':
+        ok = literal("null");
+        break;
+      default:
+        ok = number();
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    if (peek('}')) return eat('}');
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      ws();
+      if (peek(',')) {
+        eat(',');
+        continue;  // strict: the next iteration requires a key, so a
+                   // trailing comma fails at the '"' check
+      }
+      return eat('}');
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    if (peek(']')) return eat(']');
+    for (;;) {
+      if (!value()) return false;
+      ws();
+      if (peek(',')) {
+        eat(',');
+        ws();
+        if (peek(']')) return fail("trailing comma");
+        continue;
+      }
+      return eat(']');
+    }
+  }
+
+  bool string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // int part: 0 | [1-9][0-9]*
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else if (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    } else {
+      pos_ = start;
+      return fail("bad number (nan/inf are not JSON)");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+/// Gtest-friendly shorthand.
+inline bool valid_json(std::string_view text, std::string* error = nullptr) {
+  return JsonValidator::valid(text, error);
+}
+
+}  // namespace spdkfac::testsupport

@@ -1,0 +1,105 @@
+// util/json.hpp: locale-independent number formatting, RFC 8259 escaping,
+// and the validator's own self-checks (a lenient validator would pass the
+// exact bugs this PR fixes).
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <locale>
+#include <sstream>
+
+#include "testsupport/json_validator.hpp"
+
+namespace spdkfac {
+namespace {
+
+using testsupport::valid_json;
+
+// A deliberately hostile locale: comma decimal point, dot grouping every
+// three digits — the de_DE-style formatting that corrupts naive emitters.
+struct CommaPunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+class GlobalLocaleGuard {
+ public:
+  GlobalLocaleGuard()
+      : previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaPunct))) {}
+  ~GlobalLocaleGuard() { std::locale::global(previous_); }
+
+ private:
+  std::locale previous_;
+};
+
+TEST(FormatDouble, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-300, 1e300,
+                   123456.789012345, -2.2250738585072014e-308}) {
+    const std::string s = util::format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(FormatDouble, IgnoresHostileGlobalLocale) {
+  GlobalLocaleGuard guard;
+  EXPECT_EQ(util::format_double(0.5), "0.5");
+  EXPECT_EQ(util::format_double(1234567.0), "1234567");
+  // Sanity: the guard really installed a hostile locale (a default-built
+  // ostringstream snapshots the global locale).
+  std::ostringstream hostile;
+  hostile << 0.5;
+  EXPECT_NE(hostile.str(), "0.5");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(util::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(util::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(util::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(util::json_number(3.5), "3.5");
+}
+
+TEST(JsonEscape, ControlCharactersAndSpecials) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(util::json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(util::json_escape(std::string("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, EscapedStringsValidate) {
+  std::string nasty;
+  for (int c = 0; c < 0x20; ++c) nasty += static_cast<char>(c + (c == 0));
+  nasty += "\"\\plain";
+  EXPECT_TRUE(valid_json(util::json_string(nasty)));
+}
+
+TEST(JsonValidator, AcceptsRealJson) {
+  EXPECT_TRUE(valid_json("{}"));
+  EXPECT_TRUE(valid_json("[1, 2.5, -3e-7, null, true, false, \"x\"]"));
+  EXPECT_TRUE(valid_json("{\"a\": {\"b\": [0.125]}}"));
+  EXPECT_TRUE(valid_json("  \"top-level string\"  "));
+}
+
+TEST(JsonValidator, RejectsTheBugsWeFixed) {
+  EXPECT_FALSE(valid_json("{\"v\": nan}"));          // %g NaN
+  EXPECT_FALSE(valid_json("{\"v\": inf}"));          // %g Inf
+  EXPECT_FALSE(valid_json("{\"v\": 0,5}"));          // comma decimal point
+  EXPECT_FALSE(valid_json("[1.234.567]"));           // grouping separators
+  EXPECT_FALSE(valid_json("{\"a\": \"b\"} extra"));  // trailing garbage
+  EXPECT_FALSE(valid_json("[1, 2,]"));               // trailing comma
+  EXPECT_FALSE(valid_json("{\"a\": 1,}"));           // trailing comma
+  EXPECT_FALSE(valid_json(std::string("\"a\x01b\"")));  // raw control char
+  EXPECT_FALSE(valid_json("\"bad \\x escape\""));
+  EXPECT_FALSE(valid_json("[1"));                    // truncated
+  EXPECT_FALSE(valid_json(""));
+}
+
+}  // namespace
+}  // namespace spdkfac

@@ -1,0 +1,80 @@
+// spdkfacctl — drive a running spdkfacd over its ctl socket.
+//
+//   spdkfacctl [--socket=PATH] [--timeout=SECONDS] <command> [args...]
+//
+// Commands: status | profile | plan | cache | metrics | trace | replan |
+//           set <tunable>=<value> | step [n] | shutdown
+//
+// The reply body prints to stdout verbatim (JSON for status/profile/cache,
+// Prometheus text for metrics, a Chrome trace_event array for trace, plain
+// text otherwise); errors print to stderr and exit 1.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "comm/transport.hpp"
+#include "ctl/client.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket=PATH] [--timeout=SECONDS] <command> "
+               "[args...]\n"
+               "commands: status profile plan cache metrics trace replan\n"
+               "          set <tunable>=<value>   step [n]   shutdown\n",
+               argv0);
+}
+
+bool parse_value(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path =
+      spdkfac::comm::default_tmp_dir() + "/spdkfacd.sock";
+  double timeout_s = 5.0;
+  std::string command;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string value;
+      if (parse_value(argv[i], "--socket", value)) {
+        socket_path = value;
+      } else if (parse_value(argv[i], "--timeout", value)) {
+        timeout_s = std::stod(value);
+      } else if (std::strcmp(argv[i], "--help") == 0 ||
+                 std::strcmp(argv[i], "-h") == 0) {
+        usage(argv[0]);
+        return 0;
+      } else {
+        if (!command.empty()) command += ' ';
+        command += argv[i];
+      }
+    }
+    if (command.empty()) {
+      usage(argv[0]);
+      return 2;
+    }
+
+    spdkfac::ctl::CtlClient client(socket_path, timeout_s);
+    const spdkfac::ctl::Response resp = client.request(command);
+    if (!resp.ok) {
+      std::fprintf(stderr, "spdkfacctl: %s\n", resp.body.c_str());
+      return 1;
+    }
+    std::fputs(resp.body.c_str(), stdout);
+    if (!resp.body.empty() && resp.body.back() != '\n') {
+      std::fputc('\n', stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spdkfacctl: %s\n", e.what());
+    return 1;
+  }
+}
